@@ -1,0 +1,76 @@
+/// \file bench_delivery.cpp
+/// Auxiliary experiment (not a paper figure): delivery ratio of every
+/// implemented scheme — the paper's four plus the greedy-only baselines
+/// (MFR, Compass) and the flooding oracle — across the density sweep. This
+/// contextualizes the figures: the paper's metrics are over delivered
+/// packets, so the failure rates behind them matter.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "routing/baselines.h"
+
+namespace {
+
+using namespace spr;
+
+struct Row {
+  int n;
+  double gf, lgf, slgf, slgf2, mfr, compass, flooding;
+};
+
+}  // namespace
+
+int main() {
+  using namespace spr;
+  std::printf("== Delivery ratio per scheme (connected interior pairs) ==\n\n");
+  int networks = env_int_or("SPR_NETWORKS", 30);
+  int pairs = env_int_or("SPR_PAIRS", 15);
+
+  for (DeployModel model :
+       {DeployModel::kIdeal, DeployModel::kForbiddenAreas}) {
+    std::printf("%s model, %d networks x %d pairs per point\n",
+                spr::bench::model_name(model), networks, pairs);
+    Table table({"nodes", "GF", "LGF", "SLGF", "SLGF2", "MFR", "Compass",
+                 "Flooding"});
+    for (int n = 400; n <= 800; n += 100) {
+      std::size_t delivered[7] = {0};
+      std::size_t attempted = 0;
+      for (int i = 0; i < networks; ++i) {
+        NetworkConfig config;
+        config.deployment.node_count = n;
+        config.deployment.model = model;
+        config.seed = static_cast<std::uint64_t>(777000 + n * 131 + i);
+        Network net = Network::create(config);
+        std::unique_ptr<Router> routers[7] = {
+            net.make_router(Scheme::kGf), net.make_router(Scheme::kLgf),
+            net.make_router(Scheme::kSlgf), net.make_router(Scheme::kSlgf2),
+            std::make_unique<MfrRouter>(net.graph()),
+            std::make_unique<CompassRouter>(net.graph()),
+            std::make_unique<FloodingRouter>(net.graph())};
+        Rng rng(config.seed ^ 0xd00d);
+        for (int p = 0; p < pairs; ++p) {
+          auto [s, d] = net.random_connected_interior_pair(rng);
+          if (s == kInvalidNode) continue;
+          ++attempted;
+          for (int r = 0; r < 7; ++r) {
+            if (routers[r]->route(s, d).delivered()) ++delivered[r];
+          }
+        }
+      }
+      std::vector<std::string> row{std::to_string(n)};
+      for (int r = 0; r < 7; ++r) {
+        row.push_back(Table::fmt(
+            static_cast<double>(delivered[r]) / static_cast<double>(attempted),
+            3));
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf("flooding = oracle (1.000 by construction on connected pairs);\n"
+              "MFR/Compass are greedy-only and show the raw local-minimum\n"
+              "rate that the recovery machinery must absorb.\n");
+  return 0;
+}

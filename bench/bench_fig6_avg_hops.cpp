@@ -1,0 +1,18 @@
+/// \file bench_fig6_avg_hops.cpp
+/// Reproduces paper Fig. 6 (a)/(b): the average number of hops of a routing
+/// path for GF, LGF, SLGF and SLGF2 over the IA and FA deployment models.
+/// Averages are over delivered packets (delivery ratios are printed under
+/// each panel).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  std::printf("== Fig. 6: average number of hops of a GF, LGF, SLGF, SLGF2 "
+              "routing ==\n\n");
+  spr::bench::run_figure(
+      "Fig. 6",
+      [](const spr::RouteAggregate& agg) { return agg.hops.mean(); }, 2);
+  return 0;
+}

@@ -1,0 +1,131 @@
+/// \file bench_micro.cpp
+/// google-benchmark microbenchmarks for the substrate: unit-disk graph
+/// construction, planarization, safety labeling (centralized fixpoint and
+/// distributed protocol), BOUNDHOLE, and per-packet routing of each scheme.
+
+#include <benchmark/benchmark.h>
+
+#include "core/network.h"
+#include "deploy/deployment.h"
+#include "graph/graph_algos.h"
+#include "safety/distributed.h"
+
+namespace {
+
+using namespace spr;
+
+Deployment make_deployment(int n, DeployModel model) {
+  DeploymentConfig config;
+  config.node_count = n;
+  config.model = model;
+  Rng rng(1234);
+  return deploy(config, rng);
+}
+
+void BM_UnitDiskBuild(benchmark::State& state) {
+  Deployment dep = make_deployment(static_cast<int>(state.range(0)),
+                                   DeployModel::kIdeal);
+  for (auto _ : state) {
+    UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+}
+BENCHMARK(BM_UnitDiskBuild)->Arg(400)->Arg(800);
+
+void BM_GabrielOverlay(benchmark::State& state) {
+  Deployment dep = make_deployment(static_cast<int>(state.range(0)),
+                                   DeployModel::kIdeal);
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  for (auto _ : state) {
+    PlanarOverlay overlay(g, PlanarOverlay::Kind::kGabriel);
+    benchmark::DoNotOptimize(overlay.edge_count());
+  }
+}
+BENCHMARK(BM_GabrielOverlay)->Arg(400)->Arg(800);
+
+void BM_SafetyLabeling(benchmark::State& state) {
+  Deployment dep = make_deployment(static_cast<int>(state.range(0)),
+                                   DeployModel::kForbiddenAreas);
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  InterestArea area(g, g.range());
+  for (auto _ : state) {
+    SafetyInfo info = compute_safety(g, area);
+    benchmark::DoNotOptimize(info.unsafe_node_count());
+  }
+}
+BENCHMARK(BM_SafetyLabeling)->Arg(400)->Arg(800);
+
+void BM_DistributedSafety(benchmark::State& state) {
+  Deployment dep = make_deployment(static_cast<int>(state.range(0)),
+                                   DeployModel::kForbiddenAreas);
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  InterestArea area(g, g.range());
+  for (auto _ : state) {
+    auto result = compute_safety_distributed(g, area);
+    benchmark::DoNotOptimize(result.stats.broadcasts);
+  }
+}
+BENCHMARK(BM_DistributedSafety)->Arg(400)->Arg(800);
+
+void BM_BoundHole(benchmark::State& state) {
+  Deployment dep = make_deployment(static_cast<int>(state.range(0)),
+                                   DeployModel::kForbiddenAreas);
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  for (auto _ : state) {
+    BoundHoleInfo info(g);
+    benchmark::DoNotOptimize(info.stuck_count());
+  }
+}
+BENCHMARK(BM_BoundHole)->Arg(400)->Arg(800);
+
+void route_scheme_bench(benchmark::State& state, Scheme scheme) {
+  NetworkConfig config;
+  config.deployment.node_count = 600;
+  config.deployment.model = DeployModel::kForbiddenAreas;
+  config.seed = 99;
+  Network net = Network::create(config);
+  auto router = net.make_router(scheme);
+  Rng rng(7);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 64; ++i) {
+    pairs.push_back(net.random_connected_interior_pair(rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto [s, d] = pairs[i++ % pairs.size()];
+    PathResult r = router->route(s, d);
+    benchmark::DoNotOptimize(r.hops());
+  }
+}
+
+void BM_RouteGf(benchmark::State& state) { route_scheme_bench(state, Scheme::kGf); }
+void BM_RouteLgf(benchmark::State& state) { route_scheme_bench(state, Scheme::kLgf); }
+void BM_RouteSlgf(benchmark::State& state) { route_scheme_bench(state, Scheme::kSlgf); }
+void BM_RouteSlgf2(benchmark::State& state) { route_scheme_bench(state, Scheme::kSlgf2); }
+BENCHMARK(BM_RouteGf);
+BENCHMARK(BM_RouteLgf);
+BENCHMARK(BM_RouteSlgf);
+BENCHMARK(BM_RouteSlgf2);
+
+void BM_ShortestPathOracle(benchmark::State& state) {
+  NetworkConfig config;
+  config.deployment.node_count = 600;
+  config.seed = 99;
+  Network net = Network::create(config);
+  Rng rng(8);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 64; ++i) {
+    pairs.push_back(net.random_connected_interior_pair(rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto [s, d] = pairs[i++ % pairs.size()];
+    auto sp = dijkstra_path(net.graph(), s, d);
+    benchmark::DoNotOptimize(sp.length);
+  }
+}
+BENCHMARK(BM_ShortestPathOracle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+/// \file bench_stretch.cpp
+/// Auxiliary experiment (not a paper figure): hop stretch and length
+/// stretch versus the BFS / Dijkstra optima, per scheme and density. The
+/// paper argues SLGF2 paths are "straightforward"; stretch is the direct
+/// quantitative form of that claim.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace spr;
+  std::printf("== Path stretch vs optimal (delivered packets) ==\n\n");
+
+  for (DeployModel model :
+       {DeployModel::kIdeal, DeployModel::kForbiddenAreas}) {
+    SweepConfig config = spr::bench::figure_config(model);
+    config.networks_per_point = env_int_or("SPR_NETWORKS", 30);
+    config.node_counts = {400, 500, 600, 700, 800};
+    auto points = run_sweep(config);
+
+    std::printf("%s model — hop stretch (routed hops / BFS-optimal hops)\n",
+                spr::bench::model_name(model));
+    Table hops({"nodes", "GF", "LGF", "SLGF", "SLGF2"});
+    Table length({"nodes", "GF", "LGF", "SLGF", "SLGF2"});
+    for (const auto& point : points) {
+      std::vector<std::string> hop_row{std::to_string(point.node_count)};
+      std::vector<std::string> len_row{std::to_string(point.node_count)};
+      for (const char* scheme : {"GF", "LGF", "SLGF", "SLGF2"}) {
+        const auto& agg = point.by_scheme.at(scheme);
+        hop_row.push_back(Table::fmt(
+            agg.stretch_hops.empty() ? 0.0 : agg.stretch_hops.mean(), 3));
+        len_row.push_back(Table::fmt(
+            agg.stretch_length.empty() ? 0.0 : agg.stretch_length.mean(), 3));
+      }
+      hops.add_row(std::move(hop_row));
+      length.add_row(std::move(len_row));
+    }
+    std::fputs(hops.render().c_str(), stdout);
+    std::printf("%s model — length stretch (routed meters / Dijkstra-optimal)\n",
+                spr::bench::model_name(model));
+    std::fputs(length.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}

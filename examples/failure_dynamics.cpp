@@ -1,0 +1,135 @@
+/// \file failure_dynamics.cpp
+/// The paper's Section 1 lists dynamic hole causes: node failures, power
+/// exhaustion, jamming. This example kills a patch of nodes mid-operation,
+/// re-runs the *distributed* safety construction (Algorithm 2) on the
+/// degraded network, and shows (a) how the labeling reacts, (b) what the
+/// incremental reconstruction costs in rounds/messages, and (c) how each
+/// routing scheme copes before and after.
+///
+///   ./failure_dynamics [--nodes=700] [--seed=3] [--blast=35]
+
+#include <cstdio>
+#include <vector>
+
+#include "core/network.h"
+#include "graph/graph_algos.h"
+#include "routing/gf.h"
+#include "routing/lgf.h"
+#include "routing/slgf.h"
+#include "safety/distributed.h"
+#include "safety/incremental.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace spr;
+
+  int nodes = 700;
+  unsigned long long seed = 3;
+  double blast = 35.0;
+  FlagSet flags("failure_dynamics: labeling and routing under node failures");
+  flags.add_int("nodes", &nodes, "number of sensors");
+  flags.add_uint64("seed", &seed, "deployment seed");
+  flags.add_double("blast", &blast, "radius (m) of the failure patch");
+  if (!flags.parse(argc, argv)) return 1;
+
+  NetworkConfig config;
+  config.deployment.node_count = nodes;
+  config.seed = seed;
+  Network before = Network::create(config);
+
+  // Choose a routable pair, then fail every node in a disc placed on the
+  // midpoint of the straight line — the worst spot for this pair.
+  Rng rng(seed ^ 0xdead);
+  auto [s, d] = before.random_connected_interior_pair(rng);
+  if (s == kInvalidNode) {
+    std::printf("no routable pair\n");
+    return 1;
+  }
+  Vec2 mid = midpoint(before.graph().position(s), before.graph().position(d));
+  std::vector<NodeId> casualties;
+  for (NodeId u = 0; u < before.graph().size(); ++u) {
+    if (u == s || u == d) continue;
+    if (distance(before.graph().position(u), mid) <= blast) {
+      casualties.push_back(u);
+    }
+  }
+
+  Deployment degraded = before.deployment();
+  // Rebuild the network facade over the degraded graph: positions are kept,
+  // failed nodes lose their links.
+  UnitDiskGraph dead_graph = before.graph().with_failures(casualties);
+  std::vector<Vec2> alive_positions;
+  for (NodeId u = 0; u < dead_graph.size(); ++u) {
+    if (dead_graph.alive(u)) alive_positions.push_back(dead_graph.position(u));
+  }
+
+  std::printf("failure patch: %.0fm disc at (%.0f,%.0f) kills %zu of %d "
+              "nodes\n\n",
+              blast, mid.x, mid.y, casualties.size(), nodes);
+
+  // Distributed reconstruction cost on the degraded network, compared with
+  // the incremental updater (safety/incremental.h) that touches only the
+  // failure's neighborhood.
+  InterestArea degraded_area(dead_graph, dead_graph.range());
+  auto rebuilt = compute_safety_distributed(dead_graph, degraded_area);
+  std::printf("distributed relabeling after failure: %s\n",
+              rebuilt.stats.to_string().c_str());
+  SafetyInfo incremental = before.safety();
+  auto inc_stats = update_safety_after_failures(dead_graph, degraded_area,
+                                                casualties, incremental);
+  std::printf("incremental update: %zu seeds, %zu re-evaluations, %zu flips "
+              "(exactly matches full recompute: %s)\n",
+              inc_stats.seeds, inc_stats.reevaluations, inc_stats.flips,
+              incremental == rebuilt.info ? "yes" : "NO");
+  SafetyInfo before_info = before.safety();
+  std::size_t flips = 0;
+  for (NodeId u = 0; u < dead_graph.size(); ++u) {
+    if (!dead_graph.alive(u)) continue;
+    for (ZoneType t : kAllZoneTypes) {
+      if (before_info.is_safe(u, t) != rebuilt.info.is_safe(u, t)) ++flips;
+    }
+  }
+  std::printf("safety statuses changed on %zu (node,type) pairs; unsafe "
+              "nodes %zu -> %zu\n\n",
+              flips, before_info.unsafe_node_count(),
+              rebuilt.info.unsafe_node_count());
+
+  // Route the same pair before and after.
+  if (!connected(dead_graph, s, d)) {
+    std::printf("the failure disconnected the pair; no routing possible\n");
+    return 0;
+  }
+  std::printf("%-8s %18s %22s\n", "scheme", "before (hops/len)",
+              "after (hops/len/status)");
+  InterestArea before_area(before.graph(), before.graph().range());
+  PlanarOverlay degraded_overlay(dead_graph, PlanarOverlay::Kind::kGabriel);
+  BoundHoleInfo degraded_boundhole(dead_graph);
+  for (Scheme scheme : {Scheme::kGf, Scheme::kLgf, Scheme::kSlgf, Scheme::kSlgf2}) {
+    auto router_before = before.make_router(scheme);
+    PathResult rb = router_before->route(s, d);
+    // Routers over the degraded substrate.
+    std::unique_ptr<Router> router_after;
+    switch (scheme) {
+      case Scheme::kGf:
+        router_after = std::make_unique<GfRouter>(
+            dead_graph, degraded_overlay, &degraded_boundhole,
+            GfRouter::Recovery::kBoundHole);
+        break;
+      case Scheme::kLgf:
+        router_after = std::make_unique<LgfRouter>(dead_graph);
+        break;
+      case Scheme::kSlgf:
+        router_after = std::make_unique<SlgfRouter>(dead_graph, rebuilt.info);
+        break;
+      default:
+        router_after = std::make_unique<Slgf2Router>(dead_graph, rebuilt.info);
+    }
+    PathResult ra = router_after->route(s, d);
+    std::printf("%-8s %10zu/%-7.0f %12zu/%-7.0f %s\n", scheme_name(scheme),
+                rb.hops(), rb.length, ra.hops(), ra.length,
+                ra.delivered() ? "delivered" : "FAILED");
+  }
+  std::printf("\nthe safety model adapts: the new hole is labeled unsafe and\n"
+              "SLGF2 detours around it without blind perimeter probing.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// \file mobile_stream.cpp
+/// Routing under node mobility — the paper's Section 1 lists mobility among
+/// the dynamic causes of holes, and its related-work discussion stresses
+/// that position-dependent information "needs to re-constitute every time"
+/// relative positions change. This example runs a long-lived stream between
+/// two (static) endpoints while every other node follows a random-waypoint
+/// process; each epoch the network snapshot is rebuilt, the safety
+/// information is reconstructed distributively, and the stream reroutes.
+///
+///   ./mobile_stream [--nodes=600] [--seed=9] [--epochs=10] [--dt=20]
+
+#include <cstdio>
+
+#include "core/network.h"
+#include "graph/graph_algos.h"
+#include "mobility/waypoint.h"
+#include "routing/slgf2.h"
+#include "safety/distributed.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace spr;
+
+  int nodes = 600;
+  unsigned long long seed = 9;
+  int epochs = 10;
+  double dt = 20.0;
+  FlagSet flags("mobile_stream: SLGF2 across mobility epochs");
+  flags.add_int("nodes", &nodes, "number of sensors");
+  flags.add_uint64("seed", &seed, "seed");
+  flags.add_int("epochs", &epochs, "snapshots to route over");
+  flags.add_double("dt", &dt, "seconds of movement between snapshots");
+  if (!flags.parse(argc, argv)) return 1;
+
+  DeploymentConfig dc;
+  dc.node_count = nodes;
+  Rng deploy_rng(seed);
+  Deployment d = deploy(dc, deploy_rng);
+
+  WaypointConfig wc;
+  wc.field = dc.field;
+  WaypointModel model(d.positions, wc, Rng(seed ^ 0x11));
+
+  // Fixed endpoints: the first snapshot's farthest routable pair.
+  UnitDiskGraph g0(model.positions(), dc.radio_range, dc.field);
+  InterestArea area0(g0, dc.radio_range);
+  NodeId s = kInvalidNode, t = kInvalidNode;
+  double best = -1.0;
+  Rng pick_rng(seed ^ 0x22);
+  const auto& interior = area0.interior_nodes();
+  if (interior.size() < 2) {
+    std::printf("network too small\n");
+    return 1;
+  }
+  for (int trial = 0; trial < 64; ++trial) {
+    NodeId a = interior[pick_rng.next_below(interior.size())];
+    NodeId b = interior[pick_rng.next_below(interior.size())];
+    if (a == b || !connected(g0, a, b)) continue;
+    double dist = distance(g0.position(a), g0.position(b));
+    if (dist > best) {
+      best = dist;
+      s = a;
+      t = b;
+    }
+  }
+  if (s == kInvalidNode) {
+    std::printf("no routable pair\n");
+    return 1;
+  }
+  std::printf("stream %u -> %u over %d mobility epochs (%.0fs apart)\n\n", s,
+              t, epochs, dt);
+  std::printf("%5s %9s %7s %9s %9s %10s %9s\n", "epoch", "time_s", "hops",
+              "length_m", "optimal", "constr.bc", "unsafe");
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    UnitDiskGraph g(model.positions(), dc.radio_range, dc.field);
+    InterestArea area(g, dc.radio_range);
+    auto constructed = compute_safety_distributed(g, area);
+    Slgf2Router router(g, constructed.info);
+    auto oracle = bfs_path(g, s, t);
+    if (oracle.path.empty()) {
+      std::printf("%5d %9.0f   (pair disconnected this epoch)\n", epoch,
+                  model.now());
+    } else {
+      PathResult r = router.route(s, t);
+      std::printf("%5d %9.0f %7zu %9.1f %9zu %10zu %9zu %s\n", epoch,
+                  model.now(), r.hops(), r.length, oracle.hops(),
+                  constructed.stats.broadcasts,
+                  constructed.info.unsafe_node_count(),
+                  r.delivered() ? "" : "FAILED");
+    }
+    model.advance(dt);
+  }
+
+  std::printf("\nthe safety construction re-runs per epoch at ~1 broadcast\n"
+              "per node, so the information keeps up with mobility.\n");
+  return 0;
+}

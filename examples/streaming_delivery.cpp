@@ -1,0 +1,101 @@
+/// \file streaming_delivery.cpp
+/// The paper's motivating workload (Section 1): a streaming service that
+/// delivers a large amount of data from one sensor to a sink. A
+/// straightforward path matters twice over there — it spends less energy in
+/// detours, and it interferes with fewer concurrent transmissions because
+/// fewer nodes relay the stream.
+///
+/// This example streams `--packets` packets over each scheme's path and
+/// reports: relays involved (interference footprint), total transmissions,
+/// per-node peak load, and a simple radio-energy estimate.
+///
+///   ./streaming_delivery [--nodes=650] [--seed=7] [--packets=1000]
+
+#include <cstdio>
+
+#include "core/network.h"
+#include "graph/graph_algos.h"
+#include "radio/energy.h"
+#include "radio/interference.h"
+#include "util/flags.h"
+
+namespace {
+constexpr double kPacketBits = 8.0 * 1024.0;  // 1 kB payload
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spr;
+
+  int nodes = 650;
+  unsigned long long seed = 7;
+  int packets = 1000;
+  FlagSet flags("streaming_delivery: energy/interference of a data stream");
+  flags.add_int("nodes", &nodes, "number of sensors");
+  flags.add_uint64("seed", &seed, "deployment seed");
+  flags.add_int("packets", &packets, "packets in the stream");
+  if (!flags.parse(argc, argv)) return 1;
+
+  NetworkConfig config;
+  config.deployment.node_count = nodes;
+  config.deployment.model = DeployModel::kForbiddenAreas;
+  config.seed = seed;
+  Network net = Network::create(config);
+
+  // Stream across the field: prefer the farthest connected pair sampled.
+  Rng rng(seed ^ 0x51);
+  NodeId source = kInvalidNode, sink = kInvalidNode;
+  double best = -1.0;
+  for (int trial = 0; trial < 32; ++trial) {
+    auto [a, b] = net.random_connected_interior_pair(rng);
+    if (a == kInvalidNode) continue;
+    double dist = distance(net.graph().position(a), net.graph().position(b));
+    if (dist > best) {
+      best = dist;
+      source = a;
+      sink = b;
+    }
+  }
+  if (source == kInvalidNode) {
+    std::printf("no routable pair\n");
+    return 1;
+  }
+  auto optimal = dijkstra_path(net.graph(), source, sink);
+  std::printf("stream: node %u -> sink %u, %d packets of 1kB; optimal path "
+              "%zu hops / %.1fm\n\n",
+              source, sink, packets, optimal.hops(), optimal.length);
+
+  EnergyModel model;
+  PathResult optimal_as_path;
+  optimal_as_path.status = RouteStatus::kDelivered;
+  optimal_as_path.path = optimal.path;
+  double optimal_stream_j = stream_energy(
+      net.graph(), optimal_as_path, model, kPacketBits,
+      static_cast<std::size_t>(packets));
+
+  std::printf("%-8s %6s %9s %8s %12s %11s %11s %9s\n", "scheme", "hops",
+              "length_m", "relays", "transmissions", "energy_mJ",
+              "vs_optimal", "blocked");
+  for (Scheme scheme : {Scheme::kGf, Scheme::kLgf, Scheme::kSlgf, Scheme::kSlgf2}) {
+    auto router = net.make_router(scheme);
+    PathResult r = router->route(source, sink);
+    if (!r.delivered()) {
+      std::printf("%-8s FAILED to deliver\n", scheme_name(scheme));
+      continue;
+    }
+    // The whole stream follows the same path (static network): per-packet
+    // cost scales linearly. "blocked" is the interference footprint — nodes
+    // that cannot receive other traffic while the stream transmits.
+    PathEnergy pe = path_energy(net.graph(), r, model, kPacketBits);
+    double stream_j = pe.total_j * packets;
+    auto footprint = interference_footprint(net.graph(), r);
+    std::printf("%-8s %6zu %9.1f %8zu %13zu %11.2f %10.2fx %9zu\n",
+                scheme_name(scheme), r.hops(), r.length, pe.relays,
+                r.hops() * static_cast<std::size_t>(packets),
+                stream_j * 1000.0, stream_j / optimal_stream_j,
+                footprint.blocked_nodes);
+  }
+
+  std::printf("\nfewer relays -> smaller interference footprint for other\n"
+              "transmissions; straighter paths -> lower energy per stream.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "core/experiment.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+
+namespace spr {
+
+namespace {
+/// SplitMix-style mixing of sweep coordinates into a network seed.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) {
+  std::uint64_t z = base ^ (a * 0x9E3779B97F4A7C15ULL) ^
+                    (b * 0xBF58476D1CE4E5B9ULL) ^ (c * 0x94D049BB133111EBULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+const std::string& SchemeSpec::display_label() const {
+  static const std::string kNames[] = {"GF", "GF/face", "LGF", "SLGF", "SLGF2"};
+  if (!label.empty()) return label;
+  switch (scheme) {
+    case Scheme::kGf: return kNames[0];
+    case Scheme::kGfFace: return kNames[1];
+    case Scheme::kLgf: return kNames[2];
+    case Scheme::kSlgf: return kNames[3];
+    case Scheme::kSlgf2: return kNames[4];
+  }
+  return kNames[4];
+}
+
+std::vector<SchemeSpec> SweepConfig::paper_schemes() {
+  return {{Scheme::kGf, {}, ""},
+          {Scheme::kLgf, {}, ""},
+          {Scheme::kSlgf, {}, ""},
+          {Scheme::kSlgf2, {}, ""}};
+}
+
+std::vector<SweepPoint> run_sweep(const SweepConfig& config,
+                                  const SweepProgress& progress) {
+  std::vector<SweepPoint> points;
+  points.reserve(config.node_counts.size());
+  const auto model_tag =
+      static_cast<std::uint64_t>(config.model == DeployModel::kIdeal ? 1 : 2);
+
+  for (int n : config.node_counts) {
+    SweepPoint point;
+    point.node_count = n;
+    for (const auto& spec : config.schemes) {
+      point.by_scheme.emplace(spec.display_label(), RouteAggregate{});
+    }
+
+    for (int net_index = 0; net_index < config.networks_per_point; ++net_index) {
+      if (progress) progress(n, net_index, config.networks_per_point);
+      NetworkConfig net_config;
+      net_config.deployment = config.deployment_template;
+      net_config.deployment.model = config.model;
+      net_config.deployment.node_count = n;
+      net_config.seed = mix_seed(config.base_seed, model_tag,
+                                 static_cast<std::uint64_t>(n),
+                                 static_cast<std::uint64_t>(net_index));
+      Network network = Network::create(net_config);
+
+      // Same pairs for every scheme: the comparison is paired.
+      Rng pair_rng(mix_seed(net_config.seed, 7, 7, 7));
+      std::vector<std::pair<NodeId, NodeId>> pairs;
+      pairs.reserve(static_cast<size_t>(config.pairs_per_network));
+      for (int p = 0; p < config.pairs_per_network; ++p) {
+        auto pair = network.random_connected_interior_pair(pair_rng);
+        if (pair.first != kInvalidNode) pairs.push_back(pair);
+      }
+
+      // Oracles once per pair, shared across schemes.
+      std::vector<ShortestPath> oracle_hop, oracle_len;
+      oracle_hop.reserve(pairs.size());
+      oracle_len.reserve(pairs.size());
+      for (auto [s, d] : pairs) {
+        oracle_hop.push_back(bfs_path(network.graph(), s, d));
+        oracle_len.push_back(dijkstra_path(network.graph(), s, d));
+      }
+
+      for (const auto& spec : config.schemes) {
+        auto router = network.make_router(spec.scheme, spec.slgf2_options);
+        RouteAggregate& agg = point.by_scheme.at(spec.display_label());
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+          PathResult r = router->route(pairs[i].first, pairs[i].second,
+                                       config.route_options);
+          agg.record(r, &oracle_hop[i], &oracle_len[i]);
+        }
+      }
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+int env_int_or(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  int value = 0;
+  auto [ptr, ec] = std::from_chars(raw, raw + std::strlen(raw), value);
+  if (ec != std::errc() || ptr != raw + std::strlen(raw)) return fallback;
+  return value;
+}
+
+}  // namespace spr

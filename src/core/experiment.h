@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file experiment.h
+/// The sweep runner behind every figure bench: vary the node count over the
+/// paper's grid (400..800 step 50), draw `networks_per_point` random
+/// networks per point, route `pairs_per_network` random connected interior
+/// pairs with each scheme, and aggregate.
+///
+/// Seeding is hierarchical and deterministic: network i of point (model, n)
+/// uses seed mix(base_seed, model, n, i), so every scheme routes the exact
+/// same packets over the exact same networks — the comparison is paired, as
+/// in the paper.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/network.h"
+
+namespace spr {
+
+/// One scheme entry in a sweep: a paper scheme plus (for SLGF2) options,
+/// under a display label. Lets the ablation bench sweep SLGF2 variants.
+struct SchemeSpec {
+  Scheme scheme = Scheme::kSlgf2;
+  Slgf2Options slgf2_options{};
+  std::string label;  ///< defaults to scheme_name(scheme) when empty
+
+  const std::string& display_label() const;
+};
+
+/// Sweep parameters. Defaults reproduce the paper's setup.
+struct SweepConfig {
+  DeployModel model = DeployModel::kIdeal;
+  std::vector<int> node_counts = {400, 450, 500, 550, 600, 650, 700, 750, 800};
+  int networks_per_point = 100;
+  int pairs_per_network = 20;
+  std::uint64_t base_seed = 2009;
+  std::vector<SchemeSpec> schemes;
+  RouteOptions route_options{};
+  DeploymentConfig deployment_template{};  ///< field/range/FA knobs
+
+  /// The paper's four schemes in figure order.
+  static std::vector<SchemeSpec> paper_schemes();
+};
+
+/// Aggregates for one (node_count, scheme) cell.
+struct SweepPoint {
+  int node_count = 0;
+  std::map<std::string, RouteAggregate> by_scheme;  ///< keyed by display label
+};
+
+/// Progress callback: (node_count, network_index, networks_total).
+using SweepProgress = std::function<void(int, int, int)>;
+
+/// Runs the sweep; one SweepPoint per node count, in order.
+std::vector<SweepPoint> run_sweep(const SweepConfig& config,
+                                  const SweepProgress& progress = {});
+
+/// Reads an integer override from the environment (used by the benches so
+/// `SPR_NETWORKS=5 ./bench_fig6_avg_hops` gives a quick pass); returns
+/// `fallback` when unset or unparsable.
+int env_int_or(const char* name, int fallback);
+
+}  // namespace spr

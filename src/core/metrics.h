@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file metrics.h
+/// Aggregation of routing outcomes into the paper's evaluation metrics:
+/// maximum hops (Fig. 5), average hops (Fig. 6), average path length
+/// (Fig. 7), plus auxiliary delivery/stretch/phase statistics.
+
+#include <cstddef>
+
+#include "graph/graph_algos.h"
+#include "routing/packet.h"
+#include "stats/summary.h"
+
+namespace spr {
+
+/// Streaming aggregate over many routed packets of one scheme.
+struct RouteAggregate {
+  Summary hops;            ///< delivered packets only
+  Summary length;          ///< delivered packets only, meters
+  Summary stretch_hops;    ///< hops / BFS-optimal hops
+  Summary stretch_length;  ///< length / Dijkstra-optimal length
+  Summary perimeter_hops;  ///< per delivered packet
+  Summary backup_hops;     ///< per delivered packet
+  Summary local_minima;    ///< per attempted packet
+  std::size_t attempted = 0;
+  std::size_t delivered = 0;
+
+  double max_hops() const noexcept { return hops.empty() ? 0.0 : hops.max(); }
+  double delivery_ratio() const noexcept {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(delivered) /
+                                static_cast<double>(attempted);
+  }
+
+  /// Records one packet. `oracle_hop` / `oracle_len` are the BFS/Dijkstra
+  /// optima for the pair (pass nullptr to skip stretch).
+  void record(const PathResult& result, const ShortestPath* oracle_hop,
+              const ShortestPath* oracle_len);
+
+  void merge(const RouteAggregate& other);
+};
+
+}  // namespace spr

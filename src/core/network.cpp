@@ -1,0 +1,78 @@
+#include "core/network.h"
+
+#include "graph/graph_algos.h"
+#include "routing/gf.h"
+#include "routing/lgf.h"
+#include "routing/slgf.h"
+
+namespace spr {
+
+const char* scheme_name(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kGf: return "GF";
+    case Scheme::kGfFace: return "GF/face";
+    case Scheme::kLgf: return "LGF";
+    case Scheme::kSlgf: return "SLGF";
+    case Scheme::kSlgf2: return "SLGF2";
+  }
+  return "?";
+}
+
+Network Network::create(const NetworkConfig& config) {
+  Rng rng(config.seed);
+  Deployment d = deploy(config.deployment, rng);
+  return Network(std::move(d), config.edge_band);
+}
+
+Network::Network(Deployment deployment, double edge_band)
+    : deployment_(std::move(deployment)) {
+  double band = edge_band < 0.0 ? deployment_.radio_range : edge_band;
+  graph_ = std::make_unique<UnitDiskGraph>(deployment_.positions,
+                                           deployment_.radio_range,
+                                           deployment_.field);
+  interest_area_ = std::make_unique<InterestArea>(*graph_, band);
+  safety_ = compute_safety(*graph_, *interest_area_);
+  overlay_ = std::make_unique<PlanarOverlay>(*graph_, PlanarOverlay::Kind::kGabriel);
+  boundhole_ = std::make_unique<BoundHoleInfo>(*graph_);
+}
+
+std::unique_ptr<Router> Network::make_router(Scheme scheme,
+                                             Slgf2Options slgf2_options) const {
+  switch (scheme) {
+    case Scheme::kGf:
+      return std::make_unique<GfRouter>(*graph_, *overlay_, boundhole_.get(),
+                                        GfRouter::Recovery::kBoundHole);
+    case Scheme::kGfFace:
+      return std::make_unique<GfRouter>(*graph_, *overlay_, nullptr,
+                                        GfRouter::Recovery::kFace);
+    case Scheme::kLgf:
+      return std::make_unique<LgfRouter>(*graph_);
+    case Scheme::kSlgf:
+      return std::make_unique<SlgfRouter>(*graph_, safety_);
+    case Scheme::kSlgf2:
+      return std::make_unique<Slgf2Router>(*graph_, safety_, slgf2_options);
+  }
+  return nullptr;
+}
+
+std::pair<NodeId, NodeId> Network::random_interior_pair(Rng& rng) const {
+  const auto& interior = interest_area_->interior_nodes();
+  if (interior.size() < 2) return {kInvalidNode, kInvalidNode};
+  NodeId s = interior[rng.next_below(interior.size())];
+  NodeId d = s;
+  while (d == s) d = interior[rng.next_below(interior.size())];
+  return {s, d};
+}
+
+std::pair<NodeId, NodeId> Network::random_connected_interior_pair(
+    Rng& rng, int max_tries) const {
+  std::pair<NodeId, NodeId> pair{kInvalidNode, kInvalidNode};
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    pair = random_interior_pair(rng);
+    if (pair.first == kInvalidNode) return pair;
+    if (connected(*graph_, pair.first, pair.second)) return pair;
+  }
+  return pair;
+}
+
+}  // namespace spr

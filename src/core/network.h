@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file network.h
+/// The top-level facade: one deployed WASN with every precomputed structure
+/// the routers need (unit-disk adjacency, interest area, safety information,
+/// planar overlay, BOUNDHOLE boundaries) and a router factory.
+///
+/// Typical use:
+///
+///   spr::NetworkConfig config;
+///   config.deployment.node_count = 600;
+///   config.seed = 42;
+///   spr::Network net = spr::Network::create(config);
+///   auto router = net.make_router(spr::Scheme::kSlgf2);
+///   auto [s, d] = net.random_connected_interior_pair(rng);
+///   spr::PathResult r = router->route(s, d);
+
+#include <memory>
+#include <utility>
+
+#include "deploy/deployment.h"
+#include "deploy/interest_area.h"
+#include "graph/planar.h"
+#include "graph/unit_disk.h"
+#include "routing/boundhole.h"
+#include "routing/router.h"
+#include "routing/slgf2.h"
+#include "safety/labeling.h"
+
+namespace spr {
+
+/// The routing schemes of the paper's evaluation (Figs. 5-7) plus the pure
+/// face-routing GF variant.
+enum class Scheme { kGf, kGfFace, kLgf, kSlgf, kSlgf2 };
+
+/// Scheme display name ("GF", "LGF", "SLGF", "SLGF2", "GF/face").
+const char* scheme_name(Scheme scheme) noexcept;
+
+/// Parameters for drawing a network.
+struct NetworkConfig {
+  DeploymentConfig deployment;
+  std::uint64_t seed = 1;
+  /// Edge-node band around the hull; negative means one radio range.
+  double edge_band = -1.0;
+};
+
+/// One concrete network with all derived structures.
+class Network {
+ public:
+  /// Draws a deployment from `config` and builds everything.
+  static Network create(const NetworkConfig& config);
+
+  /// Builds from an existing deployment (e.g. hand-crafted in tests).
+  explicit Network(Deployment deployment, double edge_band = -1.0);
+
+  const Deployment& deployment() const noexcept { return deployment_; }
+  const UnitDiskGraph& graph() const noexcept { return *graph_; }
+  const InterestArea& interest_area() const noexcept { return *interest_area_; }
+  const SafetyInfo& safety() const noexcept { return safety_; }
+  const PlanarOverlay& overlay() const noexcept { return *overlay_; }
+  const BoundHoleInfo& boundhole() const noexcept { return *boundhole_; }
+
+  /// Instantiates a router bound to this network's structures. The network
+  /// must outlive the router. `slgf2_options` applies to kSlgf2 only.
+  std::unique_ptr<Router> make_router(Scheme scheme,
+                                      Slgf2Options slgf2_options = {}) const;
+
+  /// Uniformly random interior source/destination pair, s != d.
+  std::pair<NodeId, NodeId> random_interior_pair(Rng& rng) const;
+
+  /// As above, resampled (up to `max_tries`) until the pair is connected in
+  /// the unit-disk graph; falls back to the last sample when none is found.
+  std::pair<NodeId, NodeId> random_connected_interior_pair(
+      Rng& rng, int max_tries = 64) const;
+
+ private:
+  Deployment deployment_;
+  std::unique_ptr<UnitDiskGraph> graph_;
+  std::unique_ptr<InterestArea> interest_area_;
+  SafetyInfo safety_;
+  std::unique_ptr<PlanarOverlay> overlay_;
+  std::unique_ptr<BoundHoleInfo> boundhole_;
+};
+
+}  // namespace spr

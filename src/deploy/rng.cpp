@@ -1,0 +1,73 @@
+#include "deploy/rng.h"
+
+namespace spr {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded generation with rejection.
+  if (n == 0) return 0;
+  std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    unsigned __int128 m = static_cast<unsigned __int128>(r) * n;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+int Rng::uniform_int(int lo, int hi) noexcept {
+  return lo + static_cast<int>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+bool Rng::chance(double probability) noexcept {
+  return next_double() < probability;
+}
+
+Rng Rng::fork(std::uint64_t label) const noexcept {
+  // Mix current state with the label through SplitMix64 for independence.
+  std::uint64_t mix = state_[0] ^ (label * 0x9E3779B97F4A7C15ULL);
+  std::uint64_t sm = mix;
+  splitmix64(sm);
+  return Rng(sm ^ state_[2]);
+}
+
+}  // namespace spr

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation. Every experiment seeds its
+/// own generator so that networks, source/destination picks and failures are
+/// reproducible bit-for-bit across runs and platforms (we avoid
+/// std::uniform_* distributions, whose output is implementation-defined).
+
+#include <cstdint>
+
+namespace spr {
+
+/// xoshiro256++ generator seeded via SplitMix64. Small, fast, and with
+/// well-understood statistical quality; not for cryptographic use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n); n > 0.
+  std::uint64_t next_below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double probability) noexcept;
+
+  /// Derives an independent stream for a labeled sub-experiment; mixing the
+  /// label keeps parallel streams uncorrelated.
+  Rng fork(std::uint64_t label) const noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace spr

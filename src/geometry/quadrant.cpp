@@ -1,0 +1,18 @@
+#include "geometry/quadrant.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace spr {
+
+Vec2 quadrant_diagonal(ZoneType t) noexcept {
+  Vec2 s = quadrant_signs(t);
+  constexpr double inv_sqrt2 = 0.7071067811865476;
+  return {s.x * inv_sqrt2, s.y * inv_sqrt2};
+}
+
+std::ostream& operator<<(std::ostream& os, ZoneType t) {
+  return os << "type-" << static_cast<int>(t);
+}
+
+}  // namespace spr

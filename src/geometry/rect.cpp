@@ -1,0 +1,20 @@
+#include "geometry/rect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace spr {
+
+double Rect::distance_to(Vec2 p) const noexcept {
+  double dx = std::max({lo_.x - p.x, 0.0, p.x - hi_.x});
+  double dy = std::max({lo_.y - p.y, 0.0, p.y - hi_.y});
+  return std::hypot(dx, dy);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo().x << ':' << r.hi().x << ", " << r.lo().y << ':'
+            << r.hi().y << ']';
+}
+
+}  // namespace spr

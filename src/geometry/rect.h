@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file rect.h
+/// Axis-aligned rectangles. The paper's notation [x1 : x2, y1 : y2] denotes
+/// the rectangle with corners (x1,y1), (x1,y2), (x2,y2), (x2,y1); the
+/// coordinates need not be ordered — `Rect::from_corners` normalizes.
+
+#include <iosfwd>
+
+#include "geometry/vec2.h"
+
+namespace spr {
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+/// Invariant: lo.x <= hi.x and lo.y <= hi.y.
+class Rect {
+ public:
+  constexpr Rect() = default;
+
+  /// Normalizing constructor for the paper's [x1 : x2, y1 : y2] notation.
+  static constexpr Rect from_corners(Vec2 a, Vec2 b) noexcept {
+    Rect r;
+    r.lo_ = {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y};
+    r.hi_ = {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y};
+    return r;
+  }
+
+  /// Rectangle from ordered bounds; requires lo <= hi componentwise.
+  static constexpr Rect from_bounds(Vec2 lo, Vec2 hi) noexcept {
+    return from_corners(lo, hi);
+  }
+
+  constexpr Vec2 lo() const noexcept { return lo_; }
+  constexpr Vec2 hi() const noexcept { return hi_; }
+  constexpr Vec2 center() const noexcept { return midpoint(lo_, hi_); }
+  constexpr double width() const noexcept { return hi_.x - lo_.x; }
+  constexpr double height() const noexcept { return hi_.y - lo_.y; }
+  constexpr double area() const noexcept { return width() * height(); }
+
+  constexpr bool operator==(const Rect&) const noexcept = default;
+
+  /// Closed containment (boundary counts as inside, matching the paper's
+  /// request zones which include u and d on the corners).
+  constexpr bool contains(Vec2 p) const noexcept {
+    return p.x >= lo_.x && p.x <= hi_.x && p.y >= lo_.y && p.y <= hi_.y;
+  }
+
+  /// Containment with a tolerance band of `eps` around the boundary.
+  constexpr bool contains(Vec2 p, double eps) const noexcept {
+    return p.x >= lo_.x - eps && p.x <= hi_.x + eps && p.y >= lo_.y - eps &&
+           p.y <= hi_.y + eps;
+  }
+
+  constexpr bool contains(const Rect& other) const noexcept {
+    return contains(other.lo_) && contains(other.hi_);
+  }
+
+  constexpr bool intersects(const Rect& other) const noexcept {
+    return lo_.x <= other.hi_.x && hi_.x >= other.lo_.x &&
+           lo_.y <= other.hi_.y && hi_.y >= other.lo_.y;
+  }
+
+  /// Smallest rectangle containing both; `this` if `other` is empty-like.
+  constexpr Rect united(const Rect& other) const noexcept {
+    Rect r;
+    r.lo_ = {lo_.x < other.lo_.x ? lo_.x : other.lo_.x,
+             lo_.y < other.lo_.y ? lo_.y : other.lo_.y};
+    r.hi_ = {hi_.x > other.hi_.x ? hi_.x : other.hi_.x,
+             hi_.y > other.hi_.y ? hi_.y : other.hi_.y};
+    return r;
+  }
+
+  /// Rectangle grown by `margin` on every side (shrunk if negative; collapses
+  /// to its center when over-shrunk).
+  constexpr Rect inflated(double margin) const noexcept {
+    Vec2 lo{lo_.x - margin, lo_.y - margin};
+    Vec2 hi{hi_.x + margin, hi_.y + margin};
+    if (lo.x > hi.x) lo.x = hi.x = (lo.x + hi.x) * 0.5;
+    if (lo.y > hi.y) lo.y = hi.y = (lo.y + hi.y) * 0.5;
+    return from_corners(lo, hi);
+  }
+
+  /// Grows the rectangle to include `p`.
+  constexpr Rect expanded_to(Vec2 p) const noexcept {
+    return united(from_corners(p, p));
+  }
+
+  /// Euclidean distance from `p` to the rectangle (0 when inside).
+  double distance_to(Vec2 p) const noexcept;
+
+ private:
+  Vec2 lo_{0.0, 0.0};
+  Vec2 hi_{0.0, 0.0};
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace spr

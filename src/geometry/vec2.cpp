@@ -1,0 +1,11 @@
+#include "geometry/vec2.h"
+
+#include <ostream>
+
+namespace spr {
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace spr

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file vec2.h
+/// 2-D point/vector type used throughout the library. The paper's node
+/// locations L(u) = (x_u, y_u) are Vec2 values in meters.
+
+#include <cmath>
+#include <iosfwd>
+
+namespace spr {
+
+/// Plain 2-D vector over double. Regular type: copyable, comparable.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; >0 when `o` is counter-clockwise
+  /// from *this.
+  constexpr double cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+
+  double norm() const noexcept { return std::hypot(x, y); }
+  constexpr double norm_sq() const noexcept { return x * x + y * y; }
+
+  /// Unit vector; returns (0,0) for the zero vector.
+  Vec2 normalized() const noexcept {
+    double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// 90-degree counter-clockwise rotation.
+  constexpr Vec2 perp() const noexcept { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+/// |L(u) - L(v)| in the paper's notation.
+inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+constexpr double distance_sq(Vec2 a, Vec2 b) noexcept { return (a - b).norm_sq(); }
+
+/// Midpoint of segment ab.
+constexpr Vec2 midpoint(Vec2 a, Vec2 b) noexcept {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+/// Orientation of the ordered triple (a, b, c):
+/// >0 counter-clockwise, <0 clockwise, 0 collinear.
+constexpr double orient(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  return (b - a).cross(c - a);
+}
+
+/// True when `p` is within `eps` of `q`.
+inline bool almost_equal(Vec2 p, Vec2 q, double eps = 1e-9) noexcept {
+  return distance_sq(p, q) <= eps * eps;
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace spr

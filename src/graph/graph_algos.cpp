@@ -1,0 +1,138 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace spr {
+
+std::vector<std::size_t> bfs_hops(const UnitDiskGraph& g, NodeId source) {
+  constexpr auto kUnreached = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.size(), kUnreached);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+ShortestPath reconstruct(const UnitDiskGraph& g,
+                         const std::vector<NodeId>& parent, NodeId source,
+                         NodeId target) {
+  ShortestPath result;
+  if (parent[target] == kInvalidNode && target != source) return result;
+  for (NodeId v = target; v != source; v = parent[v]) result.path.push_back(v);
+  result.path.push_back(source);
+  std::reverse(result.path.begin(), result.path.end());
+  for (std::size_t i = 1; i < result.path.size(); ++i) {
+    result.length +=
+        distance(g.position(result.path[i - 1]), g.position(result.path[i]));
+  }
+  return result;
+}
+}  // namespace
+
+ShortestPath bfs_path(const UnitDiskGraph& g, NodeId source, NodeId target) {
+  std::vector<NodeId> parent(g.size(), kInvalidNode);
+  std::vector<bool> seen(g.size(), false);
+  std::queue<NodeId> frontier;
+  seen[source] = true;
+  frontier.push(source);
+  while (!frontier.empty() && !seen[target]) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        parent[v] = u;
+        frontier.push(v);
+      }
+    }
+  }
+  if (!seen[target]) return {};
+  return reconstruct(g, parent, source, target);
+}
+
+ShortestPath dijkstra_path(const UnitDiskGraph& g, NodeId source, NodeId target) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.size(), kInf);
+  std::vector<NodeId> parent(g.size(), kInvalidNode);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == target) break;
+    for (NodeId v : g.neighbors(u)) {
+      double nd = d + distance(g.position(u), g.position(v));
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        parent[v] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (dist[target] == kInf) return {};
+  return reconstruct(g, parent, source, target);
+}
+
+std::vector<int> connected_components(const UnitDiskGraph& g) {
+  std::vector<int> label(g.size(), -1);
+  int next = 0;
+  std::queue<NodeId> frontier;
+  for (NodeId s = 0; s < g.size(); ++s) {
+    if (label[s] != -1) continue;
+    label[s] = next;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (label[v] == -1) {
+          label[v] = next;
+          frontier.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+bool connected(const UnitDiskGraph& g, NodeId u, NodeId v) {
+  if (u == v) return true;
+  auto dist = bfs_hops(g, u);
+  return dist[v] != std::numeric_limits<std::size_t>::max();
+}
+
+std::vector<NodeId> largest_component(const UnitDiskGraph& g) {
+  auto label = connected_components(g);
+  int max_label = 0;
+  for (int l : label) max_label = std::max(max_label, l);
+  std::vector<std::size_t> count(static_cast<size_t>(max_label) + 1, 0);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    if (g.alive(u)) ++count[static_cast<size_t>(label[u])];
+  }
+  int best = static_cast<int>(
+      std::max_element(count.begin(), count.end()) - count.begin());
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < g.size(); ++u) {
+    if (label[u] == best && g.alive(u)) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace spr

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file graph_algos.h
+/// Reference graph algorithms over the unit-disk substrate: BFS hop counts,
+/// Dijkstra Euclidean shortest paths, and connectivity. These are the
+/// oracles the benches use to compute stretch; the routers never consult
+/// them (they are strictly local, as in the paper).
+
+#include <optional>
+#include <vector>
+
+#include "graph/node.h"
+#include "graph/unit_disk.h"
+
+namespace spr {
+
+/// Result of a single-source search.
+struct ShortestPath {
+  std::vector<NodeId> path;  ///< s ... d inclusive; empty when unreachable
+  double length = 0.0;       ///< sum of Euclidean edge lengths
+  std::size_t hops() const noexcept { return path.empty() ? 0 : path.size() - 1; }
+};
+
+/// Hop counts from `source` to every node (SIZE_MAX when unreachable).
+std::vector<std::size_t> bfs_hops(const UnitDiskGraph& g, NodeId source);
+
+/// Hop-optimal path (BFS tree); empty path when unreachable.
+ShortestPath bfs_path(const UnitDiskGraph& g, NodeId source, NodeId target);
+
+/// Euclidean-length-optimal path (Dijkstra); empty path when unreachable.
+ShortestPath dijkstra_path(const UnitDiskGraph& g, NodeId source, NodeId target);
+
+/// Component label per node (dead nodes get their own singleton labels).
+std::vector<int> connected_components(const UnitDiskGraph& g);
+
+/// True when u and v are in the same component.
+bool connected(const UnitDiskGraph& g, NodeId u, NodeId v);
+
+/// Ids of the largest connected component.
+std::vector<NodeId> largest_component(const UnitDiskGraph& g);
+
+}  // namespace spr

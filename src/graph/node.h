@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file node.h
+/// Node identity. Nodes are dense indices into a network's position table;
+/// kInvalidNode marks "no node" results from successor selections.
+
+#include <cstdint>
+#include <limits>
+
+namespace spr {
+
+/// Dense node index within one network instance.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace spr

@@ -1,0 +1,60 @@
+#include "graph/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spr {
+
+SpatialGrid::SpatialGrid(const std::vector<Vec2>& points, Rect bounds,
+                         double cell_size)
+    : points_(points), bounds_(bounds), cell_size_(cell_size) {
+  cols_ = std::max(1, static_cast<int>(std::ceil(bounds.width() / cell_size_)));
+  rows_ = std::max(1, static_cast<int>(std::ceil(bounds.height() / cell_size_)));
+  cells_.resize(static_cast<size_t>(cols_) * static_cast<size_t>(rows_));
+  for (NodeId id = 0; id < points_.size(); ++id) {
+    int c = cell_col(points_[id].x);
+    int r = cell_row(points_[id].y);
+    cells_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+           static_cast<size_t>(c)]
+        .push_back(id);
+  }
+}
+
+int SpatialGrid::cell_col(double x) const noexcept {
+  int c = static_cast<int>((x - bounds_.lo().x) / cell_size_);
+  return std::clamp(c, 0, cols_ - 1);
+}
+
+int SpatialGrid::cell_row(double y) const noexcept {
+  int r = static_cast<int>((y - bounds_.lo().y) / cell_size_);
+  return std::clamp(r, 0, rows_ - 1);
+}
+
+void SpatialGrid::query_radius(Vec2 center, double radius, NodeId exclude,
+                               std::vector<NodeId>& out) const {
+  int c0 = cell_col(center.x - radius), c1 = cell_col(center.x + radius);
+  int r0 = cell_row(center.y - radius), r1 = cell_row(center.y + radius);
+  double radius_sq = radius * radius;
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      for (NodeId id : cell(c, r)) {
+        if (id == exclude) continue;
+        if (distance_sq(points_[id], center) <= radius_sq) out.push_back(id);
+      }
+    }
+  }
+}
+
+void SpatialGrid::query_rect(const Rect& rect, std::vector<NodeId>& out) const {
+  int c0 = cell_col(rect.lo().x), c1 = cell_col(rect.hi().x);
+  int r0 = cell_row(rect.lo().y), r1 = cell_row(rect.hi().y);
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      for (NodeId id : cell(c, r)) {
+        if (rect.contains(points_[id])) out.push_back(id);
+      }
+    }
+  }
+}
+
+}  // namespace spr

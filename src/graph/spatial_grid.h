@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file spatial_grid.h
+/// Uniform hash grid over the deployment field, used to build unit-disk
+/// adjacency in O(n) expected time and to answer range queries.
+
+#include <vector>
+
+#include "geometry/rect.h"
+#include "geometry/vec2.h"
+#include "graph/node.h"
+
+namespace spr {
+
+/// Buckets points into square cells of side `cell_size` covering `bounds`.
+class SpatialGrid {
+ public:
+  /// Builds the grid over all `points`. `cell_size` should be >= the query
+  /// radius for single-ring neighbor queries (we use the radio range).
+  SpatialGrid(const std::vector<Vec2>& points, Rect bounds, double cell_size);
+
+  /// Appends to `out` the ids of all points within `radius` of `center`
+  /// (excluding `exclude`, pass kInvalidNode to keep everything).
+  void query_radius(Vec2 center, double radius, NodeId exclude,
+                    std::vector<NodeId>& out) const;
+
+  /// Ids of all points inside the axis-aligned rectangle.
+  void query_rect(const Rect& r, std::vector<NodeId>& out) const;
+
+  int cols() const noexcept { return cols_; }
+  int rows() const noexcept { return rows_; }
+
+ private:
+  int cell_col(double x) const noexcept;
+  int cell_row(double y) const noexcept;
+  const std::vector<NodeId>& cell(int col, int row) const noexcept {
+    return cells_[static_cast<size_t>(row) * static_cast<size_t>(cols_) +
+                  static_cast<size_t>(col)];
+  }
+
+  const std::vector<Vec2>& points_;
+  Rect bounds_;
+  double cell_size_;
+  int cols_, rows_;
+  std::vector<std::vector<NodeId>> cells_;
+};
+
+}  // namespace spr

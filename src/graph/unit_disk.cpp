@@ -1,0 +1,76 @@
+#include "graph/unit_disk.h"
+
+#include <algorithm>
+
+#include "graph/spatial_grid.h"
+
+namespace spr {
+
+UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
+                             Rect bounds)
+    : positions_(std::move(positions)), range_(range), bounds_(bounds) {
+  build(std::vector<bool>(positions_.size(), true));
+}
+
+UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
+                             Rect bounds, const std::vector<bool>& alive)
+    : positions_(std::move(positions)), range_(range), bounds_(bounds) {
+  build(alive);
+}
+
+void UnitDiskGraph::build(const std::vector<bool>& alive) {
+  alive_ = alive;
+  alive_.resize(positions_.size(), true);
+  const std::size_t n = positions_.size();
+  offsets_.assign(n + 1, 0);
+  adjacency_.clear();
+  if (n == 0) return;
+
+  SpatialGrid grid(positions_, bounds_, range_);
+  std::vector<std::vector<NodeId>> neighbor_lists(n);
+  std::vector<NodeId> scratch;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!alive_[u]) continue;
+    scratch.clear();
+    grid.query_radius(positions_[u], range_, u, scratch);
+    auto& list = neighbor_lists[u];
+    for (NodeId v : scratch) {
+      if (alive_[v]) list.push_back(v);
+    }
+    std::sort(list.begin(), list.end());
+  }
+
+  std::size_t total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u] = total;
+    total += neighbor_lists[u].size();
+  }
+  offsets_[n] = total;
+  adjacency_.reserve(total);
+  for (NodeId u = 0; u < n; ++u) {
+    adjacency_.insert(adjacency_.end(), neighbor_lists[u].begin(),
+                      neighbor_lists[u].end());
+  }
+}
+
+bool UnitDiskGraph::are_neighbors(NodeId u, NodeId v) const noexcept {
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double UnitDiskGraph::average_degree() const noexcept {
+  if (positions_.empty()) return 0.0;
+  return static_cast<double>(adjacency_.size()) /
+         static_cast<double>(positions_.size());
+}
+
+UnitDiskGraph UnitDiskGraph::with_failures(
+    const std::vector<NodeId>& failed) const {
+  std::vector<bool> alive = alive_;
+  for (NodeId u : failed) {
+    if (u < alive.size()) alive[u] = false;
+  }
+  return UnitDiskGraph(positions_, range_, bounds_, alive);
+}
+
+}  // namespace spr

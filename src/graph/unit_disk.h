@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file unit_disk.h
+/// The wireless substrate: a unit-disk graph G = (V, E) where an undirected
+/// edge uv exists iff |L(u) - L(v)| <= range (all sensors share one
+/// communication range, as the paper assumes).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "geometry/vec2.h"
+#include "graph/node.h"
+
+namespace spr {
+
+/// Immutable unit-disk graph over a fixed set of node positions.
+///
+/// Neighbor lists are stored in CSR form and sorted by node id. The optional
+/// `alive` mask models failed nodes: dead nodes keep their position but have
+/// no incident edges (used by the failure-dynamics example and tests).
+class UnitDiskGraph {
+ public:
+  /// Builds adjacency with a spatial grid; O(n + |E|) expected.
+  UnitDiskGraph(std::vector<Vec2> positions, double range, Rect bounds);
+
+  /// As above with an aliveness mask (`alive.size() == positions.size()`).
+  UnitDiskGraph(std::vector<Vec2> positions, double range, Rect bounds,
+                const std::vector<bool>& alive);
+
+  std::size_t size() const noexcept { return positions_.size(); }
+  double range() const noexcept { return range_; }
+  Rect bounds() const noexcept { return bounds_; }
+
+  Vec2 position(NodeId u) const noexcept { return positions_[u]; }
+  const std::vector<Vec2>& positions() const noexcept { return positions_; }
+  bool alive(NodeId u) const noexcept { return alive_[u]; }
+
+  /// Sorted neighbor ids of u (N(u) in the paper). Dead nodes have none.
+  std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    return {adjacency_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  std::size_t degree(NodeId u) const noexcept {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  bool are_neighbors(NodeId u, NodeId v) const noexcept;
+
+  std::size_t edge_count() const noexcept { return adjacency_.size() / 2; }
+  double average_degree() const noexcept;
+
+  /// A copy of this graph with the given nodes marked dead (edges removed).
+  UnitDiskGraph with_failures(const std::vector<NodeId>& failed) const;
+
+ private:
+  void build(const std::vector<bool>& alive);
+
+  std::vector<Vec2> positions_;
+  double range_;
+  Rect bounds_;
+  std::vector<bool> alive_;
+  std::vector<std::size_t> offsets_;  // size() + 1 entries
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace spr

@@ -1,0 +1,63 @@
+#include "mobility/waypoint.h"
+
+#include <algorithm>
+
+namespace spr {
+
+WaypointModel::WaypointModel(std::vector<Vec2> initial, WaypointConfig config,
+                             Rng rng)
+    : config_(config),
+      positions_(std::move(initial)),
+      states_(positions_.size()),
+      traveled_(positions_.size(), 0.0) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    states_[i].rng = rng.fork(i);
+    // Desynchronized initial pauses so nodes do not all start moving at once.
+    states_[i].pause_remaining = states_[i].rng.uniform(0.0, config_.pause_s);
+  }
+}
+
+void WaypointModel::pick_waypoint(std::size_t i) {
+  NodeState& state = states_[i];
+  state.waypoint = {
+      state.rng.uniform(config_.field.lo().x, config_.field.hi().x),
+      state.rng.uniform(config_.field.lo().y, config_.field.hi().y)};
+  state.speed = state.rng.uniform(config_.min_speed_mps, config_.max_speed_mps);
+  state.moving = true;
+}
+
+void WaypointModel::advance(double dt) {
+  now_ += dt;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    double remaining = dt;
+    NodeState& state = states_[i];
+    // Consume the time budget through pause / move / arrive transitions.
+    int guard = 0;
+    while (remaining > 1e-12 && guard++ < 64) {
+      if (!state.moving) {
+        double pause = std::min(remaining, state.pause_remaining);
+        state.pause_remaining -= pause;
+        remaining -= pause;
+        if (state.pause_remaining <= 1e-12) pick_waypoint(i);
+        continue;
+      }
+      Vec2 to_waypoint = state.waypoint - positions_[i];
+      double dist = to_waypoint.norm();
+      double step = state.speed * remaining;
+      if (step >= dist) {
+        // Arrive and start pausing.
+        positions_[i] = state.waypoint;
+        traveled_[i] += dist;
+        remaining -= state.speed > 0.0 ? dist / state.speed : remaining;
+        state.moving = false;
+        state.pause_remaining = config_.pause_s;
+      } else {
+        positions_[i] += to_waypoint.normalized() * step;
+        traveled_[i] += step;
+        remaining = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace spr

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file waypoint.h
+/// Random-waypoint mobility, the classic model for the "node mobility"
+/// dynamic factor the paper lists among hole causes (Section 1). Each node
+/// independently picks a destination waypoint in the field, moves toward it
+/// at a per-node speed, pauses, and repeats.
+///
+/// The library treats mobility as a sequence of deployment snapshots: the
+/// caller advances the model and rebuilds the derived structures per epoch,
+/// matching the paper's periodic information reconstruction.
+
+#include <vector>
+
+#include "deploy/rng.h"
+#include "geometry/rect.h"
+#include "geometry/vec2.h"
+#include "graph/node.h"
+
+namespace spr {
+
+/// Parameters of the random-waypoint process.
+struct WaypointConfig {
+  Rect field = Rect::from_bounds({0.0, 0.0}, {200.0, 200.0});
+  double min_speed_mps = 0.5;
+  double max_speed_mps = 2.0;
+  double pause_s = 5.0;
+};
+
+/// The mobility state of a set of nodes.
+class WaypointModel {
+ public:
+  /// Starts every node at its position in `initial`, pausing (first
+  /// waypoint drawn when its pause expires).
+  WaypointModel(std::vector<Vec2> initial, WaypointConfig config, Rng rng);
+
+  std::size_t size() const noexcept { return positions_.size(); }
+  const std::vector<Vec2>& positions() const noexcept { return positions_; }
+  Vec2 position(NodeId u) const noexcept { return positions_[u]; }
+
+  /// Advances the simulation clock by `dt` seconds, moving every node.
+  /// Movement is integrated exactly across waypoint changes within `dt`.
+  void advance(double dt);
+
+  /// Total meters traveled by node `u` so far.
+  double traveled(NodeId u) const noexcept { return traveled_[u]; }
+
+  /// Current simulation time in seconds.
+  double now() const noexcept { return now_; }
+
+ private:
+  struct NodeState {
+    Rng rng{0};  ///< per-node stream: trajectories are independent of the
+                 ///< advance() step size and of other nodes
+    Vec2 waypoint{};
+    double speed = 0.0;
+    double pause_remaining = 0.0;
+    bool moving = false;
+  };
+
+  void pick_waypoint(std::size_t i);
+
+  WaypointConfig config_;
+  std::vector<Vec2> positions_;
+  std::vector<NodeState> states_;
+  std::vector<double> traveled_;
+  double now_ = 0.0;
+};
+
+}  // namespace spr

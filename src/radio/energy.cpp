@@ -1,0 +1,27 @@
+#include "radio/energy.h"
+
+#include <algorithm>
+
+namespace spr {
+
+PathEnergy path_energy(const UnitDiskGraph& g, const PathResult& r,
+                       const EnergyModel& model, double bits) {
+  PathEnergy out;
+  if (r.path.size() < 2) return out;
+  for (std::size_t i = 1; i < r.path.size(); ++i) {
+    double meters = distance(g.position(r.path[i - 1]), g.position(r.path[i]));
+    double hop = model.hop_energy(meters, bits);
+    out.total_j += hop;
+    out.max_hop_j = std::max(out.max_hop_j, hop);
+  }
+  out.relays = r.path.size() - 2;
+  return out;
+}
+
+double stream_energy(const UnitDiskGraph& g, const PathResult& r,
+                     const EnergyModel& model, double bits,
+                     std::size_t packets) {
+  return path_energy(g, r, model, bits).total_j * static_cast<double>(packets);
+}
+
+}  // namespace spr

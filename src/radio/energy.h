@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file energy.h
+/// First-order radio energy model (Heinzelman et al.) used to turn routed
+/// paths into the energy numbers the paper's motivation talks about
+/// ("avoids wasting energy in detours ... conserve more energy used in data
+/// transmission"). Transmission cost has an electronics term and a
+/// distance-dependent amplifier term; reception costs electronics only.
+
+#include <cstddef>
+
+#include "graph/unit_disk.h"
+#include "routing/packet.h"
+
+namespace spr {
+
+/// Model parameters. Defaults are the standard first-order constants.
+struct EnergyModel {
+  double electronics_j_per_bit = 50e-9;   ///< E_elec, TX and RX
+  double amplifier_j_per_bit_m2 = 100e-12;///< eps_amp, free-space (d^2 law)
+  double idle_listen_j_per_s = 0.0;       ///< not modeled by default
+
+  /// Joules to transmit `bits` over `meters` (one hop, one receiver).
+  double tx_energy(double meters, double bits) const noexcept {
+    return (electronics_j_per_bit + amplifier_j_per_bit_m2 * meters * meters) *
+           bits;
+  }
+
+  /// Joules to receive `bits`.
+  double rx_energy(double bits) const noexcept {
+    return electronics_j_per_bit * bits;
+  }
+
+  /// Joules for one unicast hop (TX + one RX).
+  double hop_energy(double meters, double bits) const noexcept {
+    return tx_energy(meters, bits) + rx_energy(bits);
+  }
+};
+
+/// Energy accounting of one routed path.
+struct PathEnergy {
+  double total_j = 0.0;        ///< sum over hops
+  double max_hop_j = 0.0;      ///< most expensive single hop
+  std::size_t relays = 0;      ///< intermediate nodes involved
+};
+
+/// Energy to push one packet of `bits` along the delivered path `r` over
+/// graph `g` (zero when the path has no hops).
+PathEnergy path_energy(const UnitDiskGraph& g, const PathResult& r,
+                       const EnergyModel& model, double bits);
+
+/// Convenience: total energy for `packets` packets (the streaming case).
+double stream_energy(const UnitDiskGraph& g, const PathResult& r,
+                     const EnergyModel& model, double bits,
+                     std::size_t packets);
+
+}  // namespace spr

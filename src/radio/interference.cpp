@@ -1,0 +1,72 @@
+#include "radio/interference.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace spr {
+
+InterferenceFootprint interference_footprint(const UnitDiskGraph& g,
+                                             const PathResult& r) {
+  InterferenceFootprint out;
+  if (r.path.size() < 2) return out;
+  std::unordered_set<NodeId> on_path(r.path.begin(), r.path.end());
+  std::unordered_set<NodeId> touched;
+  out.transmitters = r.path.size() - 1;
+  for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+    for (NodeId v : g.neighbors(r.path[i])) {
+      if (!on_path.contains(v)) touched.insert(v);
+    }
+  }
+  out.overhearers = touched.size();
+  out.blocked_nodes = out.transmitters + out.overhearers;
+  return out;
+}
+
+bool paths_conflict(const UnitDiskGraph& g, const PathResult& a,
+                    const PathResult& b) {
+  if (a.path.size() < 2 || b.path.size() < 2) return false;
+  std::unordered_set<NodeId> b_nodes(b.path.begin(), b.path.end());
+  // a's transmitters reaching any node of b (or vice versa) is a conflict;
+  // the relation is symmetric because links are.
+  for (std::size_t i = 0; i + 1 < a.path.size(); ++i) {
+    NodeId tx = a.path[i];
+    if (b_nodes.contains(tx)) return true;
+    for (NodeId v : g.neighbors(tx)) {
+      if (b_nodes.contains(v)) return true;
+    }
+  }
+  std::unordered_set<NodeId> a_nodes(a.path.begin(), a.path.end());
+  for (std::size_t i = 0; i + 1 < b.path.size(); ++i) {
+    NodeId tx = b.path[i];
+    if (a_nodes.contains(tx)) return true;
+    for (NodeId v : g.neighbors(tx)) {
+      if (a_nodes.contains(v)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int> greedy_schedule(const UnitDiskGraph& g,
+                                 const std::vector<PathResult>& paths) {
+  const std::size_t n = paths.size();
+  std::vector<int> channel(n, -1);
+  // Conflict matrix once; greedy smallest-available-channel in index order.
+  std::vector<std::vector<bool>> conflicts(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      conflicts[i][j] = conflicts[j][i] = paths_conflict(g, paths[i], paths[j]);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<bool> used(n + 1, false);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (conflicts[i][j] && channel[j] >= 0) used[static_cast<size_t>(channel[j])] = true;
+    }
+    int c = 0;
+    while (used[static_cast<size_t>(c)]) ++c;
+    channel[i] = c;
+  }
+  return channel;
+}
+
+}  // namespace spr

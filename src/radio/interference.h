@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file interference.h
+/// Interference footprint of a routed path — the paper's second motivation:
+/// "less interference occurs in other transmissions when fewer nodes are
+/// involved in the transmission". We quantify this as the set of nodes
+/// whose radios overhear at least one hop of the path (every node within
+/// the transmission radius of some relay), and as pairwise path conflicts.
+
+#include <vector>
+
+#include "graph/unit_disk.h"
+#include "routing/packet.h"
+
+namespace spr {
+
+/// Interference accounting of one path.
+struct InterferenceFootprint {
+  std::size_t transmitters = 0;   ///< nodes that transmit (path minus dest)
+  std::size_t overhearers = 0;    ///< non-path nodes within range of a TX
+  std::size_t blocked_nodes = 0;  ///< transmitters + overhearers: nodes that
+                                  ///< cannot concurrently receive other traffic
+};
+
+/// Computes the footprint of `r` over `g`.
+InterferenceFootprint interference_footprint(const UnitDiskGraph& g,
+                                             const PathResult& r);
+
+/// True when two paths conflict: some transmitter of one is within range of
+/// some node of the other (they cannot be scheduled concurrently on one
+/// channel).
+bool paths_conflict(const UnitDiskGraph& g, const PathResult& a,
+                    const PathResult& b);
+
+/// Of `paths`, the maximum subset size schedulable concurrently under the
+/// pairwise-conflict model, by greedy coloring (an upper-bound heuristic,
+/// exact for interval-like conflict patterns). Returns per-path channel ids;
+/// the number of distinct channels is the schedule length.
+std::vector<int> greedy_schedule(const UnitDiskGraph& g,
+                                 const std::vector<PathResult>& paths);
+
+}  // namespace spr

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file gf.h
+/// GF: classic geographic greedy forwarding with perimeter recovery.
+///
+/// Greedy phase: forward to the neighbor strictly closest to d (progress
+/// required). At a local minimum the router recovers by:
+///
+///  * kFace — GPSR-style right-hand face traversal of the Gabriel overlay
+///    with the standard closer-than-entry exit rule and face changes on
+///    crossings of the entry->destination segment; or
+///  * kBoundHole — the paper's evaluation setup: if the stuck node lies on
+///    a precomputed BOUNDHOLE boundary, walk that boundary (direction by
+///    right hand w.r.t. the ray u->d) until a node closer to d than the
+///    entry point, falling back to face traversal otherwise.
+
+#include "graph/planar.h"
+#include "routing/boundhole.h"
+#include "routing/router.h"
+
+namespace spr {
+
+class GfRouter final : public Router {
+ public:
+  enum class Recovery { kFace, kBoundHole };
+
+  /// `overlay` must outlive the router. `boundhole` may be null for kFace.
+  GfRouter(const UnitDiskGraph& g, const PlanarOverlay& overlay,
+           const BoundHoleInfo* boundhole, Recovery recovery);
+
+  std::string_view name() const noexcept override {
+    return recovery_ == Recovery::kFace ? "GF/face" : "GF";
+  }
+
+ protected:
+  Decision select_successor(NodeId u, NodeId d,
+                            PacketHeader& header) const override;
+  std::unique_ptr<PacketHeader> make_header(NodeId s, NodeId d) const override;
+
+ private:
+  struct GfHeader;
+
+  Decision face_step(NodeId u, NodeId d, GfHeader& h) const;
+  Decision boundary_step_decision(NodeId u, NodeId d, GfHeader& h) const;
+
+  const PlanarOverlay& overlay_;
+  const BoundHoleInfo* boundhole_;
+  Recovery recovery_;
+};
+
+}  // namespace spr

@@ -1,0 +1,33 @@
+#include "routing/hand_rule.h"
+
+namespace spr {
+
+NodeId first_by_rotation(const UnitDiskGraph& g, NodeId u, double start_bearing,
+                         Hand hand, const NodeFilter& keep) {
+  Vec2 pu = g.position(u);
+  NodeId pick = kInvalidNode;
+  double best_sweep = 0.0;
+  double best_dist = 0.0;
+  for (NodeId v : g.neighbors(u)) {
+    if (keep && !keep(v)) continue;
+    Vec2 pv = g.position(v);
+    double b = bearing(pu, pv);
+    double sweep = hand == Hand::kRight ? ccw_delta(start_bearing, b)
+                                        : cw_delta(start_bearing, b);
+    double dist = distance_sq(pu, pv);
+    if (pick == kInvalidNode || sweep < best_sweep ||
+        (sweep == best_sweep && dist < best_dist)) {
+      pick = v;
+      best_sweep = sweep;
+      best_dist = dist;
+    }
+  }
+  return pick;
+}
+
+NodeId first_by_rotation_from(const UnitDiskGraph& g, NodeId u, Vec2 dest,
+                              Hand hand, const NodeFilter& keep) {
+  return first_by_rotation(g, u, bearing(g.position(u), dest), hand, keep);
+}
+
+}  // namespace spr

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file hand_rule.h
+/// Ray-rotation successor selection. Algorithm 1's perimeter step is
+/// "rotate the ray u->d counter-clockwise until the first untried node is
+/// hit" — the *right-hand* rule in the paper's terminology; the left hand
+/// rotates clockwise. SLGF2's "either-hand rule" picks one of the two and
+/// sticks with it.
+
+#include "geometry/angle.h"
+#include "graph/unit_disk.h"
+#include "routing/greedy_util.h"
+#include "safety/regions.h"
+
+namespace spr {
+
+/// First neighbor of u hit when rotating a ray from `start_bearing` in the
+/// direction of `hand` (kRight = counter-clockwise, kLeft = clockwise),
+/// restricted to nodes passing `keep`. A neighbor exactly on the start ray
+/// is hit immediately (sweep 0). Ties on sweep break toward the nearer
+/// node. kInvalidNode when no eligible neighbor exists.
+NodeId first_by_rotation(const UnitDiskGraph& g, NodeId u, double start_bearing,
+                         Hand hand, const NodeFilter& keep = {});
+
+/// Convenience: rotation start at the ray u->dest.
+NodeId first_by_rotation_from(const UnitDiskGraph& g, NodeId u, Vec2 dest,
+                              Hand hand, const NodeFilter& keep = {});
+
+}  // namespace spr

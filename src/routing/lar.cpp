@@ -1,0 +1,78 @@
+#include "routing/lar.h"
+
+#include <vector>
+
+#include "routing/greedy_util.h"
+#include "routing/hand_rule.h"
+
+namespace spr {
+
+namespace {
+struct LarHeader final : public PacketHeader {
+  std::vector<bool> visited;
+  bool in_perimeter = false;
+  double stuck_dist = 0.0;
+};
+}  // namespace
+
+std::unique_ptr<PacketHeader> LarRouter::make_header(NodeId s, NodeId) const {
+  auto header = std::make_unique<LarHeader>();
+  header->visited.assign(graph().size(), false);
+  header->visited[s] = true;
+  return header;
+}
+
+Router::Decision LarRouter::select_successor(NodeId u, NodeId d,
+                                             PacketHeader& header) const {
+  auto& h = static_cast<LarHeader&>(header);
+  h.visited[u] = true;
+  const UnitDiskGraph& g = graph();
+
+  if (g.are_neighbors(u, d)) {
+    h.in_perimeter = false;
+    return {d, HopPhase::kGreedy, false};
+  }
+
+  // Greedy target: the center of the expected zone (the best aim available
+  // when the destination's exact position is unknown).
+  Vec2 aim = estimate_.last_known;
+  if (h.in_perimeter && distance(g.position(u), aim) < h.stuck_dist) {
+    h.in_perimeter = false;
+  }
+
+  if (!h.in_perimeter) {
+    Rect zone = estimate_.request_zone_from(g.position(u));
+    NodeId pick = kInvalidNode;
+    double best = -1.0;
+    for (NodeId v : g.neighbors(u)) {
+      Vec2 pv = g.position(v);
+      if (!zone.contains(pv)) continue;
+      double dist = distance_sq(pv, aim);
+      if (pick == kInvalidNode || dist < best) {
+        best = dist;
+        pick = v;
+      }
+    }
+    // Require progress toward the aim: the request zone contains u itself,
+    // so without this check the "closest" candidate can be a stall.
+    if (pick != kInvalidNode &&
+        distance_sq(g.position(pick), aim) <
+            distance_sq(g.position(u), aim)) {
+      h.visited[pick] = true;
+      return {pick, HopPhase::kGreedy, false};
+    }
+  }
+
+  bool new_minimum = !h.in_perimeter;
+  if (new_minimum) {
+    h.in_perimeter = true;
+    h.stuck_dist = distance(g.position(u), aim);
+  }
+  NodeId v = first_by_rotation_from(
+      g, u, aim, Hand::kRight, [&](NodeId w) { return !h.visited[w]; });
+  if (v == kInvalidNode) return {kInvalidNode, HopPhase::kPerimeter, new_minimum};
+  h.visited[v] = true;
+  return {v, HopPhase::kPerimeter, new_minimum};
+}
+
+}  // namespace spr

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file lar.h
+/// LAR scheme 1 (Ko & Vaidya, MOBICOM'98) — the paper's reference [8] and
+/// the origin of its request zones. The full scheme targets *mobile*
+/// destinations: the source only knows the destination's position at some
+/// past time t0 and its maximum speed, so the destination now lies inside
+/// the *expected zone* (a disc of radius v*(t1-t0) around the old
+/// position), and the request zone is the smallest axis-aligned rectangle
+/// containing the source and the expected zone.
+///
+/// The static-destination degenerate case (zero speed or zero elapsed
+/// time) collapses to the paper's Z(u,d) rectangles, which is tested.
+
+#include "geometry/rect.h"
+#include "routing/router.h"
+
+namespace spr {
+
+/// What the source knows about the destination (carried in the packet
+/// header, as in LAR).
+struct DestinationEstimate {
+  Vec2 last_known{};        ///< L(d) at time t0
+  double max_speed = 0.0;   ///< v, meters/second
+  double elapsed = 0.0;     ///< t1 - t0, seconds
+
+  double expected_radius() const noexcept { return max_speed * elapsed; }
+
+  /// The expected zone: disc around last_known.
+  bool in_expected_zone(Vec2 p) const noexcept {
+    return distance(p, last_known) <= expected_radius() + 1e-12;
+  }
+
+  /// Request zone seen from `u`: smallest rectangle containing u and the
+  /// expected zone (LAR scheme 1's definition).
+  Rect request_zone_from(Vec2 u) const noexcept {
+    Rect expected = Rect::from_corners(
+        {last_known.x - expected_radius(), last_known.y - expected_radius()},
+        {last_known.x + expected_radius(), last_known.y + expected_radius()});
+    return expected.expanded_to(u);
+  }
+};
+
+/// LAR scheme 1 router. Forwarding is restricted to the request zone
+/// derived from the destination estimate; the estimate is fixed at send
+/// time (the paper's LAR does not update it en route). Recovery follows
+/// this repository's LGF convention (right-hand perimeter with the
+/// closer-than-stuck exit) so LAR and LGF differ only in the zone shape.
+class LarRouter final : public Router {
+ public:
+  /// Routes toward the true node id `d`, but zone decisions use `estimate`
+  /// (pass a zero-speed estimate at d's true position for static LAR).
+  LarRouter(const UnitDiskGraph& g, DestinationEstimate estimate)
+      : Router(g), estimate_(estimate) {}
+
+  std::string_view name() const noexcept override { return "LAR1"; }
+
+  const DestinationEstimate& estimate() const noexcept { return estimate_; }
+
+ protected:
+  Decision select_successor(NodeId u, NodeId d,
+                            PacketHeader& header) const override;
+  std::unique_ptr<PacketHeader> make_header(NodeId s, NodeId d) const override;
+
+ private:
+  DestinationEstimate estimate_;
+};
+
+}  // namespace spr

@@ -1,0 +1,37 @@
+#include "routing/packet.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spr {
+
+namespace {
+std::size_t count_phase(const std::vector<HopPhase>& phases, HopPhase p) {
+  return static_cast<std::size_t>(std::count(phases.begin(), phases.end(), p));
+}
+}  // namespace
+
+std::size_t PathResult::greedy_hops() const noexcept {
+  return count_phase(hop_phases, HopPhase::kGreedy);
+}
+std::size_t PathResult::backup_hops() const noexcept {
+  return count_phase(hop_phases, HopPhase::kBackup);
+}
+std::size_t PathResult::perimeter_hops() const noexcept {
+  return count_phase(hop_phases, HopPhase::kPerimeter);
+}
+
+std::string PathResult::to_string() const {
+  std::ostringstream out;
+  switch (status) {
+    case RouteStatus::kDelivered: out << "delivered"; break;
+    case RouteStatus::kTtlExpired: out << "ttl-expired"; break;
+    case RouteStatus::kDeadEnd: out << "dead-end"; break;
+  }
+  out << " hops=" << hops() << " length=" << length
+      << " (greedy=" << greedy_hops() << " backup=" << backup_hops()
+      << " perimeter=" << perimeter_hops() << ", minima=" << local_minima << ")";
+  return out.str();
+}
+
+}  // namespace spr

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file packet.h
+/// Routing outcomes and per-run accounting. The benches aggregate these
+/// into the paper's metrics (hops, path length) and our auxiliary ones
+/// (delivery ratio, phase mix, stretch).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+
+namespace spr {
+
+/// Why a routing run ended.
+enum class RouteStatus {
+  kDelivered,  ///< destination reached
+  kTtlExpired, ///< hop budget exhausted (treated as a failure)
+  kDeadEnd,    ///< no eligible successor anywhere (disconnected or looped out)
+};
+
+/// Which forwarding phase produced a hop (paper Section 4 terminology).
+enum class HopPhase : unsigned char {
+  kGreedy,     ///< greedy / safe forwarding
+  kBackup,     ///< SLGF2 backup-path forwarding
+  kPerimeter,  ///< perimeter recovery (right-hand / either-hand / face)
+};
+
+/// Full result of routing one packet.
+struct PathResult {
+  RouteStatus status = RouteStatus::kDeadEnd;
+  std::vector<NodeId> path;           ///< visited nodes, s first; d last iff delivered
+  std::vector<HopPhase> hop_phases;   ///< phase of each hop (path.size()-1 entries)
+  double length = 0.0;                ///< total Euclidean length, meters
+
+  std::size_t hops() const noexcept { return path.empty() ? 0 : path.size() - 1; }
+  bool delivered() const noexcept { return status == RouteStatus::kDelivered; }
+
+  std::size_t greedy_hops() const noexcept;
+  std::size_t backup_hops() const noexcept;
+  std::size_t perimeter_hops() const noexcept;
+
+  /// Number of local minima encountered (greedy->perimeter transitions).
+  std::size_t local_minima = 0;
+
+  std::string to_string() const;
+};
+
+/// Per-run knobs shared by all routers.
+struct RouteOptions {
+  /// TTL = ttl_factor * n hops; generous so that only genuine livelock or
+  /// disconnection trips it.
+  std::size_t ttl_factor = 8;
+};
+
+}  // namespace spr

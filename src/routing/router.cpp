@@ -1,0 +1,35 @@
+#include "routing/router.h"
+
+namespace spr {
+
+PathResult Router::route(NodeId s, NodeId d, const RouteOptions& options) const {
+  PathResult result;
+  result.path.push_back(s);
+  if (s == d) {
+    result.status = RouteStatus::kDelivered;
+    return result;
+  }
+  const std::size_t ttl = options.ttl_factor * std::max<std::size_t>(g_.size(), 1);
+  auto header = make_header(s, d);
+  NodeId u = s;
+  for (std::size_t hop = 0; hop < ttl; ++hop) {
+    Decision decision = select_successor(u, d, *header);
+    if (decision.hit_local_minimum) ++result.local_minima;
+    if (decision.next == kInvalidNode) {
+      result.status = RouteStatus::kDeadEnd;
+      return result;
+    }
+    result.length += distance(g_.position(u), g_.position(decision.next));
+    result.path.push_back(decision.next);
+    result.hop_phases.push_back(decision.phase);
+    u = decision.next;
+    if (u == d) {
+      result.status = RouteStatus::kDelivered;
+      return result;
+    }
+  }
+  result.status = RouteStatus::kTtlExpired;
+  return result;
+}
+
+}  // namespace spr

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file router.h
+/// The router interface and the shared hop-by-hop walk driver. Every scheme
+/// in the paper is expressed as a *successor selection* at the current node
+/// using only local knowledge (N(u), positions of u/d, and whatever state
+/// the packet header carries); the driver owns TTL, path recording and
+/// phase accounting.
+
+#include <memory>
+#include <string_view>
+
+#include "graph/unit_disk.h"
+#include "routing/packet.h"
+
+namespace spr {
+
+/// Mutable per-packet header state threaded through successor selections.
+/// Routers downcast to their own header type.
+class PacketHeader {
+ public:
+  virtual ~PacketHeader() = default;
+};
+
+/// A geographic routing scheme.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Routes one packet from s to d. The default implementation drives
+  /// `make_header` / `select_successor` under the TTL in `options`.
+  virtual PathResult route(NodeId s, NodeId d,
+                           const RouteOptions& options = {}) const;
+
+ protected:
+  explicit Router(const UnitDiskGraph& g) : g_(g) {}
+
+  /// One successor decision at `u`. Returns the next hop (a neighbor of u
+  /// or d itself when d is a neighbor) or kInvalidNode when stuck. Sets
+  /// `phase` to classify the hop and may flag a local minimum.
+  struct Decision {
+    NodeId next = kInvalidNode;
+    HopPhase phase = HopPhase::kGreedy;
+    bool hit_local_minimum = false;
+  };
+  virtual Decision select_successor(NodeId u, NodeId d,
+                                    PacketHeader& header) const = 0;
+
+  /// Fresh per-packet header.
+  virtual std::unique_ptr<PacketHeader> make_header(NodeId s, NodeId d) const = 0;
+
+  const UnitDiskGraph& graph() const noexcept { return g_; }
+
+ private:
+  const UnitDiskGraph& g_;
+};
+
+}  // namespace spr

@@ -1,0 +1,97 @@
+#include "routing/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spr {
+
+namespace {
+const char* phase_name(HopPhase phase) {
+  switch (phase) {
+    case HopPhase::kGreedy: return "greedy";
+    case HopPhase::kBackup: return "backup";
+    case HopPhase::kPerimeter: return "perimeter";
+  }
+  return "?";
+}
+}  // namespace
+
+RouteTrace::RouteTrace(const UnitDiskGraph& g, const PathResult& result,
+                       NodeId dest) {
+  Vec2 pd = g.position(dest);
+  double total_length = 0.0;
+  for (std::size_t i = 0; i + 1 < result.path.size(); ++i) {
+    HopRecord hop;
+    hop.from = result.path[i];
+    hop.to = result.path[i + 1];
+    hop.phase = i < result.hop_phases.size() ? result.hop_phases[i]
+                                             : HopPhase::kGreedy;
+    Vec2 a = g.position(hop.from), b = g.position(hop.to);
+    hop.hop_length = distance(a, b);
+    hop.progress = distance(a, pd) - distance(b, pd);
+    total_length += hop.hop_length;
+    hops_.push_back(hop);
+  }
+
+  // Detour segmentation: maximal runs of non-greedy hops.
+  std::size_t i = 0;
+  while (i < hops_.size()) {
+    if (hops_[i].phase == HopPhase::kGreedy) {
+      ++i;
+      continue;
+    }
+    DetourSegment segment;
+    segment.first_hop = i;
+    while (i < hops_.size() && hops_[i].phase != HopPhase::kGreedy) {
+      segment.length += hops_[i].hop_length;
+      segment.net_progress += hops_[i].progress;
+      ++segment.hop_count;
+      ++i;
+    }
+    detours_.push_back(segment);
+  }
+
+  if (!result.path.empty() && total_length > 0.0) {
+    double straight =
+        distance(g.position(result.path.front()), g.position(result.path.back()));
+    straightness_ = std::min(1.0, straight / total_length);
+  }
+}
+
+double RouteTrace::detour_length() const noexcept {
+  double sum = 0.0;
+  for (const auto& d : detours_) sum += d.length;
+  return sum;
+}
+
+double RouteTrace::worst_regression() const noexcept {
+  double worst = 0.0;
+  for (const auto& hop : hops_) worst = std::min(worst, hop.progress);
+  return -worst;
+}
+
+std::string RouteTrace::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    const auto& hop = hops_[i];
+    out << i << ": " << hop.from << " -> " << hop.to << " ["
+        << phase_name(hop.phase) << "] " << hop.hop_length << "m, progress "
+        << hop.progress << "m\n";
+  }
+  out << detours_.size() << " detour episode(s), " << detour_length()
+      << "m total; straightness " << straightness_ << "\n";
+  return out.str();
+}
+
+std::string RouteTrace::to_csv() const {
+  std::ostringstream out;
+  out << "hop,from,to,phase,length,progress\n";
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    const auto& hop = hops_[i];
+    out << i << ',' << hop.from << ',' << hop.to << ',' << phase_name(hop.phase)
+        << ',' << hop.hop_length << ',' << hop.progress << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace spr

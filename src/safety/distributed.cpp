@@ -1,0 +1,190 @@
+#include "safety/distributed.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/angle.h"
+
+namespace spr {
+
+namespace {
+
+/// What a node broadcasts: its location plus full safety state.
+struct SafetyBroadcast {
+  Vec2 position{};
+  SafetyTuple tuple{};
+
+  bool operator==(const SafetyBroadcast&) const noexcept = default;
+};
+
+using NeighborCache = std::unordered_map<NodeId, SafetyBroadcast>;
+
+/// Recomputes one node's tuple (statuses + anchors) from its neighbor
+/// cache — the body of Algorithm 2 steps 2-3 as executed locally. Shared by
+/// the synchronous and asynchronous drivers.
+///
+/// `may_flip_statuses` gates the irreversible 1->0 flips: a node must have
+/// heard from its whole neighborhood before concluding that a quadrant
+/// holds no safe neighbor, otherwise in-flight hellos cause spurious flips
+/// (only relevant to the asynchronous driver; the round engine's caches are
+/// complete after round 0).
+SafetyTuple recompute_tuple(const UnitDiskGraph& g, const InterestArea& area,
+                            NodeId self, const NeighborCache& cache,
+                            const SafetyTuple& current,
+                            bool may_flip_statuses) {
+  Vec2 pu = g.position(self);
+  SafetyTuple next = current;
+
+  for (ZoneType t : kAllZoneTypes) {
+    if (!may_flip_statuses) break;
+    if (area.is_edge_node(self)) break;  // pinned at (1,1,1,1)
+    if (!next.is_safe(t)) continue;       // monotone: no 0 -> 1 flips
+    bool has_safe_neighbor = false;
+    for (const auto& [v, info] : cache) {
+      if (in_quadrant(pu, info.position, t) && info.tuple.is_safe(t)) {
+        has_safe_neighbor = true;
+        break;
+      }
+    }
+    if (!has_safe_neighbor) next.set_safe(t, false);
+  }
+
+  for (ZoneType t : kAllZoneTypes) {
+    if (next.is_safe(t)) continue;
+    CcwScan scan(pu, quadrant_start_bearing(t));
+    const SafetyBroadcast* v_first = nullptr;
+    const SafetyBroadcast* v_last = nullptr;
+    double best_first = 0.0, best_last = 0.0;
+    for (const auto& [v, info] : cache) {
+      if (!in_quadrant(pu, info.position, t)) continue;
+      if (info.tuple.is_safe(t)) continue;
+      double sweep = scan.sweep_to(info.position);
+      if (v_first == nullptr || sweep < best_first ||
+          (sweep == best_first &&
+           distance_sq(pu, info.position) < distance_sq(pu, v_first->position))) {
+        v_first = &info;
+        best_first = sweep;
+      }
+      if (v_last == nullptr || sweep > best_last ||
+          (sweep == best_last &&
+           distance_sq(pu, info.position) < distance_sq(pu, v_last->position))) {
+        v_last = &info;
+        best_last = sweep;
+      }
+    }
+    ShapeAnchors& a = next.anchors_for(t);
+    if (v_first == nullptr) {
+      a.first = a.last = self;
+      a.first_pos = a.last_pos = pu;
+    } else {
+      const ShapeAnchors& fa = v_first->tuple.anchors_for(t);
+      const ShapeAnchors& la = v_last->tuple.anchors_for(t);
+      // Until the upstream neighbor has valid anchors, anchor at it.
+      a.first = fa.valid() ? fa.first : kInvalidNode;
+      a.first_pos = fa.valid() ? fa.first_pos : v_first->position;
+      a.last = la.valid() ? la.last : kInvalidNode;
+      a.last_pos = la.valid() ? la.last_pos : v_last->position;
+    }
+  }
+  return next;
+}
+
+/// Per-node protocol state.
+struct NodeState {
+  NeighborCache cache;
+  SafetyTuple tuple{};
+  std::optional<SafetyTuple> last_sent;  ///< nothing sent yet when empty
+};
+
+}  // namespace
+
+DistributedSafetyResult compute_safety_distributed(const UnitDiskGraph& g,
+                                                   const InterestArea& area,
+                                                   std::size_t max_rounds) {
+  const std::size_t n = g.size();
+  if (max_rounds == 0) max_rounds = 4 * n + 8;
+  std::vector<NodeState> state(n);
+
+  using Engine = RoundEngine<SafetyBroadcast>;
+  Engine engine(g);
+
+  auto process = [&](NodeId self, std::size_t round,
+                     std::span<const Engine::Incoming> inbox)
+      -> std::optional<SafetyBroadcast> {
+    NodeState& me = state[self];
+    for (const auto& msg : inbox) me.cache[msg.sender] = msg.payload;
+
+    if (round == 0) {
+      // Hello phase: announce position and the initial all-safe tuple.
+      me.last_sent = me.tuple;
+      return SafetyBroadcast{g.position(self), me.tuple};
+    }
+
+    me.tuple = recompute_tuple(g, area, self, me.cache, me.tuple,
+                               /*may_flip_statuses=*/true);
+    if (!me.last_sent || *me.last_sent != me.tuple) {
+      me.last_sent = me.tuple;
+      return SafetyBroadcast{g.position(self), me.tuple};
+    }
+    return std::nullopt;
+  };
+
+  EngineStats stats = engine.run(process, max_rounds);
+
+  std::vector<SafetyTuple> tuples(n);
+  for (NodeId u = 0; u < n; ++u) tuples[u] = state[u].tuple;
+  return DistributedSafetyResult{SafetyInfo(std::move(tuples)), stats};
+}
+
+AsyncSafetyResult compute_safety_distributed_async(const UnitDiskGraph& g,
+                                                   const InterestArea& area,
+                                                   Rng& rng,
+                                                   std::size_t max_events) {
+  const std::size_t n = g.size();
+  if (max_events == 0) {
+    // Every (node,type) flip and every anchor refinement triggers at most
+    // one broadcast of deg receptions; this cap is far above any real run
+    // and only guards against livelock bugs.
+    max_events = 64 * n * std::max<std::size_t>(g.average_degree(), 8);
+  }
+  std::vector<NodeState> state(n);
+
+  using Engine = AsyncEngine<SafetyBroadcast>;
+  Engine engine(g, rng);
+
+  auto process = [&](NodeId self, double /*now*/,
+                     std::optional<Engine::Incoming> message)
+      -> std::optional<SafetyBroadcast> {
+    NodeState& me = state[self];
+    if (!message) {
+      // Initial activation: hello broadcast. Isolated nodes never hear
+      // anything, so their (vacuous) flips must be evaluated right here.
+      if (g.degree(self) == 0) {
+        me.tuple = recompute_tuple(g, area, self, me.cache, me.tuple,
+                                   /*may_flip_statuses=*/true);
+      }
+      me.last_sent = me.tuple;
+      return SafetyBroadcast{g.position(self), me.tuple};
+    }
+    me.cache[message->sender] = message->payload;
+    // Flips unlock once the whole neighborhood has been heard (the hello of
+    // every neighbor arrives eventually; until then only anchors update).
+    bool neighborhood_known = me.cache.size() >= g.degree(self);
+    me.tuple =
+        recompute_tuple(g, area, self, me.cache, me.tuple, neighborhood_known);
+    if (!me.last_sent || *me.last_sent != me.tuple) {
+      me.last_sent = me.tuple;
+      return SafetyBroadcast{g.position(self), me.tuple};
+    }
+    return std::nullopt;
+  };
+
+  AsyncEngineStats stats = engine.run(process, max_events);
+
+  std::vector<SafetyTuple> tuples(n);
+  for (NodeId u = 0; u < n; ++u) tuples[u] = state[u].tuple;
+  return AsyncSafetyResult{SafetyInfo(std::move(tuples)), stats};
+}
+
+}  // namespace spr

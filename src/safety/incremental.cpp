@@ -1,0 +1,89 @@
+#include "safety/incremental.h"
+
+#include <array>
+#include <deque>
+
+namespace spr {
+
+namespace {
+
+/// Flip condition on the degraded graph (same as Definition 1).
+bool must_flip(const UnitDiskGraph& g, const SafetyInfo& info, NodeId u,
+               ZoneType t) {
+  Vec2 pu = g.position(u);
+  for (NodeId v : g.neighbors(u)) {
+    if (!in_quadrant(pu, g.position(v), t)) continue;
+    if (info.is_safe(v, t)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+IncrementalStats update_safety_after_failures(const UnitDiskGraph& degraded,
+                                              const InterestArea& area,
+                                              const std::vector<NodeId>& failed,
+                                              SafetyInfo& info) {
+  IncrementalStats stats;
+  const std::size_t n = degraded.size();
+
+  // Dead nodes revert to the fresh tuple (their state is meaningless; this
+  // matches compute_safety on the degraded graph exactly).
+  for (NodeId f : failed) {
+    if (f < n) info.tuple(f) = SafetyTuple{};
+  }
+
+  std::deque<std::pair<NodeId, ZoneType>> worklist;
+  std::vector<std::array<bool, 4>> queued(n, {false, false, false, false});
+  auto enqueue = [&](NodeId u, ZoneType t) {
+    auto& flag = queued[u][static_cast<size_t>(zone_index(t))];
+    if (!flag) {
+      flag = true;
+      worklist.emplace_back(u, t);
+      ++stats.seeds;
+    }
+  };
+
+  // Seed: every alive node that could have had a failed node in one of its
+  // quadrants — i.e. within radio range of a failed position. Positions are
+  // retained for dead nodes, so the affected set is a local disc query.
+  const double range = degraded.range();
+  for (NodeId u = 0; u < n; ++u) {
+    if (!degraded.alive(u)) continue;
+    Vec2 pu = degraded.position(u);
+    for (NodeId f : failed) {
+      if (f >= n) continue;
+      if (distance(pu, degraded.position(f)) <= range) {
+        for (ZoneType t : kAllZoneTypes) enqueue(u, t);
+        break;
+      }
+    }
+  }
+  stats.seeds = worklist.size();
+
+  // Monotone continuation: losing neighbors can only remove support, so
+  // the old fixpoint bounds the new one from above and the worklist closes
+  // over exactly the region the failures influence.
+  while (!worklist.empty()) {
+    auto [u, t] = worklist.front();
+    worklist.pop_front();
+    queued[u][static_cast<size_t>(zone_index(t))] = false;
+    if (!degraded.alive(u)) continue;
+    if (area.is_edge_node(u)) continue;
+    if (!info.is_safe(u, t)) continue;
+    ++stats.reevaluations;
+    if (!must_flip(degraded, info, u, t)) continue;
+    info.tuple(u).set_safe(t, false);
+    ++stats.flips;
+    for (NodeId w : degraded.neighbors(u)) {
+      if (in_quadrant(degraded.position(w), degraded.position(u), t)) {
+        enqueue(w, t);
+      }
+    }
+  }
+
+  stats.anchor_recomputes = recompute_all_anchors(degraded, info);
+  return stats;
+}
+
+}  // namespace spr

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file incremental.h
+/// Incremental maintenance of the safety information under node failures —
+/// the dynamic hole causes of the paper's Section 1 (node failures, power
+/// exhaustion, jamming, interference).
+///
+/// Key monotonicity fact: Definition 1's flip condition at u depends only
+/// on the *presence of a safe type-t neighbor* in Q_t(u). Removing nodes
+/// can remove such support but never create it, so after failures the old
+/// fixpoint remains an over-approximation of safety: statuses only move
+/// 1 -> 0. Re-running the worklist seeded with just the failed nodes'
+/// neighborhoods therefore reaches the exact new fixpoint while touching
+/// only the affected region — no global reconstruction (and no global
+/// message storm in the distributed analogue).
+///
+/// Node *additions* are the opposite direction (safety can only grow) and
+/// require recomputation of the greatest fixpoint; `compute_safety` remains
+/// the tool for that.
+
+#include <vector>
+
+#include "deploy/interest_area.h"
+#include "safety/labeling.h"
+
+namespace spr {
+
+/// Statistics of one incremental update.
+struct IncrementalStats {
+  std::size_t seeds = 0;            ///< (node,type) pairs initially enqueued
+  std::size_t reevaluations = 0;    ///< flip-condition evaluations performed
+  std::size_t flips = 0;            ///< statuses that changed 1 -> 0
+  std::size_t anchor_recomputes = 0;///< nodes whose anchors were rebuilt
+};
+
+/// Updates `info` (computed for the graph *before* the failures) to the
+/// exact fixpoint of `degraded`, which must be the same node set with some
+/// nodes dead (`UnitDiskGraph::with_failures`). `area` is the interest area
+/// of the degraded graph. Returns what the update touched.
+///
+/// Postcondition: `info == compute_safety(degraded, area)` up to the
+/// anchors of unaffected nodes, which are recomputed only where reachable
+/// from a change (tests assert full equality of statuses and anchors).
+IncrementalStats update_safety_after_failures(const UnitDiskGraph& degraded,
+                                              const InterestArea& area,
+                                              const std::vector<NodeId>& failed,
+                                              SafetyInfo& info);
+
+}  // namespace spr

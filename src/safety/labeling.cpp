@@ -1,0 +1,204 @@
+#include "safety/labeling.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "geometry/angle.h"
+
+namespace spr {
+
+std::size_t SafetyInfo::unsafe_node_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& t : tuples_) {
+    if (!t.safe[0] || !t.safe[1] || !t.safe[2] || !t.safe[3]) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+/// True when Definition 1 forces S_t(u) to unsafe given current labels:
+/// every neighbor inside Q_t(u) has S_t = 0 (vacuously true when none).
+bool must_flip(const UnitDiskGraph& g, const std::vector<SafetyTuple>& tuples,
+               NodeId u, ZoneType t) {
+  Vec2 pu = g.position(u);
+  for (NodeId v : g.neighbors(u)) {
+    if (!in_quadrant(pu, g.position(v), t)) continue;
+    if (tuples[v].is_safe(t)) return false;
+  }
+  return true;
+}
+
+/// Fills the anchors of every unsafe (node, type) pair by the memoized
+/// first/last-path recursion of Algorithm 2. Returns the number of anchor
+/// sets written.
+std::size_t compute_anchors(const UnitDiskGraph& g,
+                            std::vector<SafetyTuple>& tuples) {
+  const std::size_t n = g.size();
+  for (ZoneType t : kAllZoneTypes) {
+    enum class State : unsigned char { kUnvisited, kVisiting, kDone };
+    std::vector<State> state(n, State::kUnvisited);
+    const double start_bearing = quadrant_start_bearing(t);
+
+    // Iterative DFS resolving anchor.first via the first-hit chain and
+    // anchor.last via the last-hit chain. Self-anchoring breaks the
+    // (measure-impossible, but defensively handled) cycles.
+    auto resolve = [&](auto&& self, NodeId u) -> void {
+      if (state[u] == State::kDone) return;
+      ShapeAnchors& a = tuples[u].anchors_for(t);
+      if (state[u] == State::kVisiting) {
+        // Cycle guard: anchor at self.
+        a.first = a.last = u;
+        a.first_pos = a.last_pos = g.position(u);
+        state[u] = State::kDone;
+        return;
+      }
+      state[u] = State::kVisiting;
+      Vec2 pu = g.position(u);
+      CcwScan scan(pu, start_bearing);
+      NodeId v_first = kInvalidNode, v_last = kInvalidNode;
+      double best_first = 0.0, best_last = 0.0;
+      for (NodeId v : g.neighbors(u)) {
+        Vec2 pv = g.position(v);
+        if (!in_quadrant(pu, pv, t)) continue;
+        if (tuples[v].is_safe(t)) continue;  // only type-t unsafe chains
+        double sweep = scan.sweep_to(pv);
+        if (v_first == kInvalidNode || sweep < best_first ||
+            (sweep == best_first && distance_sq(pu, pv) <
+                 distance_sq(pu, g.position(v_first)))) {
+          v_first = v;
+          best_first = sweep;
+        }
+        if (v_last == kInvalidNode || sweep > best_last ||
+            (sweep == best_last && distance_sq(pu, pv) <
+                 distance_sq(pu, g.position(v_last)))) {
+          v_last = v;
+          best_last = sweep;
+        }
+      }
+      if (v_first == kInvalidNode) {
+        a.first = a.last = u;
+        a.first_pos = a.last_pos = g.position(u);
+      } else {
+        self(self, v_first);
+        self(self, v_last);
+        a.first = tuples[v_first].anchors_for(t).first;
+        a.first_pos = tuples[v_first].anchors_for(t).first_pos;
+        a.last = tuples[v_last].anchors_for(t).last;
+        a.last_pos = tuples[v_last].anchors_for(t).last_pos;
+      }
+      state[u] = State::kDone;
+    };
+
+    for (NodeId u = 0; u < n; ++u) {
+      if (!tuples[u].is_safe(t)) resolve(resolve, u);
+    }
+  }
+  std::size_t written = 0;
+  for (const auto& tuple : tuples) {
+    for (ZoneType t : kAllZoneTypes) {
+      if (!tuple.is_safe(t)) ++written;
+    }
+  }
+  return written;
+}
+
+}  // namespace
+
+std::size_t recompute_all_anchors(const UnitDiskGraph& g, SafetyInfo& info) {
+  std::vector<SafetyTuple> tuples(info.size());
+  for (NodeId u = 0; u < info.size(); ++u) tuples[u] = info.tuple(u);
+  std::size_t written = compute_anchors(g, tuples);
+  for (NodeId u = 0; u < info.size(); ++u) info.tuple(u) = tuples[u];
+  return written;
+}
+
+SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area) {
+  const std::size_t n = g.size();
+  std::vector<SafetyTuple> tuples(n);
+
+  // Worklist over (node, type) pairs. Monotone flips guarantee a unique
+  // fixpoint regardless of processing order.
+  std::deque<std::pair<NodeId, ZoneType>> worklist;
+  std::vector<std::array<bool, 4>> queued(n, {false, false, false, false});
+  auto enqueue = [&](NodeId u, ZoneType t) {
+    auto& flag = queued[u][static_cast<size_t>(zone_index(t))];
+    if (!flag) {
+      flag = true;
+      worklist.emplace_back(u, t);
+    }
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    for (ZoneType t : kAllZoneTypes) enqueue(u, t);
+  }
+
+  while (!worklist.empty()) {
+    auto [u, t] = worklist.front();
+    worklist.pop_front();
+    queued[u][static_cast<size_t>(zone_index(t))] = false;
+    if (!g.alive(u)) continue;
+    if (area.is_edge_node(u)) continue;  // pinned at (1,1,1,1)
+    if (!tuples[u].is_safe(t)) continue;
+    if (!must_flip(g, tuples, u, t)) continue;
+    tuples[u].set_safe(t, false);
+    // u's flip can only affect neighbors w that see u inside Q_t(w).
+    for (NodeId w : g.neighbors(u)) {
+      if (in_quadrant(g.position(w), g.position(u), t)) enqueue(w, t);
+    }
+  }
+
+  compute_anchors(g, tuples);
+  return SafetyInfo(std::move(tuples));
+}
+
+SafetyInfo compute_safety_round_based(const UnitDiskGraph& g,
+                                      const InterestArea& area) {
+  const std::size_t n = g.size();
+  std::vector<SafetyTuple> tuples(n);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::pair<NodeId, ZoneType>> flips;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!g.alive(u) || area.is_edge_node(u)) continue;
+      for (ZoneType t : kAllZoneTypes) {
+        if (tuples[u].is_safe(t) && must_flip(g, tuples, u, t)) {
+          flips.emplace_back(u, t);
+        }
+      }
+    }
+    for (auto [u, t] : flips) {
+      tuples[u].set_safe(t, false);
+      changed = true;
+    }
+  }
+  compute_anchors(g, tuples);
+  return SafetyInfo(std::move(tuples));
+}
+
+std::vector<NodeId> unsafe_area_members(const UnitDiskGraph& g,
+                                        const SafetyInfo& info, NodeId u,
+                                        ZoneType t) {
+  std::vector<NodeId> out;
+  if (info.is_safe(u, t)) return out;
+  std::vector<bool> seen(g.size(), false);
+  std::queue<NodeId> frontier;
+  seen[u] = true;
+  frontier.push(u);
+  while (!frontier.empty()) {
+    NodeId w = frontier.front();
+    frontier.pop();
+    out.push_back(w);
+    for (NodeId v : g.neighbors(w)) {
+      if (!seen[v] && !info.is_safe(v, t)) {
+        seen[v] = true;
+        frontier.push(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace spr

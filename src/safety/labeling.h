@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file labeling.h
+/// Centralized (reference) construction of the safety information model:
+/// Definition 1's labeling fixpoint and Algorithm 2's shape anchors. The
+/// distributed construction (safety/distributed.h) must converge to exactly
+/// this result; tests enforce that.
+
+#include <vector>
+
+#include "deploy/interest_area.h"
+#include "graph/unit_disk.h"
+#include "safety/tuple.h"
+
+namespace spr {
+
+/// The safety information of a whole network.
+class SafetyInfo {
+ public:
+  SafetyInfo() = default;
+  explicit SafetyInfo(std::vector<SafetyTuple> tuples) : tuples_(std::move(tuples)) {}
+
+  const SafetyTuple& tuple(NodeId u) const noexcept { return tuples_[u]; }
+  SafetyTuple& tuple(NodeId u) noexcept { return tuples_[u]; }
+  std::size_t size() const noexcept { return tuples_.size(); }
+
+  bool is_safe(NodeId u, ZoneType t) const noexcept { return tuples_[u].is_safe(t); }
+
+  /// Count of nodes unsafe in at least one type.
+  std::size_t unsafe_node_count() const noexcept;
+
+  bool operator==(const SafetyInfo&) const noexcept = default;
+
+ private:
+  std::vector<SafetyTuple> tuples_;
+};
+
+/// Runs Definition 1 to its unique fixpoint (worklist algorithm; the flips
+/// are monotone 1->0, so any fair order yields the same result), pinning
+/// edge nodes of `area` at (1,1,1,1), then computes the anchors u(1)/u(2)
+/// per Algorithm 2 for every unsafe (node, type).
+SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area);
+
+/// As above but evaluates the fixpoint in synchronous rounds (the paper's
+/// Fig. 3 narration). Exists to test order-independence of the fixpoint.
+SafetyInfo compute_safety_round_based(const UnitDiskGraph& g,
+                                      const InterestArea& area);
+
+/// Convenience: one node's connected unsafe area of type `t` (the connected
+/// component of type-t unsafe nodes containing `u`, via UDG edges).
+std::vector<NodeId> unsafe_area_members(const UnitDiskGraph& g,
+                                        const SafetyInfo& info, NodeId u,
+                                        ZoneType t);
+
+/// Recomputes the shape anchors u(1)/u(2) for every unsafe (node, type) of
+/// `info` from its current statuses (Algorithm 2 step 3). Used by the
+/// incremental updater after statuses changed; `compute_safety` calls the
+/// same code internally. Returns the number of (node,type) anchor sets
+/// written.
+std::size_t recompute_all_anchors(const UnitDiskGraph& g, SafetyInfo& info);
+
+}  // namespace spr

@@ -1,0 +1,32 @@
+#include "safety/regions.h"
+
+#include "geometry/quadrant.h"
+
+namespace spr {
+
+double diagonal_side(const UnsafeAreaEstimate& e, Vec2 p) noexcept {
+  Vec2 diag = e.far_corner() - e.origin;
+  if (diag.norm_sq() < 1e-18) diag = quadrant_diagonal(e.type);
+  return diag.cross(p - e.origin);
+}
+
+RegionClass classify_region(const UnsafeAreaEstimate& e, Vec2 d, Vec2 p) noexcept {
+  if (!in_quadrant(e.origin, p, e.type)) return RegionClass::kOutsideQuadrant;
+  if (!in_quadrant(e.origin, d, e.type)) return RegionClass::kCritical;
+  double side_d = diagonal_side(e, d);
+  if (side_d == 0.0) return RegionClass::kCritical;
+  double side_p = diagonal_side(e, p);
+  if (side_p == 0.0) return RegionClass::kCritical;
+  return (side_d > 0.0) == (side_p > 0.0) ? RegionClass::kCritical
+                                          : RegionClass::kForbidden;
+}
+
+bool in_forbidden_region(const UnsafeAreaEstimate& e, Vec2 d, Vec2 p) noexcept {
+  return classify_region(e, d, p) == RegionClass::kForbidden;
+}
+
+Hand choose_hand(const UnsafeAreaEstimate& e, Vec2 d) noexcept {
+  return diagonal_side(e, d) >= 0.0 ? Hand::kRight : Hand::kLeft;
+}
+
+}  // namespace spr

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file regions.h
+/// Critical / forbidden region split (paper Section 4, Fig. 1(b) and
+/// Fig. 4(b)): the ray from the estimate's origin v through the far corner
+/// (x_{v(1)}, y_{v(2)}) divides Q_i(v) into two parts; the part containing
+/// the destination d is the *critical region*, the other the *forbidden
+/// region*. SLGF2's superseding "either-hand rule" prefers successors
+/// outside the forbidden region.
+
+#include "geometry/vec2.h"
+#include "safety/shape.h"
+
+namespace spr {
+
+/// Where a point sits relative to one estimate's split.
+enum class RegionClass {
+  kCritical,        ///< in Q_i(v), same side of the diagonal as d
+  kForbidden,       ///< in Q_i(v), opposite side of the diagonal from d
+  kOutsideQuadrant  ///< not in Q_i(v) at all (the split does not apply)
+};
+
+/// Signed side of `p` w.r.t. the diagonal ray of `e`: >0 counter-clockwise,
+/// <0 clockwise, 0 on the ray. Degenerate estimates (far corner == origin)
+/// use the quadrant diagonal as the split direction.
+double diagonal_side(const UnsafeAreaEstimate& e, Vec2 p) noexcept;
+
+/// Classifies candidate position `p` given destination `d`. When d itself
+/// lies outside Q_i(v) or exactly on the diagonal, no candidate is
+/// forbidden (returns kCritical / kOutsideQuadrant only).
+RegionClass classify_region(const UnsafeAreaEstimate& e, Vec2 d, Vec2 p) noexcept;
+
+/// True when the superseding rule disqualifies `p`: d is inside the
+/// quadrant (critical region defined) and `p` falls on the opposite side.
+bool in_forbidden_region(const UnsafeAreaEstimate& e, Vec2 d, Vec2 p) noexcept;
+
+/// Detour hand around an estimated area. The paper's "either-hand rule"
+/// picks the hand whose walk stays on the destination's side of the
+/// blocking area. Following Algorithm 1's convention, the *right* hand
+/// rotates the reference ray counter-clockwise; the *left* hand clockwise.
+enum class Hand { kRight, kLeft };
+
+/// Hand on d's side of the estimate's diagonal: counter-clockwise side
+/// (positive cross) -> kRight, else kLeft.
+Hand choose_hand(const UnsafeAreaEstimate& e, Vec2 d) noexcept;
+
+}  // namespace spr

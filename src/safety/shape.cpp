@@ -1,0 +1,48 @@
+#include "safety/shape.h"
+
+namespace spr {
+
+Vec2 UnsafeAreaEstimate::far_corner() const noexcept {
+  Vec2 s = quadrant_signs(type);
+  return {s.x > 0.0 ? rect.hi().x : rect.lo().x,
+          s.y > 0.0 ? rect.hi().y : rect.lo().y};
+}
+
+std::optional<UnsafeAreaEstimate> estimate_for(const UnitDiskGraph& g,
+                                               const SafetyInfo& info,
+                                               NodeId v, ZoneType t) {
+  const SafetyTuple& tuple = info.tuple(v);
+  if (tuple.is_safe(t)) return std::nullopt;
+  const ShapeAnchors& a = tuple.anchors_for(t);
+  if (!a.valid()) return std::nullopt;
+  UnsafeAreaEstimate e;
+  e.owner = v;
+  e.type = t;
+  e.origin = g.position(v);
+  e.rect = estimated_area(e.origin, a);
+  return e;
+}
+
+std::vector<UnsafeAreaEstimate> visible_estimates(const UnitDiskGraph& g,
+                                                  const SafetyInfo& info,
+                                                  NodeId u) {
+  std::vector<UnsafeAreaEstimate> out;
+  auto append_for = [&](NodeId v) {
+    for (ZoneType t : kAllZoneTypes) {
+      if (auto e = estimate_for(g, info, v, t)) out.push_back(*e);
+    }
+  };
+  append_for(u);
+  for (NodeId v : g.neighbors(u)) append_for(v);
+  return out;
+}
+
+std::optional<Rect> covering_rect(const std::vector<UnsafeAreaEstimate>& estimates,
+                                  double margin) {
+  if (estimates.empty()) return std::nullopt;
+  Rect box = estimates.front().rect;
+  for (const auto& e : estimates) box = box.united(e.rect);
+  return box.inflated(margin);
+}
+
+}  // namespace spr

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file shape.h
+/// Estimated unsafe-area rectangles E_i(u) as routing-time values: what a
+/// node can learn from its own tuple and from its 1-hop neighbors'
+/// advertised shape information (paper Section 4: "When u can collect an
+/// unsafe area estimation from its unsafe neighbor v, u is neighboring such
+/// an unsafe area").
+
+#include <optional>
+#include <vector>
+
+#include "geometry/quadrant.h"
+#include "geometry/rect.h"
+#include "safety/labeling.h"
+
+namespace spr {
+
+/// One advertised estimate: owner v, type i, and E_i(v).
+struct UnsafeAreaEstimate {
+  NodeId owner = kInvalidNode;
+  ZoneType type = ZoneType::k1;
+  Vec2 origin{};        ///< L(v); one corner of the rectangle
+  Rect rect;            ///< E_i(v)
+
+  /// The corner of E_i(v) diagonally opposite `origin` in the quadrant
+  /// direction — (x_{v(1)}, y_{v(2)}) in the paper's type-1 notation. The
+  /// ray origin->far_corner() splits Q_i(v) into the critical and forbidden
+  /// regions.
+  Vec2 far_corner() const noexcept;
+};
+
+/// E_t(v) for a type-t unsafe node v; nullopt when v is type-t safe.
+std::optional<UnsafeAreaEstimate> estimate_for(const UnitDiskGraph& g,
+                                               const SafetyInfo& info,
+                                               NodeId v, ZoneType t);
+
+/// All estimates visible at u: u's own unsafe types plus every unsafe type
+/// of every neighbor. This is exactly the information a real node holds
+/// after the construction protocol.
+std::vector<UnsafeAreaEstimate> visible_estimates(const UnitDiskGraph& g,
+                                                  const SafetyInfo& info,
+                                                  NodeId u);
+
+/// Union bounding box of `estimates` inflated by `margin`; nullopt when the
+/// list is empty. SLGF2 confines its perimeter phase to this rectangle.
+std::optional<Rect> covering_rect(const std::vector<UnsafeAreaEstimate>& estimates,
+                                  double margin);
+
+}  // namespace spr

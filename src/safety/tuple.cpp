@@ -1,0 +1,25 @@
+#include "safety/tuple.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace spr {
+
+std::string SafetyTuple::to_string() const {
+  std::ostringstream out;
+  out << '(' << (safe[0] ? '1' : '0') << ',' << (safe[1] ? '1' : '0') << ','
+      << (safe[2] ? '1' : '0') << ',' << (safe[3] ? '1' : '0') << ')';
+  return out.str();
+}
+
+Rect estimated_area(Vec2 u, const ShapeAnchors& anchors) noexcept {
+  return Rect::from_corners(u, u)
+      .expanded_to(anchors.first_pos)
+      .expanded_to(anchors.last_pos);
+}
+
+std::ostream& operator<<(std::ostream& os, const SafetyTuple& t) {
+  return os << t.to_string();
+}
+
+}  // namespace spr

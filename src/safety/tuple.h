@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file tuple.h
+/// Per-node safety state: the 4-type safe/unsafe tuple S(u) of Definition 1
+/// plus, for each unsafe type, the shape anchors u(1)/u(2) and the estimated
+/// unsafe-area rectangle E_i(u) of Algorithm 2.
+
+#include <array>
+#include <iosfwd>
+#include <string>
+
+#include "geometry/quadrant.h"
+#include "geometry/rect.h"
+#include "geometry/vec2.h"
+#include "graph/node.h"
+
+namespace spr {
+
+/// Shape anchors of one unsafe type at one node: the farthest nodes u(1) and
+/// u(2) reachable along the first / last greedy forwarding paths of the
+/// greedy region G_i(u).
+struct ShapeAnchors {
+  NodeId first = kInvalidNode;   ///< u(1): id of the far node on the first path
+  NodeId last = kInvalidNode;    ///< u(2): id of the far node on the last path
+  Vec2 first_pos{};              ///< L(u(1))
+  Vec2 last_pos{};               ///< L(u(2))
+
+  bool valid() const noexcept { return first != kInvalidNode; }
+  constexpr bool operator==(const ShapeAnchors&) const noexcept = default;
+};
+
+/// The full safety state of one node.
+struct SafetyTuple {
+  /// S_i(u): true = safe ("1"), false = unsafe ("0"); index via zone_index.
+  std::array<bool, 4> safe = {true, true, true, true};
+  /// Anchors per type; only meaningful where safe[i] == false.
+  std::array<ShapeAnchors, 4> anchors{};
+
+  bool is_safe(ZoneType t) const noexcept { return safe[static_cast<size_t>(zone_index(t))]; }
+  void set_safe(ZoneType t, bool value) noexcept {
+    safe[static_cast<size_t>(zone_index(t))] = value;
+  }
+  const ShapeAnchors& anchors_for(ZoneType t) const noexcept {
+    return anchors[static_cast<size_t>(zone_index(t))];
+  }
+  ShapeAnchors& anchors_for(ZoneType t) noexcept {
+    return anchors[static_cast<size_t>(zone_index(t))];
+  }
+
+  /// True when safe in at least one type (a candidate for backup paths).
+  bool any_safe() const noexcept {
+    return safe[0] || safe[1] || safe[2] || safe[3];
+  }
+
+  /// True when the tuple is (0,0,0,0): the node may indicate disconnection
+  /// (paper Section 4, perimeter-routing phase precondition).
+  bool all_unsafe() const noexcept { return !any_safe(); }
+
+  /// "(1,0,1,1)"-style rendering as in the paper's figures.
+  std::string to_string() const;
+
+  constexpr bool operator==(const SafetyTuple&) const noexcept = default;
+};
+
+/// Estimated unsafe-area rectangle E_i(u) = bounding box of
+/// {L(u), L(u(1)), L(u(2))}. Requires anchors.valid().
+Rect estimated_area(Vec2 u, const ShapeAnchors& anchors) noexcept;
+
+std::ostream& operator<<(std::ostream& os, const SafetyTuple& t);
+
+}  // namespace spr

@@ -1,0 +1,14 @@
+#include "sim/async_engine.h"
+
+#include <sstream>
+
+namespace spr {
+
+std::string AsyncEngineStats::to_string() const {
+  std::ostringstream out;
+  out << "activations=" << activations << " broadcasts=" << broadcasts
+      << " receptions=" << receptions << " t=" << virtual_time;
+  return out.str();
+}
+
+}  // namespace spr

@@ -1,0 +1,14 @@
+#include "sim/engine.h"
+
+#include <sstream>
+
+namespace spr {
+
+std::string EngineStats::to_string() const {
+  std::ostringstream out;
+  out << "rounds=" << rounds << " broadcasts=" << broadcasts
+      << " receptions=" << message_receptions;
+  return out.str();
+}
+
+}  // namespace spr

@@ -1,0 +1,60 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace spr {
+
+void Summary::add(double value) {
+  values_.push_back(value);
+  sum_ += value;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(values_.size());
+  m2_ += delta * (value - mean_);
+}
+
+double Summary::min() const noexcept {
+  return values_.empty() ? 0.0 : *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const noexcept {
+  return values_.empty() ? 0.0 : *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::variance() const noexcept {
+  if (values_.size() < 2) return 0.0;
+  return m2_ / static_cast<double>(values_.size() - 1);
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Summary::percentile(double p) const {
+  if (values_.empty()) throw std::logic_error("percentile of empty summary");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  double clamped = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+double Summary::ci95_half_width() const noexcept {
+  if (values_.size() < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(values_.size()));
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream out;
+  out << mean() << " ± " << ci95_half_width() << " (" << min() << ".." << max()
+      << ", n=" << count() << ")";
+  return out.str();
+}
+
+void Summary::merge(const Summary& other) {
+  for (double v : other.values_) add(v);
+}
+
+}  // namespace spr

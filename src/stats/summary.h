@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file summary.h
+/// Streaming statistics accumulator used by the experiment harness: mean,
+/// variance (Welford), min/max, and exact percentiles on demand.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spr {
+
+/// Accumulates doubles; O(1) per insert for moments, values retained for
+/// percentile queries.
+class Summary {
+ public:
+  void add(double value);
+
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+  /// Sample variance / standard deviation (n-1 denominator); 0 for n < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  /// Exact percentile by nearest-rank on the sorted sample, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean; 0 for n < 2.
+  double ci95_half_width() const noexcept;
+
+  /// "mean ± ci (min..max, n=count)" for logs.
+  std::string to_string() const;
+
+  /// Merges another summary into this one.
+  void merge(const Summary& other);
+
+ private:
+  std::vector<double> values_;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace spr

@@ -1,0 +1,75 @@
+#include "util/ascii_canvas.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spr {
+
+AsciiCanvas::AsciiCanvas(int cols, int rows, double min_x, double min_y,
+                         double max_x, double max_y)
+    : cols_(cols),
+      rows_(rows),
+      min_x_(min_x),
+      min_y_(min_y),
+      max_x_(max_x),
+      max_y_(max_y),
+      grid_(static_cast<size_t>(rows), std::string(static_cast<size_t>(cols), ' ')) {}
+
+bool AsciiCanvas::to_cell(double x, double y, int& col, int& row) const {
+  if (x < min_x_ || x > max_x_ || y < min_y_ || y > max_y_) return false;
+  double fx = (x - min_x_) / (max_x_ - min_x_);
+  double fy = (y - min_y_) / (max_y_ - min_y_);
+  col = std::min(cols_ - 1, static_cast<int>(fx * cols_));
+  row = std::min(rows_ - 1, static_cast<int>((1.0 - fy) * rows_));
+  row = std::max(0, row);
+  return true;
+}
+
+void AsciiCanvas::plot(double x, double y, char glyph) {
+  int col, row;
+  if (to_cell(x, y, col, row)) grid_[static_cast<size_t>(row)][static_cast<size_t>(col)] = glyph;
+}
+
+void AsciiCanvas::line(double x0, double y0, double x1, double y1, char glyph) {
+  double dx = x1 - x0, dy = y1 - y0;
+  double world_per_col = (max_x_ - min_x_) / cols_;
+  double world_per_row = (max_y_ - min_y_) / rows_;
+  double step = std::min(world_per_col, world_per_row) * 0.5;
+  double length = std::hypot(dx, dy);
+  int n = std::max(1, static_cast<int>(length / step));
+  for (int i = 0; i <= n; ++i) {
+    double t = static_cast<double>(i) / n;
+    plot(x0 + t * dx, y0 + t * dy, glyph);
+  }
+}
+
+void AsciiCanvas::fill_rect(double x0, double y0, double x1, double y1, char glyph) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  double world_per_col = (max_x_ - min_x_) / cols_;
+  double world_per_row = (max_y_ - min_y_) / rows_;
+  for (double y = y0; y <= y1; y += world_per_row * 0.9) {
+    for (double x = x0; x <= x1; x += world_per_col * 0.9) {
+      plot(x, y, glyph);
+    }
+  }
+}
+
+std::string AsciiCanvas::render() const {
+  std::string out;
+  out.reserve(static_cast<size_t>((cols_ + 3) * (rows_ + 2)));
+  out.push_back('+');
+  out.append(static_cast<size_t>(cols_), '-');
+  out.append("+\n");
+  for (const auto& row : grid_) {
+    out.push_back('|');
+    out.append(row);
+    out.append("|\n");
+  }
+  out.push_back('+');
+  out.append(static_cast<size_t>(cols_), '-');
+  out.append("+\n");
+  return out;
+}
+
+}  // namespace spr

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file ascii_canvas.h
+/// Terminal renderer for deployment fields, holes, and routing paths.
+///
+/// Used by the examples to visualize a 200 m x 200 m field as a character
+/// grid. World coordinates are mapped to cells; later draws overwrite earlier
+/// ones, so draw background (nodes) first, then overlays (paths, endpoints).
+
+#include <string>
+#include <vector>
+
+namespace spr {
+
+/// Fixed-size character canvas over a rectangular world region.
+class AsciiCanvas {
+ public:
+  /// Canvas of `cols` x `rows` characters covering world rect
+  /// [min_x, max_x] x [min_y, max_y]. World y grows upward; row 0 is the top.
+  AsciiCanvas(int cols, int rows, double min_x, double min_y, double max_x,
+              double max_y);
+
+  int cols() const noexcept { return cols_; }
+  int rows() const noexcept { return rows_; }
+
+  /// Plots `glyph` at world position (x, y); out-of-range points are ignored.
+  void plot(double x, double y, char glyph);
+
+  /// Draws a straight world-space segment with `glyph` (naive DDA).
+  void line(double x0, double y0, double x1, double y1, char glyph);
+
+  /// Fills the world-space axis-aligned rectangle with `glyph`.
+  void fill_rect(double x0, double y0, double x1, double y1, char glyph);
+
+  /// Renders the canvas with a border frame.
+  std::string render() const;
+
+ private:
+  bool to_cell(double x, double y, int& col, int& row) const;
+
+  int cols_, rows_;
+  double min_x_, min_y_, max_x_, max_y_;
+  std::vector<std::string> grid_;
+};
+
+}  // namespace spr

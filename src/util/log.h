@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file log.h
+/// Minimal leveled logging for the library and tools.
+///
+/// The library itself logs nothing by default; examples and benches can raise
+/// the level. Thread-compatible (no internal locking; callers serialize).
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace spr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parse "debug"/"info"/"warn"/"error"/"off"; returns kInfo on unknown input.
+LogLevel parse_log_level(std::string_view text) noexcept;
+
+namespace detail {
+/// Emits one formatted line to stderr. Used by the Logger sink below.
+void emit_log_line(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// RAII one-line log statement: `Logger(LogLevel::kInfo) << "n=" << n;`
+class Logger {
+ public:
+  explicit Logger(LogLevel level) : level_(level), enabled_(level >= log_level()) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  ~Logger() {
+    if (enabled_) detail::emit_log_line(level_, stream_.str());
+  }
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+inline Logger log_debug() { return Logger(LogLevel::kDebug); }
+inline Logger log_info() { return Logger(LogLevel::kInfo); }
+inline Logger log_warn() { return Logger(LogLevel::kWarn); }
+inline Logger log_error() { return Logger(LogLevel::kError); }
+
+}  // namespace spr

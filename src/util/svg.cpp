@@ -1,0 +1,103 @@
+#include "util/svg.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace spr {
+
+SvgCanvas::SvgCanvas(Rect world, double pixels_per_meter)
+    : world_(world), scale_(pixels_per_meter) {}
+
+double SvgCanvas::tx(double world_x) const noexcept {
+  return (world_x - world_.lo().x) * scale_;
+}
+
+double SvgCanvas::ty(double world_y) const noexcept {
+  return (world_.hi().y - world_y) * scale_;  // flip: world +y is up
+}
+
+void SvgCanvas::circle(Vec2 center, double radius_m, const std::string& fill,
+                       const std::string& stroke, double stroke_width) {
+  std::ostringstream e;
+  e << "<circle cx=\"" << tx(center.x) << "\" cy=\"" << ty(center.y)
+    << "\" r=\"" << px(radius_m) << "\" fill=\"" << fill << "\" stroke=\""
+    << stroke << "\" stroke-width=\"" << px(stroke_width) << "\"/>";
+  elements_.push_back(e.str());
+}
+
+void SvgCanvas::line(Vec2 a, Vec2 b, const std::string& stroke, double width_m,
+                     double opacity) {
+  std::ostringstream e;
+  e << "<line x1=\"" << tx(a.x) << "\" y1=\"" << ty(a.y) << "\" x2=\""
+    << tx(b.x) << "\" y2=\"" << ty(b.y) << "\" stroke=\"" << stroke
+    << "\" stroke-width=\"" << px(width_m) << "\" stroke-opacity=\"" << opacity
+    << "\"/>";
+  elements_.push_back(e.str());
+}
+
+void SvgCanvas::polyline(const std::vector<Vec2>& points,
+                         const std::string& stroke, double width_m,
+                         double opacity) {
+  if (points.size() < 2) return;
+  std::ostringstream e;
+  e << "<polyline fill=\"none\" stroke=\"" << stroke << "\" stroke-width=\""
+    << px(width_m) << "\" stroke-opacity=\"" << opacity << "\" points=\"";
+  for (Vec2 p : points) e << tx(p.x) << ',' << ty(p.y) << ' ';
+  e << "\"/>";
+  elements_.push_back(e.str());
+}
+
+void SvgCanvas::rect(const Rect& r, const std::string& fill,
+                     const std::string& stroke, double stroke_width_m,
+                     double opacity) {
+  std::ostringstream e;
+  e << "<rect x=\"" << tx(r.lo().x) << "\" y=\"" << ty(r.hi().y)
+    << "\" width=\"" << px(r.width()) << "\" height=\"" << px(r.height())
+    << "\" fill=\"" << fill << "\" fill-opacity=\"" << opacity
+    << "\" stroke=\"" << stroke << "\" stroke-width=\"" << px(stroke_width_m)
+    << "\"/>";
+  elements_.push_back(e.str());
+}
+
+void SvgCanvas::polygon(const Polygon& p, const std::string& fill,
+                        const std::string& stroke, double stroke_width_m,
+                        double opacity) {
+  if (p.size() < 3) return;
+  std::ostringstream e;
+  e << "<polygon fill=\"" << fill << "\" fill-opacity=\"" << opacity
+    << "\" stroke=\"" << stroke << "\" stroke-width=\"" << px(stroke_width_m)
+    << "\" points=\"";
+  for (Vec2 v : p.vertices()) e << tx(v.x) << ',' << ty(v.y) << ' ';
+  e << "\"/>";
+  elements_.push_back(e.str());
+}
+
+void SvgCanvas::text(Vec2 anchor, const std::string& content, double size_m,
+                     const std::string& fill) {
+  std::ostringstream e;
+  e << "<text x=\"" << tx(anchor.x) << "\" y=\"" << ty(anchor.y)
+    << "\" font-size=\"" << px(size_m) << "\" fill=\"" << fill << "\">"
+    << content << "</text>";
+  elements_.push_back(e.str());
+}
+
+std::string SvgCanvas::render() const {
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << px(world_.width()) << "\" height=\"" << px(world_.height())
+      << "\" viewBox=\"0 0 " << px(world_.width()) << ' '
+      << px(world_.height()) << "\">\n";
+  for (const auto& e : elements_) out << "  " << e << '\n';
+  out << "</svg>\n";
+  return out.str();
+}
+
+bool SvgCanvas::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+}  // namespace spr

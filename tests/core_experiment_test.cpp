@@ -1,0 +1,131 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace spr {
+namespace {
+
+SweepConfig tiny_sweep() {
+  SweepConfig config;
+  config.node_counts = {400};
+  config.networks_per_point = 2;
+  config.pairs_per_network = 4;
+  config.schemes = SweepConfig::paper_schemes();
+  return config;
+}
+
+TEST(Experiment, RunsAllSchemesAndPoints) {
+  SweepConfig config = tiny_sweep();
+  config.node_counts = {400, 450};
+  auto points = run_sweep(config);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].node_count, 400);
+  EXPECT_EQ(points[1].node_count, 450);
+  for (const auto& point : points) {
+    ASSERT_EQ(point.by_scheme.size(), 4u);
+    for (const auto& [label, agg] : point.by_scheme) {
+      EXPECT_EQ(agg.attempted, 8u) << label;  // 2 networks x 4 pairs
+    }
+  }
+}
+
+TEST(Experiment, PairedSchemesSeeSamePairCount) {
+  auto points = run_sweep(tiny_sweep());
+  const auto& by_scheme = points[0].by_scheme;
+  std::size_t attempted = by_scheme.begin()->second.attempted;
+  for (const auto& [label, agg] : by_scheme) {
+    EXPECT_EQ(agg.attempted, attempted) << label;
+  }
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  auto a = run_sweep(tiny_sweep());
+  auto b = run_sweep(tiny_sweep());
+  const auto& agg_a = a[0].by_scheme.at("SLGF2");
+  const auto& agg_b = b[0].by_scheme.at("SLGF2");
+  EXPECT_EQ(agg_a.delivered, agg_b.delivered);
+  EXPECT_DOUBLE_EQ(agg_a.hops.mean(), agg_b.hops.mean());
+  EXPECT_DOUBLE_EQ(agg_a.length.mean(), agg_b.length.mean());
+}
+
+TEST(Experiment, ModelsProduceDifferentNetworks) {
+  SweepConfig ia = tiny_sweep();
+  SweepConfig fa = tiny_sweep();
+  fa.model = DeployModel::kForbiddenAreas;
+  auto pa = run_sweep(ia);
+  auto pb = run_sweep(fa);
+  // Different deployments: at least the mean hop counts should differ.
+  EXPECT_NE(pa[0].by_scheme.at("SLGF2").hops.mean(),
+            pb[0].by_scheme.at("SLGF2").hops.mean());
+}
+
+TEST(Experiment, ProgressCallbackFires) {
+  int calls = 0;
+  SweepConfig config = tiny_sweep();
+  run_sweep(config, [&](int, int, int) { ++calls; });
+  EXPECT_EQ(calls, 2);  // one per network
+}
+
+TEST(Experiment, CustomSchemeLabels) {
+  SweepConfig config = tiny_sweep();
+  config.schemes = {{Scheme::kSlgf2, {}, "full"},
+                    {Scheme::kSlgf2, {false, true, true}, "no-either-hand"}};
+  auto points = run_sweep(config);
+  EXPECT_TRUE(points[0].by_scheme.contains("full"));
+  EXPECT_TRUE(points[0].by_scheme.contains("no-either-hand"));
+}
+
+TEST(Experiment, AggregateRecordsMetrics) {
+  RouteAggregate agg;
+  PathResult ok;
+  ok.status = RouteStatus::kDelivered;
+  ok.path = {0, 1, 2};
+  ok.hop_phases = {HopPhase::kGreedy, HopPhase::kPerimeter};
+  ok.length = 25.0;
+  ShortestPath oracle;
+  oracle.path = {0, 1, 2};
+  oracle.length = 20.0;
+  agg.record(ok, &oracle, &oracle);
+  PathResult fail;
+  fail.status = RouteStatus::kTtlExpired;
+  fail.path = {0, 1};
+  agg.record(fail, nullptr, nullptr);
+  EXPECT_EQ(agg.attempted, 2u);
+  EXPECT_EQ(agg.delivered, 1u);
+  EXPECT_DOUBLE_EQ(agg.delivery_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(agg.hops.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(agg.max_hops(), 2.0);
+  EXPECT_DOUBLE_EQ(agg.stretch_hops.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(agg.stretch_length.mean(), 1.25);
+  EXPECT_DOUBLE_EQ(agg.perimeter_hops.mean(), 1.0);
+}
+
+TEST(Experiment, AggregateMerge) {
+  RouteAggregate a, b;
+  PathResult ok;
+  ok.status = RouteStatus::kDelivered;
+  ok.path = {0, 1};
+  ok.hop_phases = {HopPhase::kGreedy};
+  ok.length = 10.0;
+  a.record(ok, nullptr, nullptr);
+  b.record(ok, nullptr, nullptr);
+  a.merge(b);
+  EXPECT_EQ(a.attempted, 2u);
+  EXPECT_EQ(a.delivered, 2u);
+  EXPECT_EQ(a.hops.count(), 2u);
+}
+
+TEST(Experiment, EnvIntOr) {
+  ::unsetenv("SPR_TEST_KNOB");
+  EXPECT_EQ(env_int_or("SPR_TEST_KNOB", 42), 42);
+  ::setenv("SPR_TEST_KNOB", "7", 1);
+  EXPECT_EQ(env_int_or("SPR_TEST_KNOB", 42), 7);
+  ::setenv("SPR_TEST_KNOB", "junk", 1);
+  EXPECT_EQ(env_int_or("SPR_TEST_KNOB", 42), 42);
+  ::unsetenv("SPR_TEST_KNOB");
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,110 @@
+#include "core/network.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+TEST(Network, CreateBuildsAllStructures) {
+  NetworkConfig config;
+  config.deployment.node_count = 300;
+  config.seed = 5;
+  Network net = Network::create(config);
+  EXPECT_EQ(net.graph().size(), 300u);
+  EXPECT_EQ(net.safety().size(), 300u);
+  EXPECT_GT(net.interest_area().interior_nodes().size(), 0u);
+  EXPECT_GT(net.overlay().edge_count(), 0u);
+}
+
+TEST(Network, SameSeedSameNetwork) {
+  NetworkConfig config;
+  config.deployment.node_count = 200;
+  config.seed = 77;
+  Network a = Network::create(config);
+  Network b = Network::create(config);
+  for (NodeId u = 0; u < a.graph().size(); ++u) {
+    EXPECT_EQ(a.graph().position(u), b.graph().position(u));
+  }
+  EXPECT_TRUE(a.safety() == b.safety());
+}
+
+TEST(Network, DifferentSeedsDiffer) {
+  NetworkConfig config;
+  config.deployment.node_count = 200;
+  config.seed = 1;
+  Network a = Network::create(config);
+  config.seed = 2;
+  Network b = Network::create(config);
+  int same_positions = 0;
+  for (NodeId u = 0; u < a.graph().size(); ++u) {
+    if (a.graph().position(u) == b.graph().position(u)) ++same_positions;
+  }
+  EXPECT_EQ(same_positions, 0);
+}
+
+TEST(Network, MakeRouterAllSchemes) {
+  Network net = test::random_network(250, 3);
+  for (Scheme scheme : {Scheme::kGf, Scheme::kGfFace, Scheme::kLgf,
+                        Scheme::kSlgf, Scheme::kSlgf2}) {
+    auto router = net.make_router(scheme);
+    ASSERT_NE(router, nullptr);
+    EXPECT_FALSE(router->name().empty());
+  }
+}
+
+TEST(Network, SchemeNames) {
+  EXPECT_STREQ(scheme_name(Scheme::kGf), "GF");
+  EXPECT_STREQ(scheme_name(Scheme::kGfFace), "GF/face");
+  EXPECT_STREQ(scheme_name(Scheme::kLgf), "LGF");
+  EXPECT_STREQ(scheme_name(Scheme::kSlgf), "SLGF");
+  EXPECT_STREQ(scheme_name(Scheme::kSlgf2), "SLGF2");
+}
+
+TEST(Network, RandomInteriorPairDistinctInterior) {
+  Network net = test::random_network(300, 9);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto [s, d] = net.random_interior_pair(rng);
+    ASSERT_NE(s, kInvalidNode);
+    EXPECT_NE(s, d);
+    EXPECT_FALSE(net.interest_area().is_edge_node(s));
+    EXPECT_FALSE(net.interest_area().is_edge_node(d));
+  }
+}
+
+TEST(Network, ConnectedPairIsConnected) {
+  Network net = test::random_network(400, 10, DeployModel::kForbiddenAreas);
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto [s, d] = net.random_connected_interior_pair(rng);
+    ASSERT_NE(s, kInvalidNode);
+    EXPECT_TRUE(connected(net.graph(), s, d));
+  }
+}
+
+TEST(Network, FaModelPropagatesToDeployment) {
+  NetworkConfig config;
+  config.deployment.node_count = 300;
+  config.deployment.model = DeployModel::kForbiddenAreas;
+  config.seed = 4;
+  Network net = Network::create(config);
+  EXPECT_FALSE(net.deployment().forbidden_areas.empty());
+}
+
+TEST(Network, TinyNetworkNoInterior) {
+  Deployment d;
+  d.field = Rect::from_bounds({0.0, 0.0}, {50.0, 50.0});
+  d.radio_range = 20.0;
+  d.positions = {{10.0, 10.0}, {30.0, 30.0}};
+  Network net{std::move(d)};
+  Rng rng(3);
+  auto [s, dd] = net.random_interior_pair(rng);
+  EXPECT_EQ(s, kInvalidNode);
+  EXPECT_EQ(dd, kInvalidNode);
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,68 @@
+#include "deploy/interest_area.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/hull.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+TEST(InterestArea, HullCornersAreEdgeNodes) {
+  auto g = test::make_graph({{0.0, 0.0}, {100.0, 0.0}, {100.0, 100.0},
+                             {0.0, 100.0}, {50.0, 50.0}}, 20.0);
+  InterestArea area(g, 5.0);
+  EXPECT_TRUE(area.is_edge_node(0));
+  EXPECT_TRUE(area.is_edge_node(1));
+  EXPECT_TRUE(area.is_edge_node(2));
+  EXPECT_TRUE(area.is_edge_node(3));
+  EXPECT_FALSE(area.is_edge_node(4));
+}
+
+TEST(InterestArea, BandWidensEdgeSet) {
+  Deployment d = test::dense_grid_deployment(400);
+  UnitDiskGraph g(d.positions, d.radio_range, d.field);
+  InterestArea narrow(g, 1.0);
+  InterestArea wide(g, 30.0);
+  EXPECT_LT(narrow.edge_count(), wide.edge_count());
+  // Widening the band can only shrink the interior.
+  EXPECT_GT(narrow.interior_nodes().size(), wide.interior_nodes().size());
+}
+
+TEST(InterestArea, InteriorAndEdgePartition) {
+  Network net = test::random_network(400, 21);
+  const auto& area = net.interest_area();
+  const auto& g = net.graph();
+  std::size_t interior = area.interior_nodes().size();
+  EXPECT_EQ(interior + area.edge_count(), g.size());
+  for (NodeId u : area.interior_nodes()) EXPECT_FALSE(area.is_edge_node(u));
+}
+
+TEST(InterestArea, InteriorNodesAwayFromHull) {
+  Network net = test::random_network(400, 22);
+  const auto& area = net.interest_area();
+  const auto& g = net.graph();
+  for (NodeId u : area.interior_nodes()) {
+    EXPECT_GT(distance_to_hull_boundary(area.hull(), g.position(u)),
+              g.range());
+  }
+}
+
+TEST(InterestArea, HullIsConvexAndCoversNodes) {
+  Network net = test::random_network(300, 23);
+  Polygon hull(net.interest_area().hull());
+  for (Vec2 p : net.graph().positions()) {
+    EXPECT_TRUE(hull.contains(p));
+  }
+}
+
+TEST(InterestArea, DegenerateTinyNetworks) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}}, 20.0);
+  InterestArea area(g, 5.0);
+  // Both nodes are on the (degenerate) hull: everything is edge.
+  EXPECT_EQ(area.edge_count(), 2u);
+  EXPECT_TRUE(area.interior_nodes().empty());
+}
+
+}  // namespace
+}  // namespace spr

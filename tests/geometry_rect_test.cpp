@@ -1,0 +1,94 @@
+#include "geometry/rect.h"
+
+#include <gtest/gtest.h>
+
+namespace spr {
+namespace {
+
+TEST(Rect, FromCornersNormalizes) {
+  Rect r = Rect::from_corners({5.0, 1.0}, {2.0, 3.0});
+  EXPECT_EQ(r.lo(), Vec2(2.0, 1.0));
+  EXPECT_EQ(r.hi(), Vec2(5.0, 3.0));
+}
+
+TEST(Rect, PaperNotationAnyCornerOrder) {
+  // [x1 : x2, y1 : y2] must mean the same rectangle for all corner orders.
+  Rect a = Rect::from_corners({0.0, 0.0}, {4.0, 2.0});
+  Rect b = Rect::from_corners({4.0, 2.0}, {0.0, 0.0});
+  Rect c = Rect::from_corners({0.0, 2.0}, {4.0, 0.0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(Rect, Dimensions) {
+  Rect r = Rect::from_corners({1.0, 2.0}, {4.0, 6.0});
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_EQ(r.center(), Vec2(2.5, 4.0));
+}
+
+TEST(Rect, ContainsIsClosed) {
+  Rect r = Rect::from_corners({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_TRUE(r.contains({1.0, 1.0}));
+  EXPECT_TRUE(r.contains({0.0, 0.0}));  // corner counts
+  EXPECT_TRUE(r.contains({2.0, 1.0}));  // edge counts
+  EXPECT_FALSE(r.contains({2.1, 1.0}));
+  EXPECT_FALSE(r.contains({-0.1, 1.0}));
+}
+
+TEST(Rect, ContainsWithTolerance) {
+  Rect r = Rect::from_corners({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_TRUE(r.contains({2.05, 1.0}, 0.1));
+  EXPECT_FALSE(r.contains({2.2, 1.0}, 0.1));
+}
+
+TEST(Rect, ContainsRect) {
+  Rect outer = Rect::from_corners({0.0, 0.0}, {10.0, 10.0});
+  EXPECT_TRUE(outer.contains(Rect::from_corners({1.0, 1.0}, {2.0, 2.0})));
+  EXPECT_FALSE(outer.contains(Rect::from_corners({9.0, 9.0}, {11.0, 11.0})));
+}
+
+TEST(Rect, Intersects) {
+  Rect a = Rect::from_corners({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_TRUE(a.intersects(Rect::from_corners({1.0, 1.0}, {3.0, 3.0})));
+  EXPECT_TRUE(a.intersects(Rect::from_corners({2.0, 2.0}, {3.0, 3.0})));  // touch
+  EXPECT_FALSE(a.intersects(Rect::from_corners({2.1, 0.0}, {3.0, 1.0})));
+}
+
+TEST(Rect, United) {
+  Rect a = Rect::from_corners({0.0, 0.0}, {1.0, 1.0});
+  Rect b = Rect::from_corners({2.0, -1.0}, {3.0, 0.5});
+  Rect u = a.united(b);
+  EXPECT_EQ(u.lo(), Vec2(0.0, -1.0));
+  EXPECT_EQ(u.hi(), Vec2(3.0, 1.0));
+}
+
+TEST(Rect, Inflated) {
+  Rect r = Rect::from_corners({1.0, 1.0}, {2.0, 2.0}).inflated(1.0);
+  EXPECT_EQ(r.lo(), Vec2(0.0, 0.0));
+  EXPECT_EQ(r.hi(), Vec2(3.0, 3.0));
+}
+
+TEST(Rect, OverShrinkCollapsesToCenter) {
+  Rect r = Rect::from_corners({0.0, 0.0}, {2.0, 2.0}).inflated(-5.0);
+  EXPECT_DOUBLE_EQ(r.width(), 0.0);
+  EXPECT_DOUBLE_EQ(r.height(), 0.0);
+  EXPECT_EQ(r.center(), Vec2(1.0, 1.0));
+}
+
+TEST(Rect, ExpandedTo) {
+  Rect r = Rect::from_corners({0.0, 0.0}, {1.0, 1.0}).expanded_to({5.0, -2.0});
+  EXPECT_EQ(r.lo(), Vec2(0.0, -2.0));
+  EXPECT_EQ(r.hi(), Vec2(5.0, 1.0));
+}
+
+TEST(Rect, DistanceToPoint) {
+  Rect r = Rect::from_corners({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.distance_to({1.0, 1.0}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(r.distance_to({4.0, 1.0}), 2.0);   // right
+  EXPECT_DOUBLE_EQ(r.distance_to({5.0, 6.0}), 5.0);   // 3-4-5 corner
+}
+
+}  // namespace
+}  // namespace spr

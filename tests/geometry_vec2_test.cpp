@@ -1,0 +1,87 @@
+#include "geometry/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spr {
+namespace {
+
+TEST(Vec2, DefaultIsOrigin) {
+  Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Arithmetic) {
+  Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 a{1.0, 1.0};
+  a += {2.0, 3.0};
+  EXPECT_EQ(a, Vec2(3.0, 4.0));
+  a -= {1.0, 1.0};
+  EXPECT_EQ(a, Vec2(2.0, 3.0));
+}
+
+TEST(Vec2, DotAndCross) {
+  Vec2 a{1.0, 0.0}, b{0.0, 1.0};
+  EXPECT_EQ(a.dot(b), 0.0);
+  EXPECT_EQ(a.cross(b), 1.0);   // b is CCW from a
+  EXPECT_EQ(b.cross(a), -1.0);  // a is CW from b
+  EXPECT_EQ(a.dot(a), 1.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, a), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0.0, 0.0}, a), 25.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  Vec2 v = Vec2{10.0, 0.0}.normalized();
+  EXPECT_DOUBLE_EQ(v.x, 1.0);
+  EXPECT_DOUBLE_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, NormalizedZeroVectorIsZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, PerpRotatesCcw) {
+  EXPECT_EQ(Vec2(1.0, 0.0).perp(), Vec2(0.0, 1.0));
+  EXPECT_EQ(Vec2(0.0, 1.0).perp(), Vec2(-1.0, 0.0));
+}
+
+TEST(Vec2, Midpoint) {
+  EXPECT_EQ(midpoint({0.0, 0.0}, {2.0, 4.0}), Vec2(1.0, 2.0));
+}
+
+TEST(Vec2, OrientSigns) {
+  Vec2 a{0.0, 0.0}, b{1.0, 0.0};
+  EXPECT_GT(orient(a, b, {0.5, 1.0}), 0.0);   // left turn
+  EXPECT_LT(orient(a, b, {0.5, -1.0}), 0.0);  // right turn
+  EXPECT_EQ(orient(a, b, {2.0, 0.0}), 0.0);   // collinear
+}
+
+TEST(Vec2, AlmostEqual) {
+  EXPECT_TRUE(almost_equal({1.0, 1.0}, {1.0, 1.0 + 1e-12}));
+  EXPECT_FALSE(almost_equal({1.0, 1.0}, {1.0, 1.1}));
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace spr

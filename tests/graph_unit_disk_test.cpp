@@ -1,0 +1,108 @@
+#include "graph/unit_disk.h"
+
+#include <gtest/gtest.h>
+
+#include "deploy/rng.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+TEST(UnitDisk, EdgeIffWithinRange) {
+  auto g = test::make_graph({{0.0, 0.0}, {15.0, 0.0}, {40.0, 0.0}}, 20.0);
+  EXPECT_TRUE(g.are_neighbors(0, 1));
+  EXPECT_TRUE(g.are_neighbors(1, 0));
+  EXPECT_FALSE(g.are_neighbors(0, 2));
+  EXPECT_FALSE(g.are_neighbors(1, 2));  // 25m apart
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(UnitDisk, RangeBoundaryIsInclusive) {
+  auto g = test::make_graph({{0.0, 0.0}, {20.0, 0.0}}, 20.0);
+  EXPECT_TRUE(g.are_neighbors(0, 1));
+}
+
+TEST(UnitDisk, NeighborsSortedAndSymmetric) {
+  Rng rng(5);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 150; ++i) {
+    pts.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  auto g = test::make_graph(pts, 20.0);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    auto nbrs = g.neighbors(u);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    for (NodeId v : nbrs) {
+      EXPECT_NE(v, u);
+      EXPECT_TRUE(g.are_neighbors(v, u));
+      EXPECT_LE(distance(g.position(u), g.position(v)), g.range() + 1e-9);
+    }
+  }
+}
+
+TEST(UnitDisk, MatchesBruteForce) {
+  Rng rng(9);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 120; ++i) {
+    pts.push_back({rng.uniform(0.0, 80.0), rng.uniform(0.0, 80.0)});
+  }
+  auto g = test::make_graph(pts, 15.0);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    for (NodeId v = 0; v < g.size(); ++v) {
+      if (u == v) continue;
+      bool expected = distance(pts[u], pts[v]) <= 15.0;
+      EXPECT_EQ(g.are_neighbors(u, v), expected) << u << "," << v;
+    }
+  }
+}
+
+TEST(UnitDisk, DegreeAndAverageDegree) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}}, 12.0);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 4.0 / 3.0);
+}
+
+TEST(UnitDisk, DeadNodesHaveNoEdges) {
+  std::vector<Vec2> pts = {{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}};
+  Rect bounds = Rect::from_bounds({-20.0, -20.0}, {40.0, 20.0});
+  UnitDiskGraph g(pts, 12.0, bounds, {true, false, true});
+  EXPECT_FALSE(g.alive(1));
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_FALSE(g.are_neighbors(0, 1));
+  EXPECT_FALSE(g.are_neighbors(2, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(UnitDisk, WithFailuresRemovesEdges) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}}, 12.0);
+  auto g2 = g.with_failures({1});
+  EXPECT_TRUE(g.are_neighbors(0, 1));   // original untouched
+  EXPECT_FALSE(g2.are_neighbors(0, 1));
+  EXPECT_FALSE(g2.alive(1));
+  EXPECT_TRUE(g2.alive(0));
+  EXPECT_EQ(g2.position(1), Vec2(10.0, 0.0));  // position retained
+}
+
+TEST(UnitDisk, EmptyGraph) {
+  UnitDiskGraph g({}, 10.0, Rect::from_bounds({0.0, 0.0}, {1.0, 1.0}));
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(UnitDisk, SingleNode) {
+  auto g = test::make_graph({{5.0, 5.0}}, 10.0);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(UnitDisk, CoincidentNodesAreNeighbors) {
+  auto g = test::make_graph({{5.0, 5.0}, {5.0, 5.0}}, 10.0);
+  EXPECT_TRUE(g.are_neighbors(0, 1));
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,145 @@
+/// \file property_test.cpp
+/// Parameterized property sweeps across deployment models, densities and
+/// seeds: walk validity, termination, delivery, and labeling invariants for
+/// every router on every sampled network.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/graph_algos.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+struct PropertyCase {
+  DeployModel model;
+  int node_count;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::string model =
+      info.param.model == DeployModel::kIdeal ? "IA" : "FA";
+  return model + "_n" + std::to_string(info.param.node_count) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class RouterProperties : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  RouterProperties()
+      : net_(test::random_network(GetParam().node_count, GetParam().seed,
+                                  GetParam().model)) {}
+  Network net_;
+};
+
+TEST_P(RouterProperties, AllRoutersProduceValidTerminatingWalks) {
+  const auto& g = net_.graph();
+  Rng rng(GetParam().seed ^ 0xfeed);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 6; ++i) {
+    pairs.push_back(net_.random_connected_interior_pair(rng));
+  }
+  for (Scheme scheme : {Scheme::kGf, Scheme::kGfFace, Scheme::kLgf,
+                        Scheme::kSlgf, Scheme::kSlgf2}) {
+    auto router = net_.make_router(scheme);
+    for (auto [s, d] : pairs) {
+      PathResult r = router->route(s, d);
+      // Termination: the driver returned (by construction) and the TTL cap
+      // bounds the walk.
+      EXPECT_LE(r.hops(), 8 * g.size()) << router->name();
+      // Walk validity.
+      ASSERT_FALSE(r.path.empty());
+      EXPECT_EQ(r.path.front(), s);
+      for (std::size_t i = 1; i < r.path.size(); ++i) {
+        EXPECT_TRUE(g.are_neighbors(r.path[i - 1], r.path[i]))
+            << router->name() << " illegal hop";
+      }
+      EXPECT_EQ(r.hop_phases.size(), r.path.size() - 1);
+      // Length bookkeeping matches the hops taken.
+      double length = 0.0;
+      for (std::size_t i = 1; i < r.path.size(); ++i) {
+        length += distance(g.position(r.path[i - 1]), g.position(r.path[i]));
+      }
+      EXPECT_NEAR(length, r.length, 1e-6) << router->name();
+      if (r.delivered()) {
+        EXPECT_EQ(r.path.back(), d) << router->name();
+        // No delivered path can beat the BFS oracle.
+        auto oracle = bfs_path(g, s, d);
+        EXPECT_GE(r.hops(), oracle.hops()) << router->name();
+      }
+    }
+  }
+}
+
+TEST_P(RouterProperties, SafetyDeterminismAndEdgePinning) {
+  const auto& info = net_.safety();
+  const auto& area = net_.interest_area();
+  SafetyInfo again = compute_safety(net_.graph(), area);
+  EXPECT_TRUE(info == again);
+  for (NodeId u = 0; u < info.size(); ++u) {
+    if (area.is_edge_node(u)) {
+      EXPECT_EQ(info.tuple(u).to_string(), "(1,1,1,1)");
+    }
+  }
+}
+
+TEST_P(RouterProperties, SafeForwardingPathsNeedNoRecovery) {
+  // For pairs where every hop of the SLGF2 walk stays on nodes safe toward
+  // d, the walk must contain zero perimeter hops.
+  const auto& g = net_.graph();
+  const auto& info = net_.safety();
+  auto router = net_.make_router(Scheme::kSlgf2);
+  Rng rng(GetParam().seed ^ 0xbeef);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto [s, d] = net_.random_connected_interior_pair(rng);
+    PathResult r = router->route(s, d);
+    if (!r.delivered()) continue;
+    Vec2 dest = g.position(d);
+    bool all_safe = true;
+    for (NodeId u : r.path) {
+      if (u == d) break;
+      if (!info.is_safe(u, zone_type(g.position(u), dest))) {
+        all_safe = false;
+        break;
+      }
+    }
+    if (all_safe) {
+      EXPECT_EQ(r.perimeter_hops(), 0u)
+          << "safe-node walk needed perimeter recovery";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RouterProperties,
+    ::testing::Values(PropertyCase{DeployModel::kIdeal, 400, 101},
+                      PropertyCase{DeployModel::kIdeal, 600, 103},
+                      PropertyCase{DeployModel::kIdeal, 800, 107},
+                      PropertyCase{DeployModel::kForbiddenAreas, 400, 109},
+                      PropertyCase{DeployModel::kForbiddenAreas, 600, 113},
+                      PropertyCase{DeployModel::kForbiddenAreas, 800, 127}),
+    case_name);
+
+/// Density sweep for the labeling: unsafe share shrinks as density grows.
+class DensityLabeling : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensityLabeling, UnsafeShareIsSmallAndShrinks) {
+  int n = GetParam();
+  double unsafe_share_sum = 0.0;
+  for (std::uint64_t seed : {11ull, 23ull, 37ull}) {
+    Network net = test::random_network(n, seed);
+    unsafe_share_sum += static_cast<double>(net.safety().unsafe_node_count()) /
+                        static_cast<double>(n);
+  }
+  double share = unsafe_share_sum / 3.0;
+  // Under IA the holes are small: unsafe nodes are a modest minority.
+  EXPECT_LT(share, 0.35) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DensityLabeling,
+                         ::testing::Values(400, 500, 600, 700, 800));
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "radio/energy.h"
+#include "radio/interference.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+PathResult path_of(std::vector<NodeId> nodes, const UnitDiskGraph& g) {
+  PathResult r;
+  r.status = RouteStatus::kDelivered;
+  r.path = std::move(nodes);
+  for (std::size_t i = 1; i < r.path.size(); ++i) {
+    r.length += distance(g.position(r.path[i - 1]), g.position(r.path[i]));
+    r.hop_phases.push_back(HopPhase::kGreedy);
+  }
+  return r;
+}
+
+TEST(Energy, HopEnergyComposition) {
+  EnergyModel model;
+  double bits = 8000.0;
+  double tx = model.tx_energy(10.0, bits);
+  double rx = model.rx_energy(bits);
+  EXPECT_DOUBLE_EQ(model.hop_energy(10.0, bits), tx + rx);
+  EXPECT_GT(tx, rx);  // amplifier term adds on top of electronics
+}
+
+TEST(Energy, AmplifierGrowsQuadratically) {
+  EnergyModel model;
+  model.electronics_j_per_bit = 0.0;
+  double e10 = model.tx_energy(10.0, 1.0);
+  double e20 = model.tx_energy(20.0, 1.0);
+  EXPECT_NEAR(e20 / e10, 4.0, 1e-9);
+}
+
+TEST(Energy, PathEnergySumsHops) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}}, 12.0);
+  auto r = path_of({0, 1, 2}, g);
+  EnergyModel model;
+  PathEnergy pe = path_energy(g, r, model, 8000.0);
+  EXPECT_NEAR(pe.total_j, 2.0 * model.hop_energy(10.0, 8000.0), 1e-12);
+  EXPECT_NEAR(pe.max_hop_j, model.hop_energy(10.0, 8000.0), 1e-12);
+  EXPECT_EQ(pe.relays, 1u);
+}
+
+TEST(Energy, EmptyPathZero) {
+  auto g = test::make_graph({{0.0, 0.0}}, 12.0);
+  PathResult r;
+  r.path = {0};
+  EnergyModel model;
+  EXPECT_DOUBLE_EQ(path_energy(g, r, model, 1000.0).total_j, 0.0);
+}
+
+TEST(Energy, StreamScalesLinearly) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}}, 12.0);
+  auto r = path_of({0, 1}, g);
+  EnergyModel model;
+  double one = stream_energy(g, r, model, 8000.0, 1);
+  double thousand = stream_energy(g, r, model, 8000.0, 1000);
+  EXPECT_NEAR(thousand, 1000.0 * one, 1e-9);
+}
+
+TEST(Energy, DetourCostsMore) {
+  // Straight 2-hop path vs 3-hop detour of the same endpoints.
+  auto g = test::make_graph(
+      {{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}, {5.0, 8.0}, {15.0, 8.0}}, 13.0);
+  EnergyModel model;
+  auto straight = path_of({0, 1, 2}, g);
+  auto detour = path_of({0, 3, 4, 2}, g);
+  EXPECT_LT(path_energy(g, straight, model, 8000.0).total_j,
+            path_energy(g, detour, model, 8000.0).total_j);
+}
+
+TEST(Interference, FootprintCountsOverhearers) {
+  // Line 0-1-2 with a bystander 3 near node 1 only.
+  auto g = test::make_graph(
+      {{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}, {10.0, 8.0}}, 12.0);
+  auto r = path_of({0, 1, 2}, g);
+  auto fp = interference_footprint(g, r);
+  EXPECT_EQ(fp.transmitters, 2u);   // 0 and 1 transmit
+  EXPECT_GE(fp.overhearers, 1u);    // 3 overhears
+  EXPECT_EQ(fp.blocked_nodes, fp.transmitters + fp.overhearers);
+}
+
+TEST(Interference, ShorterFootprintForStraighterPath) {
+  Network net = test::random_network(500, 21, DeployModel::kForbiddenAreas);
+  auto lgf = net.make_router(Scheme::kLgf);
+  auto slgf2 = net.make_router(Scheme::kSlgf2);
+  Rng rng(3);
+  std::size_t lgf_blocked = 0, slgf2_blocked = 0;
+  int counted = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    auto [s, d] = net.random_connected_interior_pair(rng);
+    auto a = lgf->route(s, d);
+    auto b = slgf2->route(s, d);
+    if (!a.delivered() || !b.delivered()) continue;
+    lgf_blocked += interference_footprint(net.graph(), a).blocked_nodes;
+    slgf2_blocked += interference_footprint(net.graph(), b).blocked_nodes;
+    ++counted;
+  }
+  ASSERT_GT(counted, 5);
+  // The paper's motivation: straighter paths involve fewer nodes.
+  EXPECT_LE(slgf2_blocked, lgf_blocked * 11 / 10);
+}
+
+TEST(Interference, DisjointPathsDoNotConflict) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0},            // path A
+                             {100.0, 100.0}, {110.0, 100.0}},    // path B
+                            12.0);
+  auto a = path_of({0, 1}, g);
+  auto b = path_of({2, 3}, g);
+  EXPECT_FALSE(paths_conflict(g, a, b));
+}
+
+TEST(Interference, NearbyPathsConflict) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0},
+                             {10.0, 8.0}, {20.0, 8.0}}, 12.0);
+  auto a = path_of({0, 1}, g);
+  auto b = path_of({2, 3}, g);
+  EXPECT_TRUE(paths_conflict(g, a, b));
+  EXPECT_TRUE(paths_conflict(g, b, a));  // symmetric
+}
+
+TEST(Interference, GreedyScheduleSeparatesConflicts) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0},
+                             {10.0, 8.0}, {20.0, 8.0},
+                             {100.0, 100.0}, {110.0, 100.0}}, 12.0);
+  std::vector<PathResult> paths = {path_of({0, 1}, g), path_of({2, 3}, g),
+                                   path_of({4, 5}, g)};
+  auto channels = greedy_schedule(g, paths);
+  ASSERT_EQ(channels.size(), 3u);
+  EXPECT_NE(channels[0], channels[1]);  // conflicting pair separated
+  EXPECT_EQ(channels[2], 0);            // far path reuses channel 0
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,115 @@
+#include "routing/boundhole.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+TEST(TentRule, IsolatedAndLeafNodesAreStuck) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {100.0, 100.0}}, 12.0);
+  EXPECT_TRUE(tent_rule_stuck(g, 0));  // single neighbor
+  EXPECT_TRUE(tent_rule_stuck(g, 1));
+}
+
+TEST(TentRule, WideGapIsStuck) {
+  // Two neighbors 90 degrees apart leave a 270-degree gap: stuck.
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}, 12.0);
+  EXPECT_TRUE(tent_rule_stuck(g, 0));
+}
+
+TEST(TentRule, DenseGridInteriorNotStuck) {
+  Deployment dep = test::dense_grid_deployment(400, 12);
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  InterestArea area(g, g.range());
+  int stuck_interior = 0;
+  for (NodeId u : area.interior_nodes()) {
+    if (tent_rule_stuck(g, u)) ++stuck_interior;
+  }
+  // A dense perturbed grid has no stuck interior nodes (holes need voids).
+  EXPECT_EQ(stuck_interior, 0);
+}
+
+TEST(TentRule, VoidEdgeNodesAreStuck) {
+  Deployment dep = test::grid_with_void(
+      20, 10.0, Rect::from_corners({60.0, 60.0}, {140.0, 140.0}));
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  // Node just west of the void looking east into it: (50,100).
+  NodeId wall = kInvalidNode;
+  for (NodeId u = 0; u < g.size(); ++u) {
+    if (g.position(u) == Vec2(50.0, 100.0)) wall = u;
+  }
+  ASSERT_NE(wall, kInvalidNode);
+  EXPECT_TRUE(tent_rule_stuck(g, wall));
+}
+
+TEST(BoundHole, FindsBoundaryAroundVoid) {
+  Deployment dep = test::grid_with_void(
+      20, 10.0, Rect::from_corners({60.0, 60.0}, {140.0, 140.0}));
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  BoundHoleInfo info(g);
+  EXPECT_GT(info.stuck_count(), 0u);
+  ASSERT_GT(info.boundaries().size(), 0u);
+  // At least one boundary should ring the void: it must contain nodes on
+  // at least three sides of the void rectangle.
+  bool found_ring = false;
+  for (const auto& b : info.boundaries()) {
+    bool west = false, east = false, north = false, south = false;
+    for (NodeId u : b.cycle) {
+      Vec2 p = g.position(u);
+      if (p.x <= 60.0 && p.y > 60.0 && p.y < 140.0) west = true;
+      if (p.x >= 140.0 && p.y > 60.0 && p.y < 140.0) east = true;
+      if (p.y >= 140.0 && p.x > 60.0 && p.x < 140.0) north = true;
+      if (p.y <= 60.0 && p.x > 60.0 && p.x < 140.0) south = true;
+    }
+    if (static_cast<int>(west) + east + north + south >= 3) found_ring = true;
+  }
+  EXPECT_TRUE(found_ring);
+}
+
+TEST(BoundHole, CyclesAreClosedWalks) {
+  Deployment dep = test::grid_with_void(
+      20, 10.0, Rect::from_corners({60.0, 60.0}, {140.0, 140.0}));
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  BoundHoleInfo info(g);
+  for (const auto& b : info.boundaries()) {
+    ASSERT_GE(b.cycle.size(), 3u);
+    for (std::size_t i = 0; i + 1 < b.cycle.size(); ++i) {
+      EXPECT_TRUE(g.are_neighbors(b.cycle[i], b.cycle[i + 1]))
+          << "cycle gap at " << i;
+    }
+    // Closing edge back to the start.
+    EXPECT_TRUE(g.are_neighbors(b.cycle.back(), b.cycle.front()));
+  }
+}
+
+TEST(BoundHole, MembershipIndexConsistent) {
+  Network net = test::random_network(450, 61, DeployModel::kForbiddenAreas);
+  const auto& info = net.boundhole();
+  for (std::size_t b = 0; b < info.boundaries().size(); ++b) {
+    for (NodeId u : info.boundaries()[b].cycle) {
+      int owner = info.boundary_of(u);
+      ASSERT_NE(owner, -1);
+      // A node may appear on several walks; its recorded cycle position must
+      // point back at itself within its owning boundary.
+      int pos = info.cycle_position(u);
+      ASSERT_GE(pos, 0);
+      EXPECT_EQ(info.boundaries()[static_cast<size_t>(owner)]
+                    .cycle[static_cast<size_t>(pos)],
+                u);
+    }
+  }
+}
+
+TEST(BoundHole, RandomNetworksProduceStuckNodesUnderFa) {
+  std::size_t total_stuck = 0;
+  for (std::uint64_t seed : {11ull, 23ull}) {
+    Network net = test::random_network(500, seed, DeployModel::kForbiddenAreas);
+    total_stuck += net.boundhole().stuck_count();
+  }
+  EXPECT_GT(total_stuck, 0u);
+}
+
+}  // namespace
+}  // namespace spr

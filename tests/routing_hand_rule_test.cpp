@@ -1,0 +1,94 @@
+#include "routing/hand_rule.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+/// Pivot at origin with four neighbors on the axes, destination due east.
+class CrossFixture : public ::testing::Test {
+ protected:
+  CrossFixture()
+      : g_(test::make_graph({{0.0, 0.0},
+                             {10.0, 0.0},    // 1: east
+                             {0.0, 10.0},    // 2: north
+                             {-10.0, 0.0},   // 3: west
+                             {0.0, -10.0}},  // 4: south
+                            15.0)) {}
+  UnitDiskGraph g_;
+};
+
+TEST_F(CrossFixture, RightHandRotatesCcw) {
+  // Start just past east (exclude the east node): CCW hits north first.
+  NodeId v = first_by_rotation_from(g_, 0, g_.position(1), Hand::kRight,
+                                    [](NodeId w) { return w != 1; });
+  EXPECT_EQ(v, 2u);
+}
+
+TEST_F(CrossFixture, LeftHandRotatesCw) {
+  NodeId v = first_by_rotation_from(g_, 0, g_.position(1), Hand::kLeft,
+                                    [](NodeId w) { return w != 1; });
+  EXPECT_EQ(v, 4u);  // CW from east: south
+}
+
+TEST_F(CrossFixture, NodeOnRayHitsImmediately) {
+  NodeId v = first_by_rotation_from(g_, 0, {20.0, 0.0}, Hand::kRight);
+  EXPECT_EQ(v, 1u);  // east node exactly on the ray u->dest
+}
+
+TEST_F(CrossFixture, FilterSkipsToNext) {
+  NodeId v = first_by_rotation_from(
+      g_, 0, {20.0, 0.0}, Hand::kRight,
+      [](NodeId w) { return w != 1 && w != 2; });
+  EXPECT_EQ(v, 3u);  // CCW past east and north
+}
+
+TEST_F(CrossFixture, NoEligibleNeighbor) {
+  NodeId v = first_by_rotation_from(g_, 0, {20.0, 0.0}, Hand::kRight,
+                                    [](NodeId) { return false; });
+  EXPECT_EQ(v, kInvalidNode);
+}
+
+TEST(HandRule, ExplicitStartBearing) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}, 15.0);
+  // Start ray at 45 degrees: CCW (right hand) reaches north first, CW
+  // (left hand) reaches east first.
+  EXPECT_EQ(first_by_rotation(g, 0, kPi / 4, Hand::kRight), 2u);
+  EXPECT_EQ(first_by_rotation(g, 0, kPi / 4, Hand::kLeft), 1u);
+}
+
+TEST(HandRule, NodeOnStartRayWinsEitherHand) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}, 15.0);
+  // North node sits exactly on the start ray: sweep 0 for both hands.
+  EXPECT_EQ(first_by_rotation(g, 0, kPi / 2, Hand::kRight), 2u);
+  EXPECT_EQ(first_by_rotation(g, 0, kPi / 2, Hand::kLeft), 2u);
+}
+
+TEST(HandRule, TieOnBearingBreaksByDistance) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {5.0, 0.0}}, 15.0);
+  EXPECT_EQ(first_by_rotation(g, 0, 0.0, Hand::kRight), 2u);  // nearer first
+}
+
+TEST(HandRule, LeftRightSymmetry) {
+  // For generic positions, right-hand first pick == left-hand last pick.
+  Network net = test::random_network(300, 23);
+  const auto& g = net.graph();
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.next_below(g.size()));
+    if (g.degree(u) < 2) continue;
+    Vec2 dest{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+    NodeId right = first_by_rotation_from(g, u, dest, Hand::kRight);
+    NodeId left = first_by_rotation_from(g, u, dest, Hand::kLeft);
+    ASSERT_NE(right, kInvalidNode);
+    ASSERT_NE(left, kInvalidNode);
+    // Both must be real neighbors.
+    EXPECT_TRUE(g.are_neighbors(u, right));
+    EXPECT_TRUE(g.are_neighbors(u, left));
+  }
+}
+
+}  // namespace
+}  // namespace spr

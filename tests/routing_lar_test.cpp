@@ -1,0 +1,127 @@
+#include "routing/lar.h"
+
+#include <gtest/gtest.h>
+
+#include "mobility/waypoint.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+DestinationEstimate static_estimate(Vec2 where) {
+  return DestinationEstimate{where, 0.0, 0.0};
+}
+
+TEST(Lar, ExpectedZoneGeometry) {
+  DestinationEstimate e{{100.0, 100.0}, 2.0, 10.0};  // radius 20
+  EXPECT_DOUBLE_EQ(e.expected_radius(), 20.0);
+  EXPECT_TRUE(e.in_expected_zone({110.0, 100.0}));
+  EXPECT_TRUE(e.in_expected_zone({100.0, 120.0}));
+  EXPECT_FALSE(e.in_expected_zone({121.0, 100.0}));
+}
+
+TEST(Lar, RequestZoneContainsSourceAndExpectedZone) {
+  DestinationEstimate e{{100.0, 100.0}, 1.0, 30.0};  // radius 30
+  Rect zone = e.request_zone_from({20.0, 50.0});
+  EXPECT_TRUE(zone.contains({20.0, 50.0}));
+  EXPECT_TRUE(zone.contains({70.0, 100.0}));   // west edge of the disc
+  EXPECT_TRUE(zone.contains({130.0, 130.0}));  // disc bounding corner
+  EXPECT_EQ(zone.lo(), Vec2(20.0, 50.0));
+  EXPECT_EQ(zone.hi(), Vec2(130.0, 130.0));
+}
+
+TEST(Lar, ZeroSpeedCollapsesToPaperRequestZone) {
+  DestinationEstimate e = static_estimate({60.0, 80.0});
+  Rect zone = e.request_zone_from({10.0, 20.0});
+  EXPECT_EQ(zone, request_zone({10.0, 20.0}, {60.0, 80.0}));
+}
+
+TEST(Lar, StaticEstimateDeliversLikeLgf) {
+  auto g = test::make_graph(
+      {{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}, {30.0, 0.0}}, 12.0);
+  LarRouter router(g, static_estimate(g.position(3)));
+  PathResult r = router.route(0, 3);
+  EXPECT_TRUE(r.delivered());
+  EXPECT_EQ(r.hops(), 3u);
+}
+
+TEST(Lar, DeliversOnRandomNetworksWithExactEstimate) {
+  Network net = test::random_network(450, 91, DeployModel::kForbiddenAreas);
+  Rng rng(7);
+  int delivered = 0, total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto [s, d] = net.random_connected_interior_pair(rng);
+    LarRouter router(net.graph(), static_estimate(net.graph().position(d)));
+    ++total;
+    if (router.route(s, d).delivered()) ++delivered;
+  }
+  EXPECT_GE(static_cast<double>(delivered) / total, 0.85);
+}
+
+TEST(Lar, StaleEstimateStillDeliversWithinExpectedZone) {
+  // The destination moved, but stayed inside the expected zone: LAR must
+  // still find it (the final d-in-N(u) check is position-independent).
+  Deployment dep = test::dense_grid_deployment(400, 21);
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  InterestArea area(g, g.range());
+  const auto& interior = area.interior_nodes();
+  ASSERT_GE(interior.size(), 2u);
+  Rng rng(8);
+  for (int trial = 0; trial < 15; ++trial) {
+    NodeId s = interior[rng.next_below(interior.size())];
+    NodeId d = interior[rng.next_below(interior.size())];
+    if (s == d) continue;
+    // Pretend d was last seen 25m away from where it actually is, with an
+    // expected radius that covers the truth.
+    Vec2 truth = g.position(d);
+    Vec2 stale{truth.x + rng.uniform(-18.0, 18.0),
+               truth.y + rng.uniform(-18.0, 18.0)};
+    DestinationEstimate e{stale, 1.0, 30.0};  // radius 30 covers the truth
+    ASSERT_TRUE(e.in_expected_zone(truth));
+    LarRouter router(g, e);
+    PathResult r = router.route(s, d);
+    EXPECT_TRUE(r.delivered()) << "trial " << trial;
+  }
+}
+
+TEST(Lar, WiderExpectedZoneNeverHurtsDelivery) {
+  // Growing the expected zone only enlarges the request zone, so delivery
+  // is monotone in the radius (paired pairs).
+  Network net = test::random_network(500, 93, DeployModel::kForbiddenAreas);
+  Rng rng(9);
+  int tight_delivered = 0, wide_delivered = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    auto [s, d] = net.random_connected_interior_pair(rng);
+    Vec2 truth = net.graph().position(d);
+    LarRouter tight(net.graph(), DestinationEstimate{truth, 0.0, 0.0});
+    LarRouter wide(net.graph(), DestinationEstimate{truth, 2.0, 20.0});
+    if (tight.route(s, d).delivered()) ++tight_delivered;
+    if (wide.route(s, d).delivered()) ++wide_delivered;
+  }
+  EXPECT_GE(wide_delivered, tight_delivered - 1);
+}
+
+TEST(Lar, ComposesWithMobilityModel) {
+  // End-to-end: destination moves under random waypoint; the source uses
+  // the last-known position with the model's max speed as the estimate.
+  Deployment dep = test::dense_grid_deployment(400, 23);
+  WaypointConfig wc;
+  wc.min_speed_mps = 0.5;
+  wc.max_speed_mps = 1.5;
+  wc.pause_s = 0.0;
+  WaypointModel model(dep.positions, wc, Rng(5));
+  NodeId s = 30, d = 370;
+  Vec2 last_known = model.position(d);
+  double elapsed = 8.0;
+  model.advance(elapsed);
+  // Snapshot after movement; route with the stale estimate.
+  UnitDiskGraph g(model.positions(), dep.radio_range, dep.field);
+  DestinationEstimate e{last_known, wc.max_speed_mps, elapsed};
+  EXPECT_TRUE(e.in_expected_zone(g.position(d)));
+  LarRouter router(g, e);
+  PathResult r = router.route(s, d);
+  EXPECT_TRUE(r.delivered());
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "safety/distributed.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+TEST(AsyncSafety, ConvergesToCentralizedStatuses) {
+  for (std::uint64_t seed : {11ull, 23ull, 37ull, 59ull}) {
+    for (DeployModel model :
+         {DeployModel::kIdeal, DeployModel::kForbiddenAreas}) {
+      Network net = test::random_network(250, seed, model);
+      Rng rng(seed ^ 0xa5a5);
+      auto result =
+          compute_safety_distributed_async(net.graph(), net.interest_area(), rng);
+      for (NodeId u = 0; u < result.info.size(); ++u) {
+        for (ZoneType t : kAllZoneTypes) {
+          EXPECT_EQ(result.info.is_safe(u, t), net.safety().is_safe(u, t))
+              << "seed " << seed << " node " << u << " type "
+              << static_cast<int>(t);
+        }
+      }
+    }
+  }
+}
+
+TEST(AsyncSafety, ConvergesToCentralizedAnchors) {
+  Network net = test::random_network(300, 71, DeployModel::kForbiddenAreas);
+  Rng rng(0x5eed);
+  auto result =
+      compute_safety_distributed_async(net.graph(), net.interest_area(), rng);
+  for (NodeId u = 0; u < result.info.size(); ++u) {
+    for (ZoneType t : kAllZoneTypes) {
+      if (net.safety().is_safe(u, t)) continue;
+      const auto& central = net.safety().tuple(u).anchors_for(t);
+      const auto& async = result.info.tuple(u).anchors_for(t);
+      EXPECT_EQ(async.first, central.first) << "node " << u;
+      EXPECT_EQ(async.last, central.last) << "node " << u;
+      EXPECT_EQ(async.first_pos, central.first_pos);
+      EXPECT_EQ(async.last_pos, central.last_pos);
+    }
+  }
+}
+
+TEST(AsyncSafety, DelayDistributionDoesNotAffectResult) {
+  // Different delay seeds reorder every delivery; the fixpoint must not
+  // change (self-stabilization under reordering).
+  Network net = test::random_network(250, 83, DeployModel::kForbiddenAreas);
+  Rng rng_a(1), rng_b(999);
+  auto a = compute_safety_distributed_async(net.graph(), net.interest_area(),
+                                            rng_a);
+  auto b = compute_safety_distributed_async(net.graph(), net.interest_area(),
+                                            rng_b);
+  EXPECT_TRUE(a.info == b.info);
+}
+
+TEST(AsyncSafety, TerminatesWellUnderEventCap) {
+  Network net = test::random_network(300, 89, DeployModel::kForbiddenAreas);
+  Rng rng(5);
+  auto result =
+      compute_safety_distributed_async(net.graph(), net.interest_area(), rng);
+  // Quiescence implies receptions strictly below the runaway cap.
+  std::size_t cap = 64 * net.graph().size() *
+                    std::max<std::size_t>(net.graph().average_degree(), 8);
+  EXPECT_LT(result.stats.receptions, cap);
+  EXPECT_GE(result.stats.broadcasts, net.graph().size());  // hellos at least
+}
+
+TEST(AsyncSafety, MatchesSynchronousProtocol) {
+  Network net = test::random_network(250, 97, DeployModel::kForbiddenAreas);
+  auto sync = compute_safety_distributed(net.graph(), net.interest_area());
+  Rng rng(6);
+  auto async =
+      compute_safety_distributed_async(net.graph(), net.interest_area(), rng);
+  EXPECT_TRUE(sync.info == async.info);
+}
+
+}  // namespace
+}  // namespace spr

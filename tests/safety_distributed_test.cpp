@@ -1,0 +1,80 @@
+#include "safety/distributed.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+TEST(DistributedSafety, ConvergesToCentralizedStatuses) {
+  for (std::uint64_t seed : test::property_seeds()) {
+    for (DeployModel model :
+         {DeployModel::kIdeal, DeployModel::kForbiddenAreas}) {
+      Network net = test::random_network(300, seed, model);
+      auto result = compute_safety_distributed(net.graph(), net.interest_area());
+      ASSERT_EQ(result.info.size(), net.safety().size());
+      for (NodeId u = 0; u < result.info.size(); ++u) {
+        for (ZoneType t : kAllZoneTypes) {
+          EXPECT_EQ(result.info.is_safe(u, t), net.safety().is_safe(u, t))
+              << "seed " << seed << " node " << u << " type "
+              << static_cast<int>(t);
+        }
+      }
+    }
+  }
+}
+
+TEST(DistributedSafety, ConvergesToCentralizedAnchors) {
+  for (std::uint64_t seed : {11ull, 23ull, 37ull}) {
+    Network net = test::random_network(350, seed, DeployModel::kForbiddenAreas);
+    auto result = compute_safety_distributed(net.graph(), net.interest_area());
+    for (NodeId u = 0; u < result.info.size(); ++u) {
+      for (ZoneType t : kAllZoneTypes) {
+        if (net.safety().is_safe(u, t)) continue;
+        const auto& central = net.safety().tuple(u).anchors_for(t);
+        const auto& dist = result.info.tuple(u).anchors_for(t);
+        EXPECT_EQ(dist.first, central.first)
+            << "seed " << seed << " node " << u;
+        EXPECT_EQ(dist.last, central.last) << "seed " << seed << " node " << u;
+        EXPECT_EQ(dist.first_pos, central.first_pos);
+        EXPECT_EQ(dist.last_pos, central.last_pos);
+      }
+    }
+  }
+}
+
+TEST(DistributedSafety, QuiescesWellUnderRoundCap) {
+  Network net = test::random_network(400, 71, DeployModel::kForbiddenAreas);
+  auto result = compute_safety_distributed(net.graph(), net.interest_area());
+  EXPECT_LT(result.stats.rounds, 4 * net.graph().size() + 8);
+}
+
+TEST(DistributedSafety, EveryNodeBroadcastsHello) {
+  Network net = test::random_network(250, 13);
+  auto result = compute_safety_distributed(net.graph(), net.interest_area());
+  EXPECT_GE(result.stats.broadcasts, net.graph().size());
+}
+
+TEST(DistributedSafety, CostScalesWithChangesNotRounds) {
+  // A hole-free dense grid converges with one hello per node plus a handful
+  // of rounds: broadcasts stay close to n.
+  Deployment d = test::dense_grid_deployment(400, 3);
+  UnitDiskGraph g(d.positions, d.radio_range, d.field);
+  InterestArea area(g, d.radio_range);
+  auto result = compute_safety_distributed(g, area);
+  EXPECT_LE(result.stats.broadcasts, 2 * g.size());
+  EXPECT_LE(result.stats.rounds, 10u);
+}
+
+TEST(DistributedSafety, DeterministicAcrossRuns) {
+  Network net = test::random_network(300, 97, DeployModel::kForbiddenAreas);
+  auto r1 = compute_safety_distributed(net.graph(), net.interest_area());
+  auto r2 = compute_safety_distributed(net.graph(), net.interest_area());
+  EXPECT_EQ(r1.stats.broadcasts, r2.stats.broadcasts);
+  EXPECT_EQ(r1.stats.rounds, r2.stats.rounds);
+  EXPECT_TRUE(r1.info == r2.info);
+}
+
+}  // namespace
+}  // namespace spr

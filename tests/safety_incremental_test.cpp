@@ -1,0 +1,130 @@
+#include "safety/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+std::vector<NodeId> random_failures(const Network& net, Rng& rng, int count) {
+  std::vector<NodeId> failed;
+  const auto& interior = net.interest_area().interior_nodes();
+  while (static_cast<int>(failed.size()) < count && !interior.empty()) {
+    NodeId u = interior[rng.next_below(interior.size())];
+    if (std::find(failed.begin(), failed.end(), u) == failed.end()) {
+      failed.push_back(u);
+    }
+  }
+  return failed;
+}
+
+TEST(IncrementalSafety, MatchesFullRecomputeOnRandomFailures) {
+  for (std::uint64_t seed : test::property_seeds()) {
+    Network net = test::random_network(350, seed, DeployModel::kForbiddenAreas);
+    Rng rng(seed ^ 0x1111);
+    auto failed = random_failures(net, rng, 12);
+    UnitDiskGraph degraded = net.graph().with_failures(failed);
+    InterestArea degraded_area(degraded, degraded.range());
+
+    SafetyInfo incremental = net.safety();
+    update_safety_after_failures(degraded, degraded_area, failed, incremental);
+    SafetyInfo full = compute_safety(degraded, degraded_area);
+    EXPECT_TRUE(incremental == full) << "seed " << seed;
+  }
+}
+
+TEST(IncrementalSafety, MatchesFullRecomputeOnClusteredFailures) {
+  // A disc of failures (the failure_dynamics scenario) — the hard case,
+  // since it creates a brand-new hole.
+  Network net = test::random_network(500, 77);
+  Vec2 center{100.0, 100.0};
+  std::vector<NodeId> failed;
+  for (NodeId u = 0; u < net.graph().size(); ++u) {
+    if (distance(net.graph().position(u), center) <= 30.0) failed.push_back(u);
+  }
+  ASSERT_GT(failed.size(), 5u);
+  UnitDiskGraph degraded = net.graph().with_failures(failed);
+  InterestArea degraded_area(degraded, degraded.range());
+
+  SafetyInfo incremental = net.safety();
+  auto stats = update_safety_after_failures(degraded, degraded_area, failed,
+                                            incremental);
+  SafetyInfo full = compute_safety(degraded, degraded_area);
+  EXPECT_TRUE(incremental == full);
+  EXPECT_GT(stats.flips, 0u) << "a new hole must create unsafe nodes";
+}
+
+TEST(IncrementalSafety, NoFailuresIsNoOp) {
+  Network net = test::random_network(300, 31, DeployModel::kForbiddenAreas);
+  SafetyInfo info = net.safety();
+  InterestArea area(net.graph(), net.graph().range());
+  auto stats = update_safety_after_failures(net.graph(), area, {}, info);
+  EXPECT_TRUE(info == net.safety());
+  EXPECT_EQ(stats.flips, 0u);
+  EXPECT_EQ(stats.seeds, 0u);
+}
+
+TEST(IncrementalSafety, TouchesOnlyAffectedRegion) {
+  // The worklist seeds are bounded by the failed nodes' neighborhoods, so
+  // re-evaluations stay far below a full reconstruction's n*4 evaluations.
+  Network net = test::random_network(600, 41);
+  Rng rng(9);
+  auto failed = random_failures(net, rng, 3);
+  UnitDiskGraph degraded = net.graph().with_failures(failed);
+  InterestArea degraded_area(degraded, degraded.range());
+  SafetyInfo info = net.safety();
+  auto stats = update_safety_after_failures(degraded, degraded_area, failed, info);
+  EXPECT_LT(stats.seeds, 4 * degraded.size() / 4)
+      << "seeding should be local to the failures";
+}
+
+TEST(IncrementalSafety, MonotoneOnlyUnsafeFlips) {
+  Network net = test::random_network(400, 53, DeployModel::kForbiddenAreas);
+  Rng rng(10);
+  auto failed = random_failures(net, rng, 15);
+  UnitDiskGraph degraded = net.graph().with_failures(failed);
+  InterestArea degraded_area(degraded, degraded.range());
+  SafetyInfo before = net.safety();
+  SafetyInfo after = before;
+  update_safety_after_failures(degraded, degraded_area, failed, after);
+  for (NodeId u = 0; u < degraded.size(); ++u) {
+    if (!degraded.alive(u)) continue;
+    for (ZoneType t : kAllZoneTypes) {
+      if (!before.is_safe(u, t)) {
+        EXPECT_FALSE(after.is_safe(u, t))
+            << "failure flipped node " << u << " back to safe";
+      }
+    }
+  }
+}
+
+TEST(IncrementalSafety, RepeatedWavesOfFailures) {
+  // Apply three failure waves incrementally; final state must equal the
+  // one-shot recompute with all failures applied.
+  Network net = test::random_network(450, 67, DeployModel::kForbiddenAreas);
+  Rng rng(11);
+  SafetyInfo rolling = net.safety();
+  std::vector<NodeId> all_failed;
+  UnitDiskGraph current = net.graph();
+  for (int wave = 0; wave < 3; ++wave) {
+    auto failed = random_failures(net, rng, 6);
+    // Skip duplicates across waves.
+    std::vector<NodeId> fresh;
+    for (NodeId f : failed) {
+      if (std::find(all_failed.begin(), all_failed.end(), f) == all_failed.end()) {
+        fresh.push_back(f);
+        all_failed.push_back(f);
+      }
+    }
+    current = current.with_failures(fresh);
+    InterestArea area(current, current.range());
+    update_safety_after_failures(current, area, fresh, rolling);
+  }
+  InterestArea final_area(current, current.range());
+  SafetyInfo oneshot = compute_safety(current, final_area);
+  EXPECT_TRUE(rolling == oneshot);
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,90 @@
+#include "safety/regions.h"
+
+#include <gtest/gtest.h>
+
+namespace spr {
+namespace {
+
+UnsafeAreaEstimate type1_estimate() {
+  UnsafeAreaEstimate e;
+  e.owner = 0;
+  e.type = ZoneType::k1;
+  e.origin = {0.0, 0.0};
+  e.rect = Rect::from_corners({0.0, 0.0}, {20.0, 10.0});
+  return e;
+}
+
+TEST(Regions, DiagonalSideSigns) {
+  auto e = type1_estimate();
+  // Diagonal runs toward (20,10); points above it are CCW (positive).
+  EXPECT_GT(diagonal_side(e, {5.0, 10.0}), 0.0);
+  EXPECT_LT(diagonal_side(e, {10.0, 1.0}), 0.0);
+  EXPECT_NEAR(diagonal_side(e, {10.0, 5.0}), 0.0, 1e-9);  // on the ray
+}
+
+TEST(Regions, CriticalIsDestinationSide) {
+  auto e = type1_estimate();
+  Vec2 d{5.0, 30.0};  // above the diagonal, inside Q1
+  EXPECT_EQ(classify_region(e, d, {2.0, 20.0}), RegionClass::kCritical);
+  EXPECT_EQ(classify_region(e, d, {20.0, 2.0}), RegionClass::kForbidden);
+}
+
+TEST(Regions, MirrorWhenDestinationBelowDiagonal) {
+  auto e = type1_estimate();
+  Vec2 d{30.0, 3.0};  // below the diagonal
+  EXPECT_EQ(classify_region(e, d, {20.0, 2.0}), RegionClass::kCritical);
+  EXPECT_EQ(classify_region(e, d, {2.0, 20.0}), RegionClass::kForbidden);
+}
+
+TEST(Regions, OutsideQuadrantNeverForbidden) {
+  auto e = type1_estimate();
+  Vec2 d{5.0, 30.0};
+  EXPECT_EQ(classify_region(e, d, {-5.0, 10.0}), RegionClass::kOutsideQuadrant);
+  EXPECT_EQ(classify_region(e, d, {5.0, -10.0}), RegionClass::kOutsideQuadrant);
+  EXPECT_FALSE(in_forbidden_region(e, d, {-5.0, 10.0}));
+}
+
+TEST(Regions, DestinationOutsideQuadrantDisablesSplit) {
+  auto e = type1_estimate();
+  Vec2 d{-10.0, 5.0};  // d not in Q1(origin): no forbidden region
+  EXPECT_EQ(classify_region(e, d, {20.0, 2.0}), RegionClass::kCritical);
+  EXPECT_EQ(classify_region(e, d, {2.0, 20.0}), RegionClass::kCritical);
+}
+
+TEST(Regions, DestinationOnDiagonalDisablesSplit) {
+  auto e = type1_estimate();
+  Vec2 d{10.0, 5.0};  // exactly on the diagonal
+  EXPECT_EQ(classify_region(e, d, {2.0, 20.0}), RegionClass::kCritical);
+  EXPECT_EQ(classify_region(e, d, {20.0, 2.0}), RegionClass::kCritical);
+}
+
+TEST(Regions, DegenerateEstimateUsesQuadrantDiagonal) {
+  UnsafeAreaEstimate e;
+  e.type = ZoneType::k1;
+  e.origin = {0.0, 0.0};
+  e.rect = Rect::from_corners({0.0, 0.0}, {0.0, 0.0});  // single point
+  Vec2 d{1.0, 10.0};  // CCW of the 45-degree diagonal
+  EXPECT_EQ(classify_region(e, d, {2.0, 10.0}), RegionClass::kCritical);
+  EXPECT_EQ(classify_region(e, d, {10.0, 1.0}), RegionClass::kForbidden);
+}
+
+TEST(Regions, Type3MirrorCase) {
+  UnsafeAreaEstimate e;
+  e.type = ZoneType::k3;
+  e.origin = {0.0, 0.0};
+  e.rect = Rect::from_corners({-20.0, -10.0}, {0.0, 0.0});
+  EXPECT_EQ(e.far_corner(), Vec2(-20.0, -10.0));
+  Vec2 d{-5.0, -30.0};  // CCW side of the ray toward (-20,-10)
+  EXPECT_EQ(classify_region(e, d, {-2.0, -20.0}), RegionClass::kCritical);
+  EXPECT_EQ(classify_region(e, d, {-20.0, -2.0}), RegionClass::kForbidden);
+}
+
+TEST(Regions, ChooseHandFollowsDestinationSide) {
+  auto e = type1_estimate();
+  EXPECT_EQ(choose_hand(e, {5.0, 30.0}), Hand::kRight);  // CCW side
+  EXPECT_EQ(choose_hand(e, {30.0, 3.0}), Hand::kLeft);   // CW side
+  EXPECT_EQ(choose_hand(e, {10.0, 5.0}), Hand::kRight);  // on ray -> right
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,162 @@
+#include "safety/shape.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+/// Greedy region G_t(u): type-t unsafe nodes reachable from u through
+/// type-t unsafe nodes by quadrant steps (v_{i+1} in Q_t(v_i)).
+std::vector<NodeId> greedy_region(const UnitDiskGraph& g, const SafetyInfo& info,
+                                  NodeId u, ZoneType t) {
+  std::vector<NodeId> out;
+  std::vector<bool> seen(g.size(), false);
+  std::queue<NodeId> frontier;
+  seen[u] = true;
+  frontier.push(u);
+  while (!frontier.empty()) {
+    NodeId w = frontier.front();
+    frontier.pop();
+    if (w != u) out.push_back(w);
+    for (NodeId v : g.neighbors(w)) {
+      if (seen[v]) continue;
+      if (!in_quadrant(g.position(w), g.position(v), t)) continue;
+      if (info.is_safe(v, t)) continue;
+      seen[v] = true;
+      frontier.push(v);
+    }
+  }
+  return out;
+}
+
+TEST(SafetyShape, EstimateOnlyForUnsafeTypes) {
+  Network net = test::random_network(400, 31, DeployModel::kForbiddenAreas);
+  const auto& info = net.safety();
+  for (NodeId u = 0; u < info.size(); ++u) {
+    for (ZoneType t : kAllZoneTypes) {
+      auto e = estimate_for(net.graph(), info, u, t);
+      EXPECT_EQ(e.has_value(), !info.is_safe(u, t));
+    }
+  }
+}
+
+TEST(SafetyShape, EstimateRectContainsOriginAndAnchors) {
+  Network net = test::random_network(450, 37, DeployModel::kForbiddenAreas);
+  const auto& g = net.graph();
+  const auto& info = net.safety();
+  for (NodeId u = 0; u < info.size(); ++u) {
+    for (ZoneType t : kAllZoneTypes) {
+      auto e = estimate_for(g, info, u, t);
+      if (!e) continue;
+      const auto& a = info.tuple(u).anchors_for(t);
+      EXPECT_TRUE(e->rect.contains(g.position(u), 1e-9));
+      EXPECT_TRUE(e->rect.contains(a.first_pos, 1e-9));
+      EXPECT_TRUE(e->rect.contains(a.last_pos, 1e-9));
+    }
+  }
+}
+
+TEST(SafetyShape, AnchorsAreInGreedyRegion) {
+  // u(1)/u(2) are endpoints of genuine type-t forwarding chains, so they
+  // must lie in G_t(u) ∪ {u}.
+  for (std::uint64_t seed : {41ull, 43ull, 47ull}) {
+    Network net = test::random_network(400, seed, DeployModel::kForbiddenAreas);
+    const auto& g = net.graph();
+    const auto& info = net.safety();
+    for (NodeId u = 0; u < info.size(); ++u) {
+      for (ZoneType t : kAllZoneTypes) {
+        if (info.is_safe(u, t)) continue;
+        auto region = greedy_region(g, info, u, t);
+        const auto& a = info.tuple(u).anchors_for(t);
+        auto in_region = [&](NodeId x) {
+          return x == u ||
+                 std::find(region.begin(), region.end(), x) != region.end();
+        };
+        EXPECT_TRUE(in_region(a.first)) << "seed " << seed << " node " << u;
+        EXPECT_TRUE(in_region(a.last)) << "seed " << seed << " node " << u;
+      }
+    }
+  }
+}
+
+TEST(SafetyShape, EstimateWithinGreedyRegionBounds) {
+  // E_t(u) never exceeds the bounding box of G_t(u) ∪ {u}: the estimate is
+  // built from real chain endpoints.
+  Network net = test::random_network(400, 53, DeployModel::kForbiddenAreas);
+  const auto& g = net.graph();
+  const auto& info = net.safety();
+  for (NodeId u = 0; u < info.size(); ++u) {
+    for (ZoneType t : kAllZoneTypes) {
+      auto e = estimate_for(g, info, u, t);
+      if (!e) continue;
+      Rect region_box = Rect::from_corners(g.position(u), g.position(u));
+      for (NodeId v : greedy_region(g, info, u, t)) {
+        region_box = region_box.expanded_to(g.position(v));
+      }
+      EXPECT_TRUE(region_box.inflated(1e-9).contains(e->rect))
+          << "node " << u << " type " << static_cast<int>(t);
+    }
+  }
+}
+
+TEST(SafetyShape, FarCornerMatchesQuadrantDirection) {
+  UnsafeAreaEstimate e;
+  e.origin = {10.0, 10.0};
+  e.rect = Rect::from_corners({10.0, 10.0}, {30.0, 25.0});
+  e.type = ZoneType::k1;
+  EXPECT_EQ(e.far_corner(), Vec2(30.0, 25.0));
+  e.type = ZoneType::k3;
+  e.origin = {30.0, 25.0};
+  EXPECT_EQ(e.far_corner(), Vec2(10.0, 10.0));
+  e.type = ZoneType::k2;
+  e.origin = {30.0, 10.0};
+  EXPECT_EQ(e.far_corner(), Vec2(10.0, 25.0));
+  e.type = ZoneType::k4;
+  e.origin = {10.0, 25.0};
+  EXPECT_EQ(e.far_corner(), Vec2(30.0, 10.0));
+}
+
+TEST(SafetyShape, VisibleEstimatesIncludeOwnAndNeighbors) {
+  Network net = test::random_network(400, 59, DeployModel::kForbiddenAreas);
+  const auto& g = net.graph();
+  const auto& info = net.safety();
+  for (NodeId u = 0; u < g.size(); ++u) {
+    auto estimates = visible_estimates(g, info, u);
+    for (const auto& e : estimates) {
+      bool owner_visible = e.owner == u || g.are_neighbors(u, e.owner);
+      EXPECT_TRUE(owner_visible);
+      EXPECT_FALSE(info.is_safe(e.owner, e.type));
+    }
+    // Count must equal the sum of unsafe types over u and its neighbors.
+    std::size_t expected = 0;
+    auto count_unsafe = [&](NodeId v) {
+      for (ZoneType t : kAllZoneTypes) {
+        if (!info.is_safe(v, t)) ++expected;
+      }
+    };
+    count_unsafe(u);
+    for (NodeId v : g.neighbors(u)) count_unsafe(v);
+    EXPECT_EQ(estimates.size(), expected);
+  }
+}
+
+TEST(SafetyShape, CoveringRect) {
+  std::vector<UnsafeAreaEstimate> estimates;
+  EXPECT_FALSE(covering_rect(estimates, 5.0).has_value());
+  UnsafeAreaEstimate a;
+  a.rect = Rect::from_corners({0.0, 0.0}, {10.0, 10.0});
+  UnsafeAreaEstimate b;
+  b.rect = Rect::from_corners({20.0, 5.0}, {30.0, 15.0});
+  estimates = {a, b};
+  auto cover = covering_rect(estimates, 2.0);
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->lo(), Vec2(-2.0, -2.0));
+  EXPECT_EQ(cover->hi(), Vec2(32.0, 17.0));
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,157 @@
+#include "sim/async_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+using IntEngine = AsyncEngine<int>;
+
+TEST(AsyncEngine, InitialActivationForEveryAliveNode) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}}, 12.0);
+  Rng rng(1);
+  IntEngine engine(g, rng);
+  int initial_calls = 0;
+  auto stats = engine.run(
+      [&](NodeId, double, std::optional<IntEngine::Incoming> msg)
+          -> std::optional<int> {
+        if (!msg) ++initial_calls;
+        return std::nullopt;
+      },
+      1000);
+  EXPECT_EQ(initial_calls, 3);
+  EXPECT_EQ(stats.activations, 3u);
+  EXPECT_EQ(stats.broadcasts, 0u);
+}
+
+TEST(AsyncEngine, BroadcastDeliveredWithDelay) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}}, 12.0);
+  Rng rng(2);
+  IntEngine engine(g, rng, 1.0, 2.0);
+  std::vector<double> delivery_times;
+  auto stats = engine.run(
+      [&](NodeId self, double now, std::optional<IntEngine::Incoming> msg)
+          -> std::optional<int> {
+        if (!msg) return self == 0 ? std::optional<int>(7) : std::nullopt;
+        delivery_times.push_back(now);
+        EXPECT_EQ(msg->payload, 7);
+        EXPECT_EQ(msg->sender, 0u);
+        return std::nullopt;
+      },
+      1000);
+  ASSERT_EQ(delivery_times.size(), 1u);
+  EXPECT_GE(delivery_times[0], 1.0);
+  EXPECT_LT(delivery_times[0], 2.0);
+  EXPECT_EQ(stats.receptions, 1u);
+  EXPECT_DOUBLE_EQ(stats.virtual_time, delivery_times[0]);
+}
+
+TEST(AsyncEngine, EventsDeliveredInTimeOrder) {
+  // Node 0 floods; every reception is at a non-decreasing virtual time.
+  Deployment dep = test::dense_grid_deployment(100, 5);
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  Rng rng(3);
+  IntEngine engine(g, rng);
+  double last_time = -1.0;
+  std::vector<bool> forwarded(g.size(), false);
+  bool monotone = true;
+  engine.run(
+      [&](NodeId self, double now, std::optional<IntEngine::Incoming> msg)
+          -> std::optional<int> {
+        if (!msg) {
+          return self == 0 ? std::optional<int>(1) : std::nullopt;
+        }
+        if (now < last_time) monotone = false;
+        last_time = now;
+        if (!forwarded[self]) {
+          forwarded[self] = true;
+          return 1;
+        }
+        return std::nullopt;
+      },
+      100000);
+  EXPECT_TRUE(monotone);
+}
+
+TEST(AsyncEngine, FloodReachesWholeComponent) {
+  Deployment dep = test::dense_grid_deployment(144, 6);
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  Rng rng(4);
+  IntEngine engine(g, rng);
+  std::vector<bool> heard(g.size(), false);
+  std::vector<bool> forwarded(g.size(), false);
+  engine.run(
+      [&](NodeId self, double, std::optional<IntEngine::Incoming> msg)
+          -> std::optional<int> {
+        if (!msg) return self == 0 ? std::optional<int>(1) : std::nullopt;
+        heard[self] = true;
+        if (!forwarded[self]) {
+          forwarded[self] = true;
+          return 1;
+        }
+        return std::nullopt;
+      },
+      1000000);
+  for (NodeId u = 1; u < g.size(); ++u) {
+    EXPECT_TRUE(heard[u]) << "node " << u << " never heard the flood";
+  }
+}
+
+TEST(AsyncEngine, MaxEventsCapStopsRun) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}}, 12.0);
+  Rng rng(5);
+  IntEngine engine(g, rng);
+  auto stats = engine.run(
+      [&](NodeId, double, std::optional<IntEngine::Incoming>)
+          -> std::optional<int> { return 1; },  // chatter forever
+      50);
+  EXPECT_EQ(stats.receptions, 50u);
+}
+
+TEST(AsyncEngine, DeterministicForSameSeed) {
+  Deployment dep = test::dense_grid_deployment(400, 7);
+  UnitDiskGraph g(dep.positions, dep.radio_range, dep.field);
+  auto run_once = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    IntEngine engine(g, rng);
+    std::vector<bool> forwarded(g.size(), false);
+    return engine
+        .run(
+            [&](NodeId self, double, std::optional<IntEngine::Incoming> msg)
+                -> std::optional<int> {
+              if (!msg) return self == 0 ? std::optional<int>(1) : std::nullopt;
+              if (!forwarded[self]) {
+                forwarded[self] = true;
+                return 1;
+              }
+              return std::nullopt;
+            },
+            100000)
+        .virtual_time;
+  };
+  EXPECT_DOUBLE_EQ(run_once(42), run_once(42));
+  EXPECT_NE(run_once(42), run_once(43));
+}
+
+TEST(AsyncEngine, DeadNodesSkipped) {
+  std::vector<Vec2> pts = {{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}};
+  Rect bounds = Rect::from_bounds({-20.0, -20.0}, {40.0, 20.0});
+  UnitDiskGraph g(pts, 12.0, bounds, {true, false, true});
+  Rng rng(6);
+  IntEngine engine(g, rng);
+  int dead_activations = 0;
+  engine.run(
+      [&](NodeId self, double, std::optional<IntEngine::Incoming> msg)
+          -> std::optional<int> {
+        if (self == 1) ++dead_activations;
+        if (!msg) return 1;
+        return std::nullopt;
+      },
+      1000);
+  EXPECT_EQ(dead_activations, 0);
+}
+
+}  // namespace
+}  // namespace spr

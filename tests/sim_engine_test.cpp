@@ -1,0 +1,112 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+TEST(Engine, QuiescesWhenNothingSent) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}}, 20.0);
+  RoundEngine<int> engine(g);
+  auto stats = engine.run(
+      [](NodeId, std::size_t, std::span<const RoundEngine<int>::Incoming>)
+          -> std::optional<int> { return std::nullopt; },
+      100);
+  EXPECT_EQ(stats.rounds, 1u);  // one silent round then stop
+  EXPECT_EQ(stats.broadcasts, 0u);
+  EXPECT_EQ(stats.message_receptions, 0u);
+}
+
+TEST(Engine, BroadcastReachesNeighborsNextRound) {
+  // Line 0-1-2: node 0 sends once in round 0; 1 hears it in round 1; 2 never.
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}}, 12.0);
+  std::vector<std::vector<std::pair<std::size_t, int>>> heard(3);
+  RoundEngine<int> engine(g);
+  auto stats = engine.run(
+      [&](NodeId self, std::size_t round,
+          std::span<const RoundEngine<int>::Incoming> inbox)
+          -> std::optional<int> {
+        for (const auto& m : inbox) heard[self].emplace_back(round, m.payload);
+        if (self == 0 && round == 0) return 42;
+        return std::nullopt;
+      },
+      100);
+  EXPECT_EQ(stats.broadcasts, 1u);
+  EXPECT_EQ(stats.message_receptions, 1u);  // only node 1 in range
+  ASSERT_EQ(heard[1].size(), 1u);
+  EXPECT_EQ(heard[1][0], (std::pair<std::size_t, int>{1, 42}));
+  EXPECT_TRUE(heard[2].empty());
+  EXPECT_TRUE(heard[0].empty());
+}
+
+TEST(Engine, FloodPropagatesOneHopPerRound) {
+  // Line of 5 nodes; node 0 floods; node i first hears in round i.
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0},
+                             {30.0, 0.0}, {40.0, 0.0}}, 12.0);
+  std::vector<std::size_t> first_heard(5, 0);
+  std::vector<bool> has_sent(5, false);
+  RoundEngine<int> engine(g);
+  engine.run(
+      [&](NodeId self, std::size_t round,
+          std::span<const RoundEngine<int>::Incoming> inbox)
+          -> std::optional<int> {
+        if (!inbox.empty() && first_heard[self] == 0 && self != 0) {
+          first_heard[self] = round;
+        }
+        bool should_send =
+            (self == 0 && round == 0) || (!inbox.empty() && !has_sent[self]);
+        if (should_send && !has_sent[self]) {
+          has_sent[self] = true;
+          return 1;
+        }
+        return std::nullopt;
+      },
+      100);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(first_heard[i], i);
+}
+
+TEST(Engine, RoundCapStopsRunawayProtocol) {
+  auto g = test::make_graph({{0.0, 0.0}, {10.0, 0.0}}, 20.0);
+  RoundEngine<int> engine(g);
+  auto stats = engine.run(
+      [](NodeId, std::size_t, std::span<const RoundEngine<int>::Incoming>)
+          -> std::optional<int> { return 1; },  // chatter forever
+      25);
+  EXPECT_EQ(stats.rounds, 25u);
+  EXPECT_EQ(stats.broadcasts, 50u);
+}
+
+TEST(Engine, DeadNodesNeitherSendNorReceive) {
+  std::vector<Vec2> pts = {{0.0, 0.0}, {10.0, 0.0}, {20.0, 0.0}};
+  Rect bounds = Rect::from_bounds({-20.0, -20.0}, {40.0, 20.0});
+  UnitDiskGraph g(pts, 12.0, bounds, {true, false, true});
+  int calls_to_dead = 0;
+  RoundEngine<int> engine(g);
+  auto stats = engine.run(
+      [&](NodeId self, std::size_t round,
+          std::span<const RoundEngine<int>::Incoming>) -> std::optional<int> {
+        if (self == 1) ++calls_to_dead;
+        if (round == 0) return static_cast<int>(self);
+        return std::nullopt;
+      },
+      10);
+  EXPECT_EQ(calls_to_dead, 0);
+  // 0 and 2 broadcast but are not in range of each other (node 1 dead).
+  EXPECT_EQ(stats.broadcasts, 2u);
+  EXPECT_EQ(stats.message_receptions, 0u);
+}
+
+TEST(Engine, StatsToString) {
+  EngineStats stats;
+  stats.rounds = 3;
+  stats.broadcasts = 5;
+  stats.message_receptions = 12;
+  EXPECT_EQ(stats.to_string(), "rounds=3 broadcasts=5 receptions=12");
+}
+
+}  // namespace
+}  // namespace spr

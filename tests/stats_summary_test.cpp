@@ -1,0 +1,98 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace spr {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+  EXPECT_THROW(s.percentile(50.0), std::logic_error);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 4.0);
+}
+
+TEST(Summary, MeanMinMaxSum) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(Summary, SampleVariance) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-8);  // n-1 denominator
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);
+}
+
+TEST(Summary, WelfordMatchesNaive) {
+  Summary s;
+  double naive_sum = 0.0, naive_sq = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    double v = 0.001 * i * i - 3.0 * i + 7.0;
+    s.add(v);
+    naive_sum += v;
+    naive_sq += v * v;
+  }
+  double mean = naive_sum / n;
+  double var = (naive_sq - n * mean * mean) / (n - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-6);
+  EXPECT_NEAR(s.variance(), var, var * 1e-9);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(90.0), 90.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 1.0);
+}
+
+TEST(Summary, Ci95ShrinksWithSamples) {
+  Summary small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 ? 1.0 : -1.0);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Summary, Merge) {
+  Summary a, b;
+  for (double v : {1.0, 2.0, 3.0}) a.add(v);
+  for (double v : {4.0, 5.0}) b.add(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Summary, ToStringMentionsCount) {
+  Summary s;
+  s.add(2.0);
+  s.add(4.0);
+  EXPECT_NE(s.to_string().find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,59 @@
+#include "stats/table.h"
+
+#include <gtest/gtest.h>
+
+namespace spr {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"n", "GF", "SLGF2"});
+  t.add_row({"400", "12.5", "9.1"});
+  t.add_row({"450", "11.0", "8.7"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("SLGF2"), std::string::npos);
+  EXPECT_NE(out.find("12.5"), std::string::npos);
+  EXPECT_NE(out.find("450"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "bbbb"});
+  t.add_row({"xxxxxx", "1"});
+  std::string out = t.render();
+  // Each line has the same length (aligned columns).
+  std::size_t first_nl = out.find('\n');
+  std::size_t second_nl = out.find('\n', first_nl + 1);
+  std::size_t third_nl = out.find('\n', second_nl + 1);
+  EXPECT_EQ(first_nl, second_nl - first_nl - 1);
+  EXPECT_EQ(first_nl, third_nl - second_nl - 1);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::string out = t.render();
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"n", "hops"});
+  t.add_row({"400", "12.5"});
+  EXPECT_EQ(t.to_csv(), "n,hops\n400,12.5\n");
+}
+
+TEST(Table, CsvReplacesEmbeddedCommas) {
+  Table t({"label"});
+  t.add_row({"a,b"});
+  EXPECT_EQ(t.to_csv(), "label\na;b\n");
+}
+
+TEST(Table, FmtFixedPoint) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt(-1.5, 1), "-1.5");
+  EXPECT_EQ(Table::fmt(2.675, 3), "2.675");
+}
+
+}  // namespace
+}  // namespace spr

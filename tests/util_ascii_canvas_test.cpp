@@ -1,0 +1,82 @@
+#include "util/ascii_canvas.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace spr {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(AsciiCanvas, FrameDimensions) {
+  AsciiCanvas canvas(10, 4, 0.0, 0.0, 100.0, 40.0);
+  auto lines = lines_of(canvas.render());
+  ASSERT_EQ(lines.size(), 6u);  // 4 rows + top/bottom border
+  for (const auto& line : lines) EXPECT_EQ(line.size(), 12u);  // 10 + borders
+}
+
+TEST(AsciiCanvas, PlotAppearsAtExpectedCell) {
+  AsciiCanvas canvas(10, 10, 0.0, 0.0, 100.0, 100.0);
+  canvas.plot(5.0, 95.0, 'X');  // near top-left
+  auto lines = lines_of(canvas.render());
+  EXPECT_EQ(lines[1][1], 'X');
+}
+
+TEST(AsciiCanvas, YAxisGrowsUpward) {
+  AsciiCanvas canvas(10, 10, 0.0, 0.0, 100.0, 100.0);
+  canvas.plot(50.0, 5.0, 'B');   // low y -> bottom row
+  canvas.plot(50.0, 95.0, 'T');  // high y -> top row
+  auto lines = lines_of(canvas.render());
+  EXPECT_EQ(lines[1][6], 'T');
+  EXPECT_EQ(lines[10][6], 'B');
+}
+
+TEST(AsciiCanvas, OutOfRangeIgnored) {
+  AsciiCanvas canvas(5, 5, 0.0, 0.0, 10.0, 10.0);
+  canvas.plot(-1.0, 5.0, 'X');
+  canvas.plot(11.0, 5.0, 'X');
+  canvas.plot(5.0, 20.0, 'X');
+  EXPECT_EQ(canvas.render().find('X'), std::string::npos);
+}
+
+TEST(AsciiCanvas, LineDrawsContiguousGlyphs) {
+  AsciiCanvas canvas(20, 20, 0.0, 0.0, 100.0, 100.0);
+  canvas.line(5.0, 5.0, 95.0, 95.0, '*');
+  std::string out = canvas.render();
+  int stars = 0;
+  for (char c : out) {
+    if (c == '*') ++stars;
+  }
+  EXPECT_GE(stars, 15);  // roughly one per diagonal cell
+}
+
+TEST(AsciiCanvas, FillRect) {
+  AsciiCanvas canvas(10, 10, 0.0, 0.0, 100.0, 100.0);
+  canvas.fill_rect(20.0, 20.0, 50.0, 50.0, '#');
+  std::string out = canvas.render();
+  int hashes = 0;
+  for (char c : out) {
+    if (c == '#') ++hashes;
+  }
+  EXPECT_GE(hashes, 9);  // ~3x3 cells minimum
+}
+
+TEST(AsciiCanvas, LaterDrawsOverwrite) {
+  AsciiCanvas canvas(10, 10, 0.0, 0.0, 100.0, 100.0);
+  canvas.plot(50.0, 50.0, 'a');
+  canvas.plot(50.0, 50.0, 'b');
+  std::string out = canvas.render();
+  EXPECT_EQ(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spr

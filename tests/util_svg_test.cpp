@@ -1,0 +1,96 @@
+#include "util/svg.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace spr {
+namespace {
+
+Rect world() { return Rect::from_bounds({0.0, 0.0}, {100.0, 50.0}); }
+
+TEST(Svg, DocumentSkeleton) {
+  SvgCanvas canvas(world(), 2.0);
+  std::string doc = canvas.render();
+  EXPECT_NE(doc.find("<?xml"), std::string::npos);
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("width=\"200\""), std::string::npos);   // 100m * 2
+  EXPECT_NE(doc.find("height=\"100\""), std::string::npos);  // 50m * 2
+}
+
+TEST(Svg, CircleCoordinatesFlipY) {
+  SvgCanvas canvas(world(), 1.0);
+  canvas.circle({10.0, 10.0}, 2.0, "red");
+  std::string doc = canvas.render();
+  // world y=10 with height 50 -> svg y = 40.
+  EXPECT_NE(doc.find("cx=\"10\""), std::string::npos);
+  EXPECT_NE(doc.find("cy=\"40\""), std::string::npos);
+  EXPECT_NE(doc.find("r=\"2\""), std::string::npos);
+  EXPECT_NE(doc.find("fill=\"red\""), std::string::npos);
+}
+
+TEST(Svg, LineAndPolyline) {
+  SvgCanvas canvas(world(), 1.0);
+  canvas.line({0.0, 0.0}, {10.0, 0.0}, "blue", 0.5);
+  canvas.polyline({{0.0, 0.0}, {5.0, 5.0}, {10.0, 0.0}}, "green", 0.25);
+  std::string doc = canvas.render();
+  EXPECT_NE(doc.find("<line"), std::string::npos);
+  EXPECT_NE(doc.find("<polyline"), std::string::npos);
+  EXPECT_EQ(canvas.element_count(), 2u);
+}
+
+TEST(Svg, PolylineNeedsTwoPoints) {
+  SvgCanvas canvas(world(), 1.0);
+  canvas.polyline({{1.0, 1.0}}, "green", 0.25);
+  EXPECT_EQ(canvas.element_count(), 0u);
+}
+
+TEST(Svg, RectUsesTopLeft) {
+  SvgCanvas canvas(world(), 1.0);
+  canvas.rect(Rect::from_corners({10.0, 10.0}, {30.0, 20.0}), "gray", "none",
+              0.0);
+  std::string doc = canvas.render();
+  EXPECT_NE(doc.find("x=\"10\""), std::string::npos);
+  EXPECT_NE(doc.find("y=\"30\""), std::string::npos);  // 50 - 20
+  EXPECT_NE(doc.find("width=\"20\""), std::string::npos);
+  EXPECT_NE(doc.find("height=\"10\""), std::string::npos);
+}
+
+TEST(Svg, PolygonElement) {
+  SvgCanvas canvas(world(), 1.0);
+  canvas.polygon(Polygon({{0.0, 0.0}, {10.0, 0.0}, {5.0, 10.0}}), "yellow",
+                 "black", 0.1);
+  EXPECT_NE(canvas.render().find("<polygon"), std::string::npos);
+  // Degenerate polygons emit nothing.
+  canvas.polygon(Polygon({{0.0, 0.0}, {1.0, 1.0}}), "x", "y", 0.1);
+  EXPECT_EQ(canvas.element_count(), 1u);
+}
+
+TEST(Svg, TextElement) {
+  SvgCanvas canvas(world(), 1.0);
+  canvas.text({5.0, 5.0}, "hello", 3.0);
+  std::string doc = canvas.render();
+  EXPECT_NE(doc.find(">hello</text>"), std::string::npos);
+}
+
+TEST(Svg, WriteFileRoundTrip) {
+  SvgCanvas canvas(world(), 1.0);
+  canvas.circle({1.0, 1.0}, 1.0, "black");
+  std::string path = "/tmp/spr_svg_test.svg";
+  ASSERT_TRUE(canvas.write_file(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, canvas.render());
+  std::remove(path.c_str());
+}
+
+TEST(Svg, WriteFileFailsOnBadPath) {
+  SvgCanvas canvas(world(), 1.0);
+  EXPECT_FALSE(canvas.write_file("/nonexistent_dir_xyz/file.svg"));
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,254 @@
+/// \file spr_cli.cpp
+/// Command-line front end to the library:
+///
+///   spr_cli info   [flags]            network structure summary
+///   spr_cli label  [flags]            safety labeling summary / dump
+///   spr_cli route  [flags] <s> <d>    route one pair with every scheme
+///   spr_cli sweep  [flags]            mini figure sweep (table output)
+///   spr_cli render [flags] <out.svg>  render deployment + unsafe areas
+///
+/// Common flags: --nodes, --seed, --fa, --range.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/network.h"
+#include "graph/graph_algos.h"
+#include "graph/metrics.h"
+#include "safety/distributed.h"
+#include "stats/table.h"
+#include "util/flags.h"
+#include "util/svg.h"
+
+namespace {
+
+using namespace spr;
+
+struct CommonArgs {
+  int nodes = 600;
+  unsigned long long seed = 1;
+  bool fa = false;
+  double range = 20.0;
+};
+
+void add_common(FlagSet& flags, CommonArgs& args) {
+  flags.add_int("nodes", &args.nodes, "number of sensors");
+  flags.add_uint64("seed", &args.seed, "deployment seed");
+  flags.add_bool("fa", &args.fa, "forbidden-area deployment model");
+  flags.add_double("range", &args.range, "transmission radius (m)");
+}
+
+Network build_network(const CommonArgs& args) {
+  NetworkConfig config;
+  config.deployment.node_count = args.nodes;
+  config.deployment.radio_range = args.range;
+  config.deployment.model =
+      args.fa ? DeployModel::kForbiddenAreas : DeployModel::kIdeal;
+  config.seed = args.seed;
+  return Network::create(config);
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  CommonArgs args;
+  FlagSet flags("spr_cli info: network structure summary");
+  add_common(flags, args);
+  if (!flags.parse(argc, argv)) return 1;
+  Network net = build_network(args);
+  const auto& g = net.graph();
+  auto degrees = degree_stats(g);
+  std::printf("nodes        %zu\n", g.size());
+  std::printf("links        %zu\n", g.edge_count());
+  std::printf("degree       mean %.2f  min %zu  max %zu\n", degrees.mean,
+              degrees.min, degrees.max);
+  std::printf("connectivity %.1f%% in largest component\n",
+              100.0 * largest_component_fraction(g));
+  std::printf("hop diameter ~%zu\n", hop_diameter_estimate(g));
+  std::printf("edge nodes   %zu (interest area: %zu interior)\n",
+              net.interest_area().edge_count(),
+              net.interest_area().interior_nodes().size());
+  std::printf("gabriel      %zu edges kept\n", net.overlay().edge_count());
+  std::printf("stuck nodes  %zu (TENT rule), %zu hole boundaries\n",
+              net.boundhole().stuck_count(), net.boundhole().boundaries().size());
+  std::printf("unsafe nodes %zu\n", net.safety().unsafe_node_count());
+  return 0;
+}
+
+int cmd_label(int argc, const char* const* argv) {
+  CommonArgs args;
+  bool dump = false;
+  bool distributed = false;
+  FlagSet flags("spr_cli label: safety labeling summary");
+  add_common(flags, args);
+  flags.add_bool("dump", &dump, "print every unsafe node's tuple and E areas");
+  flags.add_bool("distributed", &distributed,
+                 "run the distributed construction and report its cost");
+  if (!flags.parse(argc, argv)) return 1;
+  Network net = build_network(args);
+  const auto& info = net.safety();
+
+  std::size_t per_type[4] = {0, 0, 0, 0};
+  for (NodeId u = 0; u < info.size(); ++u) {
+    for (ZoneType t : kAllZoneTypes) {
+      if (!info.is_safe(u, t)) ++per_type[zone_index(t)];
+    }
+  }
+  std::printf("unsafe nodes: %zu of %zu\n", info.unsafe_node_count(),
+              info.size());
+  std::printf("unsafe statuses per type: 1:%zu 2:%zu 3:%zu 4:%zu\n",
+              per_type[0], per_type[1], per_type[2], per_type[3]);
+  if (distributed) {
+    auto result = compute_safety_distributed(net.graph(), net.interest_area());
+    std::printf("distributed construction: %s\n",
+                result.stats.to_string().c_str());
+    std::printf("matches centralized: %s\n",
+                result.info == info ? "yes" : "NO");
+  }
+  if (dump) {
+    for (NodeId u = 0; u < info.size(); ++u) {
+      const auto& tuple = info.tuple(u);
+      if (tuple.any_safe() && tuple.to_string() == "(1,1,1,1)") continue;
+      Vec2 p = net.graph().position(u);
+      std::printf("node %u (%.1f,%.1f) %s", u, p.x, p.y,
+                  tuple.to_string().c_str());
+      for (ZoneType t : kAllZoneTypes) {
+        if (tuple.is_safe(t)) continue;
+        Rect e = estimated_area(p, tuple.anchors_for(t));
+        std::printf("  E%d=[%.0f:%.0f,%.0f:%.0f]", static_cast<int>(t),
+                    e.lo().x, e.hi().x, e.lo().y, e.hi().y);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int cmd_route(int argc, const char* const* argv) {
+  CommonArgs args;
+  FlagSet flags("spr_cli route <s> <d>: route one pair with every scheme");
+  add_common(flags, args);
+  if (!flags.parse(argc, argv)) return 1;
+  Network net = build_network(args);
+  NodeId s, d;
+  if (flags.positional().size() >= 2) {
+    s = static_cast<NodeId>(std::stoul(flags.positional()[0]));
+    d = static_cast<NodeId>(std::stoul(flags.positional()[1]));
+    if (s >= net.graph().size() || d >= net.graph().size()) {
+      std::fprintf(stderr, "node ids out of range (network has %zu nodes)\n",
+                   net.graph().size());
+      return 1;
+    }
+  } else {
+    Rng rng(args.seed ^ 0x99);
+    std::tie(s, d) = net.random_connected_interior_pair(rng);
+    if (s == kInvalidNode) {
+      std::fprintf(stderr, "no routable pair\n");
+      return 1;
+    }
+    std::printf("(no pair given; picked %u -> %u)\n", s, d);
+  }
+  auto oracle = bfs_path(net.graph(), s, d);
+  std::printf("optimal: %zu hops, %.1fm\n", oracle.hops(), oracle.length);
+  for (Scheme scheme : {Scheme::kGf, Scheme::kGfFace, Scheme::kLgf,
+                        Scheme::kSlgf, Scheme::kSlgf2}) {
+    auto router = net.make_router(scheme);
+    PathResult r = router->route(s, d);
+    std::printf("%-8s %s\n", scheme_name(scheme), r.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  CommonArgs args;
+  int networks = 10, pairs = 10;
+  FlagSet flags("spr_cli sweep: mini paper sweep");
+  add_common(flags, args);
+  flags.add_int("networks", &networks, "networks per point");
+  flags.add_int("pairs", &pairs, "pairs per network");
+  if (!flags.parse(argc, argv)) return 1;
+
+  SweepConfig config;
+  config.model = args.fa ? DeployModel::kForbiddenAreas : DeployModel::kIdeal;
+  config.networks_per_point = networks;
+  config.pairs_per_network = pairs;
+  config.base_seed = args.seed;
+  config.schemes = SweepConfig::paper_schemes();
+  config.deployment_template.radio_range = args.range;
+  auto points = run_sweep(config);
+
+  Table table({"nodes", "GF avg", "LGF avg", "SLGF avg", "SLGF2 avg",
+               "SLGF2 max", "SLGF2 deliv"});
+  for (const auto& point : points) {
+    const auto& s2 = point.by_scheme.at("SLGF2");
+    table.add_row({std::to_string(point.node_count),
+                   Table::fmt(point.by_scheme.at("GF").hops.mean()),
+                   Table::fmt(point.by_scheme.at("LGF").hops.mean()),
+                   Table::fmt(point.by_scheme.at("SLGF").hops.mean()),
+                   Table::fmt(s2.hops.mean()), Table::fmt(s2.max_hops(), 0),
+                   Table::fmt(s2.delivery_ratio())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_render(int argc, const char* const* argv) {
+  CommonArgs args;
+  FlagSet flags("spr_cli render <out.svg>: render the deployment");
+  add_common(flags, args);
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "usage: spr_cli render [flags] <out.svg>\n");
+    return 1;
+  }
+  Network net = build_network(args);
+  const auto& g = net.graph();
+  SvgCanvas svg(net.deployment().field, 4.0);
+  for (const Polygon& area : net.deployment().forbidden_areas) {
+    svg.polygon(area, "#f4c7c3", "#c0392b", 0.3, 0.8);
+  }
+  for (NodeId u = 0; u < g.size(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (v > u) svg.line(g.position(u), g.position(v), "#dddddd", 0.15, 0.6);
+    }
+  }
+  for (NodeId u = 0; u < g.size(); ++u) {
+    bool unsafe = false;
+    for (ZoneType t : kAllZoneTypes) unsafe |= !net.safety().is_safe(u, t);
+    svg.circle(g.position(u), 0.9, unsafe ? "#e67e22" : "#7f8c8d");
+  }
+  const std::string& path = flags.positional().front();
+  if (!svg.write_file(path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu elements)\n", path.c_str(), svg.element_count());
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: spr_cli <info|label|route|sweep|render> [flags...]\n"
+      "run 'spr_cli <command> --help' for per-command flags\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  std::string command = argv[1];
+  // Shift argv so each command parses its own flags.
+  int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (command == "info") return cmd_info(sub_argc, sub_argv);
+  if (command == "label") return cmd_label(sub_argc, sub_argv);
+  if (command == "route") return cmd_route(sub_argc, sub_argv);
+  if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
+  if (command == "render") return cmd_render(sub_argc, sub_argv);
+  usage();
+  return 1;
+}
