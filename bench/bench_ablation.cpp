@@ -2,54 +2,13 @@
 /// Ablation of SLGF2's three mechanisms (DESIGN.md experiment ABL): the
 /// either-hand superseding rule, the backup-path phase, and the perimeter
 /// rectangle confinement — each disabled in turn, plus SLGF and full SLGF2
-/// as anchors. FA model (the regime the mechanisms target).
+/// as anchors. FA model (the regime the mechanisms target). Thin wrapper
+/// over the "ablation" scenario; SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/
+/// SPR_JSON apply (see bench_common.h).
 
-#include <cstdio>
-
-#include "bench_common.h"
+#include "core/scenario.h"
 
 int main() {
-  using namespace spr;
-  std::printf("== SLGF2 ablation: contribution of each mechanism (FA model) "
-              "==\n\n");
-
-  std::vector<SchemeSpec> schemes = {
-      {Scheme::kSlgf, {}, "SLGF"},
-      {Scheme::kSlgf2, {}, "SLGF2"},
-      {Scheme::kSlgf2, {.use_either_hand = false}, "-eitherhand"},
-      {Scheme::kSlgf2, {.use_backup_paths = false}, "-backup"},
-      {Scheme::kSlgf2, {.limit_perimeter = false}, "-limitperim"},
-  };
-
-  SweepConfig config = spr::bench::figure_config(DeployModel::kForbiddenAreas);
-  config.networks_per_point = env_int_or("SPR_NETWORKS", 40);
-  config.schemes = schemes;
-  config.node_counts = {400, 600, 800};
-
-  auto points = run_sweep(config);
-
-  for (const char* metric : {"avg-hops", "avg-length", "perimeter-hops",
-                             "delivery"}) {
-    std::printf("%s\n", metric);
-    std::vector<std::string> header{"nodes"};
-    for (const auto& s : schemes) header.push_back(s.display_label());
-    Table table(std::move(header));
-    for (const auto& point : points) {
-      std::vector<std::string> row{std::to_string(point.node_count)};
-      for (const auto& s : schemes) {
-        const auto& agg = point.by_scheme.at(s.display_label());
-        double value = 0.0;
-        if (std::string(metric) == "avg-hops") value = agg.hops.mean();
-        if (std::string(metric) == "avg-length") value = agg.length.mean();
-        if (std::string(metric) == "perimeter-hops")
-          value = agg.perimeter_hops.mean();
-        if (std::string(metric) == "delivery") value = agg.delivery_ratio();
-        row.push_back(Table::fmt(value, 2));
-      }
-      table.add_row(std::move(row));
-    }
-    std::fputs(table.render().c_str(), stdout);
-    std::printf("\n");
-  }
-  return 0;
+  return spr::ScenarioSuite::builtin().run("ablation",
+                                           spr::scenario_options_from_env());
 }

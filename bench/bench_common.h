@@ -1,27 +1,22 @@
 #pragma once
 
 /// \file bench_common.h
-/// Shared driver for the figure benches: runs the paper's sweep (both
-/// deployment models, n = 400..800 step 50, 100 networks x 20 pairs per
-/// point by default) and prints one table per panel.
+/// Shared helpers for the auxiliary benches. The figure benches themselves
+/// are thin wrappers over the ScenarioSuite (core/scenario.h); what lives
+/// here is the sweep-config plumbing the non-figure benches reuse.
 ///
 /// Environment overrides for quick passes:
 ///   SPR_NETWORKS  networks per point (default 100, the paper's count)
 ///   SPR_PAIRS     source/destination pairs per network (default 20)
 ///   SPR_SEED      base seed (default 2009)
-
-#include <cstdio>
-#include <functional>
-#include <string>
-#include <vector>
+///   SPR_THREADS   sweep worker threads (default 0 = hardware, 1 = serial)
+///   SPR_JSON      when set, scenarios also write a JSON report there
 
 #include "core/experiment.h"
+#include "core/scenario.h"
 #include "stats/table.h"
 
 namespace spr::bench {
-
-/// Extracts the number a figure plots from one (scheme, point) aggregate.
-using MetricFn = std::function<double(const RouteAggregate&)>;
 
 inline SweepConfig figure_config(DeployModel model) {
   SweepConfig config;
@@ -29,50 +24,13 @@ inline SweepConfig figure_config(DeployModel model) {
   config.networks_per_point = env_int_or("SPR_NETWORKS", 100);
   config.pairs_per_network = env_int_or("SPR_PAIRS", 20);
   config.base_seed = static_cast<std::uint64_t>(env_int_or("SPR_SEED", 2009));
+  config.threads = env_int_or("SPR_THREADS", 0);
   config.schemes = SweepConfig::paper_schemes();
   return config;
 }
 
 inline const char* model_name(DeployModel model) {
-  return model == DeployModel::kIdeal ? "IA (uniform)" : "FA (forbidden areas)";
-}
-
-/// Runs both panels of one figure and prints them.
-inline void run_figure(const std::string& figure_title, const MetricFn& metric,
-                       int decimals, const std::vector<SchemeSpec>* schemes_override = nullptr) {
-  for (DeployModel model :
-       {DeployModel::kIdeal, DeployModel::kForbiddenAreas}) {
-    SweepConfig config = figure_config(model);
-    if (schemes_override != nullptr) config.schemes = *schemes_override;
-    std::printf("%s — %s model, %d networks x %d pairs per point\n",
-                figure_title.c_str(), model_name(model),
-                config.networks_per_point, config.pairs_per_network);
-    auto points = run_sweep(config);
-
-    std::vector<std::string> header{"nodes"};
-    for (const auto& spec : config.schemes) header.push_back(spec.display_label());
-    Table table(std::move(header));
-    for (const auto& point : points) {
-      std::vector<std::string> row{std::to_string(point.node_count)};
-      for (const auto& spec : config.schemes) {
-        const auto& agg = point.by_scheme.at(spec.display_label());
-        row.push_back(Table::fmt(metric(agg), decimals));
-      }
-      table.add_row(std::move(row));
-    }
-    std::fputs(table.render().c_str(), stdout);
-    // Delivery context so failed routes are visible, not silently dropped.
-    std::printf("delivery ratio per scheme (worst point):");
-    for (const auto& spec : config.schemes) {
-      double worst = 1.0;
-      for (const auto& point : points) {
-        worst = std::min(worst,
-                         point.by_scheme.at(spec.display_label()).delivery_ratio());
-      }
-      std::printf("  %s>=%.2f", spec.display_label().c_str(), worst);
-    }
-    std::printf("\n\n");
-  }
+  return spr::model_name(model);
 }
 
 }  // namespace spr::bench

@@ -1,18 +1,13 @@
 /// \file bench_fig5_max_hops.cpp
 /// Reproduces paper Fig. 5 (a)/(b): the maximum number of hops of a routing
 /// path for GF, LGF, SLGF and SLGF2, as the node count varies from 400 to
-/// 800 over the IA and FA deployment models. Maxima are taken over all
-/// delivered packets of all sampled networks at each point.
+/// 800 over the IA and FA deployment models. Thin wrapper over the
+/// "fig5-max-hops" scenario; SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/SPR_JSON
+/// apply (see bench_common.h).
 
-#include <cstdio>
-
-#include "bench_common.h"
+#include "core/scenario.h"
 
 int main() {
-  std::printf("== Fig. 5: maximum number of hops of a GF, LGF, SLGF, SLGF2 "
-              "routing ==\n\n");
-  spr::bench::run_figure(
-      "Fig. 5", [](const spr::RouteAggregate& agg) { return agg.max_hops(); },
-      0);
-  return 0;
+  return spr::ScenarioSuite::builtin().run("fig5-max-hops",
+                                           spr::scenario_options_from_env());
 }

@@ -1,18 +1,12 @@
 /// \file bench_fig6_avg_hops.cpp
 /// Reproduces paper Fig. 6 (a)/(b): the average number of hops of a routing
 /// path for GF, LGF, SLGF and SLGF2 over the IA and FA deployment models.
-/// Averages are over delivered packets (delivery ratios are printed under
-/// each panel).
+/// Thin wrapper over the "fig6-avg-hops" scenario;
+/// SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/SPR_JSON apply (see bench_common.h).
 
-#include <cstdio>
-
-#include "bench_common.h"
+#include "core/scenario.h"
 
 int main() {
-  std::printf("== Fig. 6: average number of hops of a GF, LGF, SLGF, SLGF2 "
-              "routing ==\n\n");
-  spr::bench::run_figure(
-      "Fig. 6",
-      [](const spr::RouteAggregate& agg) { return agg.hops.mean(); }, 2);
-  return 0;
+  return spr::ScenarioSuite::builtin().run("fig6-avg-hops",
+                                           spr::scenario_options_from_env());
 }

@@ -1,17 +1,12 @@
 /// \file bench_fig7_path_length.cpp
 /// Reproduces paper Fig. 7 (a)/(b): the average length (meters) of the
 /// entire routing path for GF, LGF, SLGF and SLGF2 over the IA and FA
-/// deployment models.
+/// deployment models. Thin wrapper over the "fig7-path-length" scenario;
+/// SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/SPR_JSON apply (see bench_common.h).
 
-#include <cstdio>
-
-#include "bench_common.h"
+#include "core/scenario.h"
 
 int main() {
-  std::printf("== Fig. 7: average length of a GF, LGF, SLGF, SLGF2 routing "
-              "==\n\n");
-  spr::bench::run_figure(
-      "Fig. 7",
-      [](const spr::RouteAggregate& agg) { return agg.length.mean(); }, 1);
-  return 0;
+  return spr::ScenarioSuite::builtin().run("fig7-path-length",
+                                           spr::scenario_options_from_env());
 }

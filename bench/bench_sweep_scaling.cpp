@@ -1,0 +1,14 @@
+/// \file bench_sweep_scaling.cpp
+/// The parallel sweep engine's scaling check: runs the same sweep with
+/// threads=1 and threads=hardware, asserts the aggregates are bit-identical
+/// and reports the wall-clock speedup. Thin wrapper over the
+/// "sweep-scaling" scenario; SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/SPR_JSON
+/// apply (see bench_common.h). Exits nonzero if the parallel result ever
+/// diverges from serial.
+
+#include "core/scenario.h"
+
+int main() {
+  return spr::ScenarioSuite::builtin().run("sweep-scaling",
+                                           spr::scenario_options_from_env());
+}

@@ -3,6 +3,9 @@
 #include <charconv>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+
+#include "util/task_pool.h"
 
 namespace spr {
 
@@ -38,60 +41,117 @@ std::vector<SchemeSpec> SweepConfig::paper_schemes() {
           {Scheme::kSlgf2, {}, ""}};
 }
 
-std::vector<SweepPoint> run_sweep(const SweepConfig& config,
-                                  const SweepProgress& progress) {
-  std::vector<SweepPoint> points;
-  points.reserve(config.node_counts.size());
+std::uint64_t sweep_cell_seed(const SweepConfig& config, int node_count,
+                              int net_index) {
   const auto model_tag =
       static_cast<std::uint64_t>(config.model == DeployModel::kIdeal ? 1 : 2);
+  return mix_seed(config.base_seed, model_tag,
+                  static_cast<std::uint64_t>(node_count),
+                  static_cast<std::uint64_t>(net_index));
+}
 
-  for (int n : config.node_counts) {
-    SweepPoint point;
-    point.node_count = n;
+namespace {
+
+/// One (node_count, network_index) cell's aggregates, keyed like SweepPoint.
+using CellResult = std::map<std::string, RouteAggregate>;
+
+/// Runs one independent sweep cell: draw the network, pick the pairs,
+/// compute the oracles once, route every scheme over the same pairs.
+CellResult run_cell(const SweepConfig& config, int n, int net_index) {
+  CellResult cell;
+  for (const auto& spec : config.schemes) {
+    cell.emplace(spec.display_label(), RouteAggregate{});
+  }
+
+  NetworkConfig net_config;
+  net_config.deployment = config.deployment_template;
+  net_config.deployment.model = config.model;
+  net_config.deployment.node_count = n;
+  net_config.seed = sweep_cell_seed(config, n, net_index);
+  Network network = Network::create(net_config);
+
+  // Same pairs for every scheme: the comparison is paired.
+  Rng pair_rng(mix_seed(net_config.seed, 7, 7, 7));
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(static_cast<size_t>(config.pairs_per_network));
+  for (int p = 0; p < config.pairs_per_network; ++p) {
+    auto pair = network.random_connected_interior_pair(pair_rng);
+    if (pair.first != kInvalidNode) pairs.push_back(pair);
+  }
+
+  // Oracles once per pair, shared across schemes.
+  std::vector<ShortestPath> oracle_hop, oracle_len;
+  oracle_hop.reserve(pairs.size());
+  oracle_len.reserve(pairs.size());
+  for (auto [s, d] : pairs) {
+    oracle_hop.push_back(bfs_path(network.graph(), s, d));
+    oracle_len.push_back(dijkstra_path(network.graph(), s, d));
+  }
+
+  for (const auto& spec : config.schemes) {
+    auto router = network.make_router(spec.scheme, spec.slgf2_options);
+    RouteAggregate& agg = cell.at(spec.display_label());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      PathResult r = router->route(pairs[i].first, pairs[i].second,
+                                   config.route_options);
+      agg.record(r, &oracle_hop[i], &oracle_len[i]);
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_sweep(const SweepConfig& config,
+                                  const SweepProgress& progress) {
+  // Flatten the sweep into independent (node_count, network_index) cells.
+  struct Cell {
+    std::size_t point_index;
+    int node_count;
+    int net_index;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(config.node_counts.size() *
+                static_cast<std::size_t>(config.networks_per_point));
+  for (std::size_t pi = 0; pi < config.node_counts.size(); ++pi) {
+    for (int i = 0; i < config.networks_per_point; ++i) {
+      cells.push_back({pi, config.node_counts[pi], i});
+    }
+  }
+
+  std::vector<CellResult> results(cells.size());
+  std::mutex progress_mutex;
+  auto run_one = [&](std::size_t ci) {
+    const Cell& cell = cells[ci];
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(cell.node_count, cell.net_index, config.networks_per_point);
+    }
+    results[ci] = run_cell(config, cell.node_count, cell.net_index);
+  };
+
+  if (config.threads == 1) {
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) run_one(ci);
+  } else {
+    TaskPool pool(config.threads);
+    pool.parallel_for(cells.size(), run_one);
+  }
+
+  // Merge per-cell aggregates in cell order. Summary::merge replays samples
+  // in insertion order, so this reduction is bit-identical to the serial
+  // accumulation regardless of which thread ran which cell.
+  std::vector<SweepPoint> points(config.node_counts.size());
+  for (std::size_t pi = 0; pi < config.node_counts.size(); ++pi) {
+    points[pi].node_count = config.node_counts[pi];
     for (const auto& spec : config.schemes) {
-      point.by_scheme.emplace(spec.display_label(), RouteAggregate{});
+      points[pi].by_scheme.emplace(spec.display_label(), RouteAggregate{});
     }
-
-    for (int net_index = 0; net_index < config.networks_per_point; ++net_index) {
-      if (progress) progress(n, net_index, config.networks_per_point);
-      NetworkConfig net_config;
-      net_config.deployment = config.deployment_template;
-      net_config.deployment.model = config.model;
-      net_config.deployment.node_count = n;
-      net_config.seed = mix_seed(config.base_seed, model_tag,
-                                 static_cast<std::uint64_t>(n),
-                                 static_cast<std::uint64_t>(net_index));
-      Network network = Network::create(net_config);
-
-      // Same pairs for every scheme: the comparison is paired.
-      Rng pair_rng(mix_seed(net_config.seed, 7, 7, 7));
-      std::vector<std::pair<NodeId, NodeId>> pairs;
-      pairs.reserve(static_cast<size_t>(config.pairs_per_network));
-      for (int p = 0; p < config.pairs_per_network; ++p) {
-        auto pair = network.random_connected_interior_pair(pair_rng);
-        if (pair.first != kInvalidNode) pairs.push_back(pair);
-      }
-
-      // Oracles once per pair, shared across schemes.
-      std::vector<ShortestPath> oracle_hop, oracle_len;
-      oracle_hop.reserve(pairs.size());
-      oracle_len.reserve(pairs.size());
-      for (auto [s, d] : pairs) {
-        oracle_hop.push_back(bfs_path(network.graph(), s, d));
-        oracle_len.push_back(dijkstra_path(network.graph(), s, d));
-      }
-
-      for (const auto& spec : config.schemes) {
-        auto router = network.make_router(spec.scheme, spec.slgf2_options);
-        RouteAggregate& agg = point.by_scheme.at(spec.display_label());
-        for (std::size_t i = 0; i < pairs.size(); ++i) {
-          PathResult r = router->route(pairs[i].first, pairs[i].second,
-                                       config.route_options);
-          agg.record(r, &oracle_hop[i], &oracle_len[i]);
-        }
-      }
+  }
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    SweepPoint& point = points[cells[ci].point_index];
+    for (auto& [label, agg] : results[ci]) {
+      point.by_scheme.at(label).merge(agg);
     }
-    points.push_back(std::move(point));
   }
   return points;
 }

@@ -10,6 +10,13 @@
 /// uses seed mix(base_seed, model, n, i), so every scheme routes the exact
 /// same packets over the exact same networks — the comparison is paired, as
 /// in the paper.
+///
+/// That same seeding makes every (node_count, network_index) cell fully
+/// independent, so the sweep parallelizes across cells on a work-stealing
+/// pool (`SweepConfig::threads`). Per-cell aggregates are merged in cell
+/// order, and Summary::merge replays samples in insertion order — so the
+/// parallel result is bit-identical to the serial one, thread count and
+/// scheduling notwithstanding.
 
 #include <functional>
 #include <map>
@@ -41,6 +48,10 @@ struct SweepConfig {
   std::vector<SchemeSpec> schemes;
   RouteOptions route_options{};
   DeploymentConfig deployment_template{};  ///< field/range/FA knobs
+  /// Worker threads for the sweep: 0 = hardware concurrency, 1 = serial on
+  /// the calling thread (no pool), N = pool of N. Results are bit-identical
+  /// for every value.
+  int threads = 0;
 
   /// The paper's four schemes in figure order.
   static std::vector<SchemeSpec> paper_schemes();
@@ -52,12 +63,20 @@ struct SweepPoint {
   std::map<std::string, RouteAggregate> by_scheme;  ///< keyed by display label
 };
 
-/// Progress callback: (node_count, network_index, networks_total).
+/// Progress callback: (node_count, network_index, networks_total). Invoked
+/// once per network cell under a mutex (never concurrently); with threads>1
+/// the invocation order across cells is unspecified.
 using SweepProgress = std::function<void(int, int, int)>;
 
-/// Runs the sweep; one SweepPoint per node count, in order.
+/// Runs the sweep; one SweepPoint per node count, in order. Deterministic:
+/// the result depends only on `config`, not on `config.threads` or timing.
 std::vector<SweepPoint> run_sweep(const SweepConfig& config,
                                   const SweepProgress& progress = {});
+
+/// The seed of network `net_index` at sweep point (model, node_count) —
+/// exposed so scenarios and tests can reconstruct any cell's network.
+std::uint64_t sweep_cell_seed(const SweepConfig& config, int node_count,
+                              int net_index);
 
 /// Reads an integer override from the environment (used by the benches so
 /// `SPR_NETWORKS=5 ./bench_fig6_avg_hops` gives a quick pass); returns

@@ -18,6 +18,17 @@ const char* scheme_name(Scheme scheme) noexcept {
   return "?";
 }
 
+unsigned Network::needs_for(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kGf: return kNeedsNone;  // recovery structures resolve lazily
+    case Scheme::kGfFace: return kNeedsOverlay;
+    case Scheme::kLgf: return kNeedsNone;
+    case Scheme::kSlgf: return kNeedsSafety;
+    case Scheme::kSlgf2: return kNeedsSafety;
+  }
+  return kNeedsNone;
+}
+
 Network Network::create(const NetworkConfig& config) {
   Rng rng(config.seed);
   Deployment d = deploy(config.deployment, rng);
@@ -25,32 +36,78 @@ Network Network::create(const NetworkConfig& config) {
 }
 
 Network::Network(Deployment deployment, double edge_band)
-    : deployment_(std::move(deployment)) {
+    : deployment_(std::move(deployment)), lazy_(std::make_unique<LazyState>()) {
   double band = edge_band < 0.0 ? deployment_.radio_range : edge_band;
   graph_ = std::make_unique<UnitDiskGraph>(deployment_.positions,
                                            deployment_.radio_range,
                                            deployment_.field);
   interest_area_ = std::make_unique<InterestArea>(*graph_, band);
-  safety_ = compute_safety(*graph_, *interest_area_);
-  overlay_ = std::make_unique<PlanarOverlay>(*graph_, PlanarOverlay::Kind::kGabriel);
-  boundhole_ = std::make_unique<BoundHoleInfo>(*graph_);
+}
+
+const SafetyInfo& Network::safety() const {
+  std::call_once(lazy_->safety_once, [this] {
+    lazy_->safety =
+        std::make_unique<SafetyInfo>(compute_safety(*graph_, *interest_area_));
+    lazy_->safety_built.store(true, std::memory_order_release);
+  });
+  return *lazy_->safety;
+}
+
+const PlanarOverlay& Network::overlay() const {
+  std::call_once(lazy_->overlay_once, [this] {
+    lazy_->overlay =
+        std::make_unique<PlanarOverlay>(*graph_, PlanarOverlay::Kind::kGabriel);
+    lazy_->overlay_built.store(true, std::memory_order_release);
+  });
+  return *lazy_->overlay;
+}
+
+const BoundHoleInfo& Network::boundhole() const {
+  std::call_once(lazy_->boundhole_once, [this] {
+    lazy_->boundhole = std::make_unique<BoundHoleInfo>(*graph_);
+    lazy_->boundhole_built.store(true, std::memory_order_release);
+  });
+  return *lazy_->boundhole;
+}
+
+bool Network::has_safety() const noexcept {
+  return lazy_->safety_built.load(std::memory_order_acquire);
+}
+
+bool Network::has_overlay() const noexcept {
+  return lazy_->overlay_built.load(std::memory_order_acquire);
+}
+
+bool Network::has_boundhole() const noexcept {
+  return lazy_->boundhole_built.load(std::memory_order_acquire);
+}
+
+void Network::force(unsigned needs) const {
+  if (needs & kNeedsSafety) safety();
+  if (needs & kNeedsOverlay) overlay();
+  if (needs & kNeedsBoundhole) boundhole();
 }
 
 std::unique_ptr<Router> Network::make_router(Scheme scheme,
                                              Slgf2Options slgf2_options) const {
+  force(needs_for(scheme));
   switch (scheme) {
     case Scheme::kGf:
-      return std::make_unique<GfRouter>(*graph_, *overlay_, boundhole_.get(),
-                                        GfRouter::Recovery::kBoundHole);
+      // Lazy recovery: the overlay/BOUNDHOLE build only if a packet actually
+      // gets stuck, so pure-greedy traffic constructs neither.
+      return std::make_unique<GfRouter>(
+          *graph_, [this]() -> const PlanarOverlay& { return overlay(); },
+          [this]() -> const BoundHoleInfo* { return &boundhole(); },
+          GfRouter::Recovery::kBoundHole);
     case Scheme::kGfFace:
-      return std::make_unique<GfRouter>(*graph_, *overlay_, nullptr,
+      return std::make_unique<GfRouter>(*graph_, overlay(), nullptr,
                                         GfRouter::Recovery::kFace);
     case Scheme::kLgf:
       return std::make_unique<LgfRouter>(*graph_);
     case Scheme::kSlgf:
-      return std::make_unique<SlgfRouter>(*graph_, safety_);
+      return std::make_unique<SlgfRouter>(*graph_, safety());
     case Scheme::kSlgf2:
-      return std::make_unique<Slgf2Router>(*graph_, safety_, slgf2_options);
+      return std::make_unique<Slgf2Router>(*graph_, safety(), slgf2_options);
   }
   return nullptr;
 }

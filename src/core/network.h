@@ -1,9 +1,18 @@
 #pragma once
 
 /// \file network.h
-/// The top-level facade: one deployed WASN with every precomputed structure
-/// the routers need (unit-disk adjacency, interest area, safety information,
-/// planar overlay, BOUNDHOLE boundaries) and a router factory.
+/// The top-level facade: one deployed WASN with the structures the routers
+/// need (unit-disk adjacency, interest area, safety information, planar
+/// overlay, BOUNDHOLE boundaries) and a router factory.
+///
+/// Construction is two-tier. The *core* — deployment, unit-disk graph and
+/// interest area — is built eagerly; everything routers may or may not need
+/// (safety labeling, planar overlay, BOUNDHOLE) is *lazy*: memoized on first
+/// access behind std::call_once, so concurrent sweep workers can share a
+/// network safely and a scheme only ever pays for the structures it uses.
+/// `make_router` forces exactly `needs_for(scheme)`; GF wires the network's
+/// lazy accessors into the router so even its recovery structures are built
+/// only if a packet actually hits a local minimum.
 ///
 /// Typical use:
 ///
@@ -15,7 +24,9 @@
 ///   auto [s, d] = net.random_connected_interior_pair(rng);
 ///   spr::PathResult r = router->route(s, d);
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "deploy/deployment.h"
@@ -44,10 +55,25 @@ struct NetworkConfig {
   double edge_band = -1.0;
 };
 
-/// One concrete network with all derived structures.
+/// One concrete network. Derived structures build on demand (see file
+/// comment); accessors hand out stable references — the memoized objects
+/// live until the network is destroyed.
 class Network {
  public:
-  /// Draws a deployment from `config` and builds everything.
+  /// Which derived structures a consumer requires (bitmask).
+  enum Needs : unsigned {
+    kNeedsNone = 0,
+    kNeedsSafety = 1u << 0,     ///< safety labeling (SLGF/SLGF2)
+    kNeedsOverlay = 1u << 1,    ///< planar overlay (face recovery)
+    kNeedsBoundhole = 1u << 2,  ///< BOUNDHOLE boundaries (GF recovery)
+  };
+
+  /// The structures `make_router(scheme)` forces eagerly. GF resolves its
+  /// recovery structures lazily, so it reports kNeedsNone here.
+  static unsigned needs_for(Scheme scheme) noexcept;
+
+  /// Draws a deployment from `config` and builds the core (graph + interest
+  /// area). Derived structures stay unbuilt until accessed.
   static Network create(const NetworkConfig& config);
 
   /// Builds from an existing deployment (e.g. hand-crafted in tests).
@@ -56,12 +82,25 @@ class Network {
   const Deployment& deployment() const noexcept { return deployment_; }
   const UnitDiskGraph& graph() const noexcept { return *graph_; }
   const InterestArea& interest_area() const noexcept { return *interest_area_; }
-  const SafetyInfo& safety() const noexcept { return safety_; }
-  const PlanarOverlay& overlay() const noexcept { return *overlay_; }
-  const BoundHoleInfo& boundhole() const noexcept { return *boundhole_; }
 
-  /// Instantiates a router bound to this network's structures. The network
-  /// must outlive the router. `slgf2_options` applies to kSlgf2 only.
+  /// Lazy, memoized, thread-safe: built on first call, then cached.
+  const SafetyInfo& safety() const;
+  const PlanarOverlay& overlay() const;
+  const BoundHoleInfo& boundhole() const;
+
+  /// Whether the corresponding lazy structure has been built (observation
+  /// only — never triggers a build). Used by tests and cost accounting.
+  bool has_safety() const noexcept;
+  bool has_overlay() const noexcept;
+  bool has_boundhole() const noexcept;
+
+  /// Builds the requested structures now (bitwise-or of Needs). Useful to
+  /// front-load construction cost before timing-sensitive routing.
+  void force(unsigned needs) const;
+
+  /// Instantiates a router bound to this network's structures, forcing only
+  /// `needs_for(scheme)`. The network must outlive the router.
+  /// `slgf2_options` applies to kSlgf2 only.
   std::unique_ptr<Router> make_router(Scheme scheme,
                                       Slgf2Options slgf2_options = {}) const;
 
@@ -74,12 +113,22 @@ class Network {
       Rng& rng, int max_tries = 64) const;
 
  private:
+  /// Heap-allocated so Network stays movable (std::once_flag is not).
+  /// The `*_built` flags let has_*() observe without racing the builders.
+  struct LazyState {
+    std::once_flag safety_once, overlay_once, boundhole_once;
+    std::unique_ptr<SafetyInfo> safety;
+    std::unique_ptr<PlanarOverlay> overlay;
+    std::unique_ptr<BoundHoleInfo> boundhole;
+    std::atomic<bool> safety_built{false};
+    std::atomic<bool> overlay_built{false};
+    std::atomic<bool> boundhole_built{false};
+  };
+
   Deployment deployment_;
   std::unique_ptr<UnitDiskGraph> graph_;
   std::unique_ptr<InterestArea> interest_area_;
-  SafetyInfo safety_;
-  std::unique_ptr<PlanarOverlay> overlay_;
-  std::unique_ptr<BoundHoleInfo> boundhole_;
+  std::unique_ptr<LazyState> lazy_;
 };
 
 }  // namespace spr

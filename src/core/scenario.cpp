@@ -1,0 +1,662 @@
+#include "core/scenario.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/graph_algos.h"
+#include "mobility/waypoint.h"
+#include "routing/gf.h"
+#include "routing/lgf.h"
+#include "routing/slgf.h"
+#include "routing/slgf2.h"
+#include "safety/incremental.h"
+#include "stats/table.h"
+#include "util/task_pool.h"
+
+namespace spr {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+const char* model_tag(DeployModel model) {
+  return model == DeployModel::kIdeal ? "IA" : "FA";
+}
+
+void summary_to_json(JsonWriter& w, const Summary& s) {
+  w.begin_object();
+  w.key("count").value(s.count());
+  w.key("mean").value(s.mean());
+  w.key("min").value(s.min());
+  w.key("max").value(s.max());
+  w.key("stddev").value(s.stddev());
+  w.end_object();
+}
+
+void aggregate_to_json(JsonWriter& w, const RouteAggregate& agg) {
+  w.begin_object();
+  w.key("attempted").value(agg.attempted);
+  w.key("delivered").value(agg.delivered);
+  w.key("delivery_ratio").value(agg.delivery_ratio());
+  w.key("hops");
+  summary_to_json(w, agg.hops);
+  w.key("length");
+  summary_to_json(w, agg.length);
+  w.key("stretch_hops");
+  summary_to_json(w, agg.stretch_hops);
+  w.key("stretch_length");
+  summary_to_json(w, agg.stretch_length);
+  w.key("perimeter_hops");
+  summary_to_json(w, agg.perimeter_hops);
+  w.key("backup_hops");
+  summary_to_json(w, agg.backup_hops);
+  w.key("local_minima");
+  summary_to_json(w, agg.local_minima);
+  w.end_object();
+}
+
+bool summaries_identical(const Summary& a, const Summary& b) {
+  return a.count() == b.count() && a.sum() == b.sum() && a.mean() == b.mean() &&
+         a.min() == b.min() && a.max() == b.max() &&
+         a.variance() == b.variance();
+}
+
+bool aggregates_identical(const RouteAggregate& a, const RouteAggregate& b) {
+  return a.attempted == b.attempted && a.delivered == b.delivered &&
+         summaries_identical(a.hops, b.hops) &&
+         summaries_identical(a.length, b.length) &&
+         summaries_identical(a.stretch_hops, b.stretch_hops) &&
+         summaries_identical(a.stretch_length, b.stretch_length) &&
+         summaries_identical(a.perimeter_hops, b.perimeter_hops) &&
+         summaries_identical(a.backup_hops, b.backup_hops) &&
+         summaries_identical(a.local_minima, b.local_minima);
+}
+
+/// The paper sweep config with scenario-option overrides applied.
+SweepConfig figure_config(DeployModel model, const ScenarioOptions& opts) {
+  SweepConfig config;
+  config.model = model;
+  config.networks_per_point = opts.networks > 0 ? opts.networks : 100;
+  config.pairs_per_network = opts.pairs > 0 ? opts.pairs : 20;
+  config.base_seed = opts.seed != 0 ? opts.seed : 2009;
+  config.threads = opts.threads;
+  config.schemes = SweepConfig::paper_schemes();
+  return config;
+}
+
+/// Shared driver for the fig5/6/7 scenarios: runs both deployment models,
+/// prints one table per panel, optionally writes one JSON report covering
+/// both models.
+int run_figure(const ScenarioOptions& opts, const std::string& scenario_name,
+               const std::string& figure_title, const MetricFn& metric,
+               int decimals) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("scenario").value(scenario_name);
+  json.key("models").begin_array();
+
+  for (DeployModel model :
+       {DeployModel::kIdeal, DeployModel::kForbiddenAreas}) {
+    SweepConfig config = figure_config(model, opts);
+    std::printf("%s — %s model, %d networks x %d pairs per point\n",
+                figure_title.c_str(), model_name(model),
+                config.networks_per_point, config.pairs_per_network);
+    auto start = std::chrono::steady_clock::now();
+    auto points = run_sweep(config);
+    double wall = seconds_since(start);
+
+    std::vector<std::string> header{"nodes"};
+    for (const auto& spec : config.schemes)
+      header.push_back(spec.display_label());
+    Table table(std::move(header));
+    for (const auto& point : points) {
+      std::vector<std::string> row{std::to_string(point.node_count)};
+      for (const auto& spec : config.schemes) {
+        const auto& agg = point.by_scheme.at(spec.display_label());
+        row.push_back(Table::fmt(metric(agg), decimals));
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    // Delivery context so failed routes are visible, not silently dropped.
+    std::printf("delivery ratio per scheme (worst point):");
+    for (const auto& spec : config.schemes) {
+      double worst = 1.0;
+      for (const auto& point : points) {
+        worst = std::min(
+            worst, point.by_scheme.at(spec.display_label()).delivery_ratio());
+      }
+      std::printf("  %s>=%.2f", spec.display_label().c_str(), worst);
+    }
+    std::printf("\n\n");
+
+    sweep_points_to_json(json, config, points, wall);
+  }
+  json.end_array();
+  json.end_object();
+  if (!opts.json_path.empty() && !json.write_file(opts.json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int run_ablation(const ScenarioOptions& opts) {
+  std::printf("== SLGF2 ablation: contribution of each mechanism (FA model) "
+              "==\n\n");
+  std::vector<SchemeSpec> schemes = {
+      {Scheme::kSlgf, {}, "SLGF"},
+      {Scheme::kSlgf2, {}, "SLGF2"},
+      {Scheme::kSlgf2, {.use_either_hand = false}, "-eitherhand"},
+      {Scheme::kSlgf2, {.use_backup_paths = false}, "-backup"},
+      {Scheme::kSlgf2, {.limit_perimeter = false}, "-limitperim"},
+  };
+
+  SweepConfig config = figure_config(DeployModel::kForbiddenAreas, opts);
+  if (opts.networks == 0) config.networks_per_point = 40;
+  config.schemes = schemes;
+  config.node_counts = {400, 600, 800};
+
+  auto start = std::chrono::steady_clock::now();
+  auto points = run_sweep(config);
+  double wall = seconds_since(start);
+
+  for (const char* metric :
+       {"avg-hops", "avg-length", "perimeter-hops", "delivery"}) {
+    std::printf("%s\n", metric);
+    std::vector<std::string> header{"nodes"};
+    for (const auto& s : schemes) header.push_back(s.display_label());
+    Table table(std::move(header));
+    for (const auto& point : points) {
+      std::vector<std::string> row{std::to_string(point.node_count)};
+      for (const auto& s : schemes) {
+        const auto& agg = point.by_scheme.at(s.display_label());
+        double value = 0.0;
+        if (std::string(metric) == "avg-hops") value = agg.hops.mean();
+        if (std::string(metric) == "avg-length") value = agg.length.mean();
+        if (std::string(metric) == "perimeter-hops")
+          value = agg.perimeter_hops.mean();
+        if (std::string(metric) == "delivery") value = agg.delivery_ratio();
+        row.push_back(Table::fmt(value, 2));
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  if (!opts.json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("scenario").value("ablation");
+    json.key("models").begin_array();
+    sweep_points_to_json(json, config, points, wall);
+    json.end_array();
+    json.end_object();
+    if (!json.write_file(opts.json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// Hole-field study: the FA regime the safety model targets — how much of
+/// the network is labeled unsafe and what that buys each scheme.
+int run_hole_field(const ScenarioOptions& opts) {
+  std::printf("== Hole field: unsafe labeling share and per-scheme delivery "
+              "(FA model) ==\n\n");
+  SweepConfig config = figure_config(DeployModel::kForbiddenAreas, opts);
+  if (opts.networks == 0) config.networks_per_point = 20;
+  config.node_counts = {500, 600, 700};
+
+  auto start = std::chrono::steady_clock::now();
+  auto points = run_sweep(config);
+  double wall = seconds_since(start);
+
+  // Unsafe-node share, sampled over this sweep's own networks (the sweep
+  // itself never builds the labeling for GF/LGF — that's the point of the
+  // lazy Network — so sample it here explicitly).
+  Table table({"nodes", "unsafe%", "GF deliv", "LGF deliv", "SLGF deliv",
+               "SLGF2 deliv", "SLGF2 perim"});
+  std::vector<double> unsafe_shares;
+  for (const auto& point : points) {
+    double unsafe_sum = 0.0;
+    int sampled = std::min(config.networks_per_point, 5);
+    for (int i = 0; i < sampled; ++i) {
+      NetworkConfig nc;
+      nc.deployment = config.deployment_template;
+      nc.deployment.model = config.model;
+      nc.deployment.node_count = point.node_count;
+      nc.seed = sweep_cell_seed(config, point.node_count, i);
+      Network net = Network::create(nc);
+      unsafe_sum += static_cast<double>(net.safety().unsafe_node_count()) /
+                    static_cast<double>(net.graph().size());
+    }
+    double unsafe_share = unsafe_sum / sampled;
+    unsafe_shares.push_back(unsafe_share);
+    table.add_row(
+        {std::to_string(point.node_count),
+         Table::fmt(100.0 * unsafe_share, 1),
+         Table::fmt(point.by_scheme.at("GF").delivery_ratio()),
+         Table::fmt(point.by_scheme.at("LGF").delivery_ratio()),
+         Table::fmt(point.by_scheme.at("SLGF").delivery_ratio()),
+         Table::fmt(point.by_scheme.at("SLGF2").delivery_ratio()),
+         Table::fmt(point.by_scheme.at("SLGF2").perimeter_hops.mean())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  if (!opts.json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("scenario").value("hole-field");
+    json.key("unsafe_share").begin_array();
+    for (double s : unsafe_shares) json.value(s);
+    json.end_array();
+    json.key("models").begin_array();
+    sweep_points_to_json(json, config, points, wall);
+    json.end_array();
+    json.end_object();
+    if (!json.write_file(opts.json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// Failure dynamics: kill a disc of nodes between a routable pair, update
+/// the labeling incrementally, and compare each scheme before/after.
+int run_failure_dynamics(const ScenarioOptions& opts) {
+  int trials = opts.networks > 0 ? opts.networks : 10;
+  std::uint64_t base_seed = opts.seed != 0 ? opts.seed : 3;
+  const int nodes = 700;
+  const double blast = 35.0;
+  std::printf("== Failure dynamics: %d trials, %d nodes, %.0fm blast ==\n\n",
+              trials, nodes, blast);
+
+  const Scheme schemes[] = {Scheme::kGf, Scheme::kLgf, Scheme::kSlgf,
+                            Scheme::kSlgf2};
+  std::size_t delivered_before[4] = {0}, delivered_after[4] = {0};
+  Summary flips, incremental_reevals;
+  int connected_trials = 0;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    NetworkConfig config;
+    config.deployment.node_count = nodes;
+    config.seed = base_seed + static_cast<std::uint64_t>(trial);
+    Network before = Network::create(config);
+
+    Rng rng(config.seed ^ 0xdead);
+    auto [s, d] = before.random_connected_interior_pair(rng);
+    if (s == kInvalidNode) continue;
+    Vec2 mid =
+        midpoint(before.graph().position(s), before.graph().position(d));
+    std::vector<NodeId> casualties;
+    for (NodeId u = 0; u < before.graph().size(); ++u) {
+      if (u == s || u == d) continue;
+      if (distance(before.graph().position(u), mid) <= blast) {
+        casualties.push_back(u);
+      }
+    }
+
+    // Shares the original graph's spatial grid — no re-bucketing.
+    UnitDiskGraph dead_graph = before.graph().with_failures(casualties);
+    if (!connected(dead_graph, s, d)) continue;
+    ++connected_trials;
+
+    InterestArea degraded_area(dead_graph, dead_graph.range());
+    SafetyInfo degraded_info = before.safety();
+    auto inc_stats = update_safety_after_failures(dead_graph, degraded_area,
+                                                  casualties, degraded_info);
+    flips.add(static_cast<double>(inc_stats.flips));
+    incremental_reevals.add(static_cast<double>(inc_stats.reevaluations));
+
+    PlanarOverlay degraded_overlay(dead_graph, PlanarOverlay::Kind::kGabriel);
+    BoundHoleInfo degraded_boundhole(dead_graph);
+    for (int k = 0; k < 4; ++k) {
+      auto router_before = before.make_router(schemes[k]);
+      if (router_before->route(s, d).delivered()) ++delivered_before[k];
+      std::unique_ptr<Router> router_after;
+      switch (schemes[k]) {
+        case Scheme::kGf:
+          router_after = std::make_unique<GfRouter>(
+              dead_graph, degraded_overlay, &degraded_boundhole,
+              GfRouter::Recovery::kBoundHole);
+          break;
+        case Scheme::kLgf:
+          router_after = std::make_unique<LgfRouter>(dead_graph);
+          break;
+        case Scheme::kSlgf:
+          router_after = std::make_unique<SlgfRouter>(dead_graph, degraded_info);
+          break;
+        default:
+          router_after =
+              std::make_unique<Slgf2Router>(dead_graph, degraded_info);
+      }
+      if (router_after->route(s, d).delivered()) ++delivered_after[k];
+    }
+  }
+
+  Table table({"scheme", "delivered before", "delivered after"});
+  for (int k = 0; k < 4; ++k) {
+    table.add_row({scheme_name(schemes[k]),
+                   std::to_string(delivered_before[k]) + "/" +
+                       std::to_string(connected_trials),
+                   std::to_string(delivered_after[k]) + "/" +
+                       std::to_string(connected_trials)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  if (!flips.empty()) {
+    std::printf("incremental relabeling: %.1f flips, %.1f re-evaluations per "
+                "failure (mean over %zu trials)\n",
+                flips.mean(), incremental_reevals.mean(), flips.count());
+  }
+
+  if (!opts.json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("scenario").value("failure-dynamics");
+    json.key("trials").value(trials);
+    json.key("connected_trials").value(connected_trials);
+    json.key("schemes").begin_array();
+    for (int k = 0; k < 4; ++k) {
+      json.begin_object();
+      json.key("scheme").value(scheme_name(schemes[k]));
+      json.key("delivered_before").value(delivered_before[k]);
+      json.key("delivered_after").value(delivered_after[k]);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("relabel_flips");
+    summary_to_json(json, flips);
+    json.end_object();
+    if (!json.write_file(opts.json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// Mobile stream: a long-lived SLGF2 stream between fixed endpoints while
+/// every other node follows a random-waypoint process.
+int run_mobile_stream(const ScenarioOptions& opts) {
+  int epochs = opts.networks > 0 ? opts.networks : 8;
+  std::uint64_t seed = opts.seed != 0 ? opts.seed : 9;
+  const double dt = 20.0;
+  DeploymentConfig dc;
+  dc.node_count = 600;
+  std::printf("== Mobile stream: %d epochs, %d nodes, dt=%.0fs ==\n\n", epochs,
+              dc.node_count, dt);
+
+  Rng deploy_rng(seed);
+  Deployment d = deploy(dc, deploy_rng);
+  WaypointConfig wc;
+  wc.field = dc.field;
+  WaypointModel model(d.positions, wc, Rng(seed ^ 0x11));
+
+  // Fixed endpoints: a far routable pair of the first snapshot.
+  UnitDiskGraph g0(model.positions(), dc.radio_range, dc.field);
+  InterestArea area0(g0, dc.radio_range);
+  const auto& interior = area0.interior_nodes();
+  if (interior.size() < 2) {
+    std::printf("network too small for interior endpoints\n");
+    return 1;
+  }
+  Rng pick_rng(seed ^ 0x22);
+  NodeId src = kInvalidNode, dst = kInvalidNode;
+  double best = -1.0;
+  for (int trial = 0; trial < 64; ++trial) {
+    NodeId a = interior[pick_rng.next_below(interior.size())];
+    NodeId b = interior[pick_rng.next_below(interior.size())];
+    if (a == b || !connected(g0, a, b)) continue;
+    double dist = distance(g0.position(a), g0.position(b));
+    if (dist > best) {
+      best = dist;
+      src = a;
+      dst = b;
+    }
+  }
+  if (src == kInvalidNode) {
+    std::printf("no routable pair in the first snapshot\n");
+    return 1;
+  }
+
+  Table table({"epoch", "time", "links", "delivered", "hops", "unsafe"});
+  int delivered_epochs = 0;
+  Summary hop_counts;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    // Rebuild the snapshot; positions changed, so every derived structure
+    // re-constitutes (the paper's argument for cheap construction).
+    UnitDiskGraph g(model.positions(), dc.radio_range, dc.field);
+    InterestArea area(g, dc.radio_range);
+    SafetyInfo info = compute_safety(g, area);
+    Slgf2Router router(g, info);
+    PathResult r = router.route(src, dst);
+    if (r.delivered()) {
+      ++delivered_epochs;
+      hop_counts.add(static_cast<double>(r.hops()));
+    }
+    table.add_row({std::to_string(epoch), Table::fmt(model.now(), 0),
+                   std::to_string(g.edge_count()),
+                   r.delivered() ? "yes" : "NO",
+                   std::to_string(r.hops()),
+                   std::to_string(info.unsafe_node_count())});
+    model.advance(dt);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("delivered %d/%d epochs, mean hops %.1f\n", delivered_epochs,
+              epochs, hop_counts.empty() ? 0.0 : hop_counts.mean());
+
+  if (!opts.json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("scenario").value("mobile-stream");
+    json.key("epochs").value(epochs);
+    json.key("delivered_epochs").value(delivered_epochs);
+    json.key("hops");
+    summary_to_json(json, hop_counts);
+    json.end_object();
+    if (!json.write_file(opts.json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// Parallel-sweep scaling: the same sweep serial and parallel, verifying
+/// bit-identical aggregates and reporting the wall-clock ratio.
+int run_sweep_scaling(const ScenarioOptions& opts) {
+  SweepConfig config = figure_config(DeployModel::kIdeal, opts);
+  if (opts.networks == 0) config.networks_per_point = 8;
+  if (opts.pairs == 0) config.pairs_per_network = 6;
+  config.node_counts = {400, 600, 800};
+  int hardware = TaskPool::hardware_threads();
+  int parallel_threads = opts.threads > 1 ? opts.threads : hardware;
+  std::printf("== Sweep scaling: %zu points x %d networks x %d pairs, "
+              "%d hardware threads ==\n\n",
+              config.node_counts.size(), config.networks_per_point,
+              config.pairs_per_network, hardware);
+
+  config.threads = 1;
+  auto start = std::chrono::steady_clock::now();
+  auto serial = run_sweep(config);
+  double serial_seconds = seconds_since(start);
+
+  config.threads = parallel_threads;
+  start = std::chrono::steady_clock::now();
+  auto parallel = run_sweep(config);
+  double parallel_seconds = seconds_since(start);
+
+  bool identical = sweep_results_identical(serial, parallel);
+  double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  std::printf("serial (threads=1):   %.2fs\n", serial_seconds);
+  std::printf("parallel (threads=%d): %.2fs\n", parallel_threads);
+  std::printf("speedup: %.2fx, aggregates bit-identical: %s\n", speedup,
+              identical ? "yes" : "NO");
+
+  if (!opts.json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("scenario").value("sweep-scaling");
+    json.key("hardware_threads").value(hardware);
+    json.key("parallel_threads").value(parallel_threads);
+    json.key("serial_seconds").value(serial_seconds);
+    json.key("parallel_seconds").value(parallel_seconds);
+    json.key("speedup").value(speedup);
+    json.key("bit_identical").value(identical);
+    json.key("models").begin_array();
+    sweep_points_to_json(json, config, parallel, parallel_seconds);
+    json.end_array();
+    json.end_object();
+    if (!json.write_file(opts.json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+      return 1;
+    }
+  }
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+const char* model_name(DeployModel model) noexcept {
+  return model == DeployModel::kIdeal ? "IA (uniform)" : "FA (forbidden areas)";
+}
+
+ScenarioOptions scenario_options_from_env() {
+  ScenarioOptions opts;
+  opts.networks = env_int_or("SPR_NETWORKS", 0);
+  opts.pairs = env_int_or("SPR_PAIRS", 0);
+  opts.seed = static_cast<std::uint64_t>(env_int_or("SPR_SEED", 0));
+  opts.threads = env_int_or("SPR_THREADS", 0);
+  if (const char* path = std::getenv("SPR_JSON"); path != nullptr && *path) {
+    opts.json_path = path;
+  }
+  return opts;
+}
+
+void ScenarioSuite::add(Scenario scenario) {
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioSuite::find(std::string_view name) const noexcept {
+  for (const auto& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+int ScenarioSuite::run(std::string_view name,
+                       const ScenarioOptions& options) const {
+  const Scenario* scenario = find(name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%.*s'; available:\n",
+                 static_cast<int>(name.size()), name.data());
+    for (const auto& s : scenarios_) {
+      std::fprintf(stderr, "  %-18s %s\n", s.name.c_str(),
+                   s.description.c_str());
+    }
+    return 2;
+  }
+  return scenario->run(options);
+}
+
+ScenarioSuite& ScenarioSuite::builtin() {
+  static ScenarioSuite suite = [] {
+    ScenarioSuite s;
+    s.add({"fig5-max-hops",
+           "paper Fig. 5: maximum hops per scheme, IA + FA models",
+           [](const ScenarioOptions& o) {
+             std::printf("== Fig. 5: maximum number of hops of a GF, LGF, "
+                         "SLGF, SLGF2 routing ==\n\n");
+             return run_figure(
+                 o, "fig5-max-hops", "Fig. 5",
+                 [](const RouteAggregate& agg) { return agg.max_hops(); }, 0);
+           }});
+    s.add({"fig6-avg-hops",
+           "paper Fig. 6: average hops per scheme, IA + FA models",
+           [](const ScenarioOptions& o) {
+             std::printf("== Fig. 6: average number of hops of a GF, LGF, "
+                         "SLGF, SLGF2 routing ==\n\n");
+             return run_figure(
+                 o, "fig6-avg-hops", "Fig. 6",
+                 [](const RouteAggregate& agg) { return agg.hops.mean(); }, 2);
+           }});
+    s.add({"fig7-path-length",
+           "paper Fig. 7: average path length per scheme, IA + FA models",
+           [](const ScenarioOptions& o) {
+             std::printf("== Fig. 7: average length of a GF, LGF, SLGF, SLGF2 "
+                         "routing ==\n\n");
+             return run_figure(
+                 o, "fig7-path-length", "Fig. 7",
+                 [](const RouteAggregate& agg) { return agg.length.mean(); },
+                 1);
+           }});
+    s.add({"ablation", "SLGF2 mechanism ablation (FA model)", run_ablation});
+    s.add({"hole-field",
+           "unsafe-labeling share and per-scheme delivery on large holes",
+           run_hole_field});
+    s.add({"failure-dynamics",
+           "node-failure blast: incremental relabeling + delivery before/after",
+           run_failure_dynamics});
+    s.add({"mobile-stream",
+           "SLGF2 stream across random-waypoint mobility epochs",
+           run_mobile_stream});
+    s.add({"sweep-scaling",
+           "parallel vs serial sweep: wall-clock ratio + bit-identical check",
+           run_sweep_scaling});
+    return s;
+  }();
+  return suite;
+}
+
+void sweep_points_to_json(JsonWriter& w, const SweepConfig& config,
+                          const std::vector<SweepPoint>& points,
+                          double wall_seconds) {
+  w.begin_object();
+  w.key("model").value(model_tag(config.model));
+  w.key("networks_per_point").value(config.networks_per_point);
+  w.key("pairs_per_network").value(config.pairs_per_network);
+  w.key("base_seed").value(static_cast<std::uint64_t>(config.base_seed));
+  w.key("threads").value(config.threads);
+  w.key("wall_seconds").value(wall_seconds);
+  w.key("points").begin_array();
+  for (const auto& point : points) {
+    w.begin_object();
+    w.key("nodes").value(point.node_count);
+    w.key("schemes").begin_object();
+    for (const auto& [label, agg] : point.by_scheme) {
+      w.key(label);
+      aggregate_to_json(w, agg);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+bool sweep_results_identical(const std::vector<SweepPoint>& a,
+                             const std::vector<SweepPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].node_count != b[i].node_count) return false;
+    if (a[i].by_scheme.size() != b[i].by_scheme.size()) return false;
+    for (const auto& [label, agg] : a[i].by_scheme) {
+      auto it = b[i].by_scheme.find(label);
+      if (it == b[i].by_scheme.end()) return false;
+      if (!aggregates_identical(agg, it->second)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace spr

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file scenario.h
+/// ScenarioSuite: the shared runner behind the figure benches, the CLI and
+/// CI. A scenario is a named, parameterized experiment (a paper figure, a
+/// hole-field study, failure dynamics, a mobile stream, the parallel-sweep
+/// scaling check); every scenario prints its human-readable tables and,
+/// when `ScenarioOptions::json_path` is set, also emits a machine-readable
+/// JSON report — the artifact CI uploads.
+///
+///   spr::ScenarioOptions opts = spr::scenario_options_from_env();
+///   return spr::ScenarioSuite::builtin().run("fig6-avg-hops", opts);
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/json.h"
+
+namespace spr {
+
+/// Cross-scenario knobs. Zero / empty means "use the scenario's default".
+struct ScenarioOptions {
+  int networks = 0;        ///< networks per sweep point
+  int pairs = 0;           ///< pairs per network
+  std::uint64_t seed = 0;  ///< base seed
+  int threads = 0;         ///< sweep threads: 0 = hardware, 1 = serial
+  std::string json_path;   ///< non-empty: also write a JSON report here
+};
+
+/// Options from the environment: SPR_NETWORKS, SPR_PAIRS, SPR_SEED,
+/// SPR_THREADS, SPR_JSON. Unset variables leave the scenario defaults.
+ScenarioOptions scenario_options_from_env();
+
+/// One registered scenario. `run` returns a process exit code.
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::function<int(const ScenarioOptions&)> run;
+};
+
+/// A registry of scenarios, looked up by name.
+class ScenarioSuite {
+ public:
+  /// The process-wide suite with every built-in scenario registered
+  /// (paper figures, ablation, hole-field, failure-dynamics, mobile-stream,
+  /// sweep-scaling).
+  static ScenarioSuite& builtin();
+
+  void add(Scenario scenario);
+  const Scenario* find(std::string_view name) const noexcept;
+  const std::vector<Scenario>& scenarios() const noexcept {
+    return scenarios_;
+  }
+
+  /// Runs the named scenario; 2 (plus a message to stderr) when unknown.
+  int run(std::string_view name, const ScenarioOptions& options = {}) const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+/// Extracts the number a figure plots from one (scheme, point) aggregate.
+using MetricFn = std::function<double(const RouteAggregate&)>;
+
+/// Display name of a deployment model ("IA (uniform)" / "FA (forbidden
+/// areas)"), shared by the scenarios and the benches.
+const char* model_name(DeployModel model) noexcept;
+
+/// Serializes one sweep's aggregates under the writer's current container
+/// position (emits an object). Shared by scenarios, benches and tests.
+void sweep_points_to_json(JsonWriter& w, const SweepConfig& config,
+                          const std::vector<SweepPoint>& points,
+                          double wall_seconds);
+
+/// Exact equality of two sweep results (bitwise on every summary moment);
+/// the determinism check behind the sweep-scaling scenario and tests.
+bool sweep_results_identical(const std::vector<SweepPoint>& a,
+                             const std::vector<SweepPoint>& b);
+
+}  // namespace spr

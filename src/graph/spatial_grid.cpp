@@ -5,9 +5,9 @@
 
 namespace spr {
 
-SpatialGrid::SpatialGrid(const std::vector<Vec2>& points, Rect bounds,
+SpatialGrid::SpatialGrid(std::vector<Vec2> points, Rect bounds,
                          double cell_size)
-    : points_(points), bounds_(bounds), cell_size_(cell_size) {
+    : points_(std::move(points)), bounds_(bounds), cell_size_(cell_size) {
   cols_ = std::max(1, static_cast<int>(std::ceil(bounds.width() / cell_size_)));
   rows_ = std::max(1, static_cast<int>(std::ceil(bounds.height() / cell_size_)));
   cells_.resize(static_cast<size_t>(cols_) * static_cast<size_t>(rows_));

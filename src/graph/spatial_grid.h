@@ -13,11 +13,15 @@
 namespace spr {
 
 /// Buckets points into square cells of side `cell_size` covering `bounds`.
+///
+/// The grid owns a copy of the point set, so it stays valid independently of
+/// the caller's vector — UnitDiskGraph shares one grid across every
+/// `with_failures` copy (the positions never change, only aliveness).
 class SpatialGrid {
  public:
   /// Builds the grid over all `points`. `cell_size` should be >= the query
   /// radius for single-ring neighbor queries (we use the radio range).
-  SpatialGrid(const std::vector<Vec2>& points, Rect bounds, double cell_size);
+  SpatialGrid(std::vector<Vec2> points, Rect bounds, double cell_size);
 
   /// Appends to `out` the ids of all points within `radius` of `center`
   /// (excluding `exclude`, pass kInvalidNode to keep everything).
@@ -29,6 +33,7 @@ class SpatialGrid {
 
   int cols() const noexcept { return cols_; }
   int rows() const noexcept { return rows_; }
+  std::size_t point_count() const noexcept { return points_.size(); }
 
  private:
   int cell_col(double x) const noexcept;
@@ -38,7 +43,7 @@ class SpatialGrid {
                   static_cast<size_t>(col)];
   }
 
-  const std::vector<Vec2>& points_;
+  std::vector<Vec2> points_;
   Rect bounds_;
   double cell_size_;
   int cols_, rows_;

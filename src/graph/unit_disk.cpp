@@ -18,21 +18,33 @@ UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
   build(alive);
 }
 
+UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
+                             Rect bounds, const std::vector<bool>& alive,
+                             std::shared_ptr<const SpatialGrid> grid)
+    : positions_(std::move(positions)),
+      range_(range),
+      bounds_(bounds),
+      grid_(std::move(grid)) {
+  build(alive);
+}
+
 void UnitDiskGraph::build(const std::vector<bool>& alive) {
   alive_ = alive;
   alive_.resize(positions_.size(), true);
   const std::size_t n = positions_.size();
   offsets_.assign(n + 1, 0);
   adjacency_.clear();
+  if (grid_ == nullptr) {
+    grid_ = std::make_shared<SpatialGrid>(positions_, bounds_, range_);
+  }
   if (n == 0) return;
 
-  SpatialGrid grid(positions_, bounds_, range_);
   std::vector<std::vector<NodeId>> neighbor_lists(n);
   std::vector<NodeId> scratch;
   for (NodeId u = 0; u < n; ++u) {
     if (!alive_[u]) continue;
     scratch.clear();
-    grid.query_radius(positions_[u], range_, u, scratch);
+    grid_->query_radius(positions_[u], range_, u, scratch);
     auto& list = neighbor_lists[u];
     for (NodeId v : scratch) {
       if (alive_[v]) list.push_back(v);
@@ -70,7 +82,9 @@ UnitDiskGraph UnitDiskGraph::with_failures(
   for (NodeId u : failed) {
     if (u < alive.size()) alive[u] = false;
   }
-  return UnitDiskGraph(positions_, range_, bounds_, alive);
+  // Positions are unchanged, so the copy shares this graph's grid instead of
+  // re-bucketing all points for every failure batch.
+  return UnitDiskGraph(positions_, range_, bounds_, alive, grid_);
 }
 
 }  // namespace spr

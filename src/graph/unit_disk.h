@@ -6,6 +6,7 @@
 /// communication range, as the paper assumes).
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -14,6 +15,8 @@
 #include "graph/node.h"
 
 namespace spr {
+
+class SpatialGrid;
 
 /// Immutable unit-disk graph over a fixed set of node positions.
 ///
@@ -52,14 +55,25 @@ class UnitDiskGraph {
   double average_degree() const noexcept;
 
   /// A copy of this graph with the given nodes marked dead (edges removed).
+  /// Reuses this graph's spatial grid (positions are identical), so repeated
+  /// failure batches never re-bucket the point set.
   UnitDiskGraph with_failures(const std::vector<NodeId>& failed) const;
 
+  /// The spatial index the adjacency was built with; shared across
+  /// `with_failures` copies.
+  const SpatialGrid& grid() const noexcept { return *grid_; }
+
  private:
+  UnitDiskGraph(std::vector<Vec2> positions, double range, Rect bounds,
+                const std::vector<bool>& alive,
+                std::shared_ptr<const SpatialGrid> grid);
+
   void build(const std::vector<bool>& alive);
 
   std::vector<Vec2> positions_;
   double range_;
   Rect bounds_;
+  std::shared_ptr<const SpatialGrid> grid_;
   std::vector<bool> alive_;
   std::vector<std::size_t> offsets_;  // size() + 1 entries
   std::vector<NodeId> adjacency_;

@@ -28,7 +28,31 @@ struct GfRouter::GfHeader final : public PacketHeader {
 
 GfRouter::GfRouter(const UnitDiskGraph& g, const PlanarOverlay& overlay,
                    const BoundHoleInfo* boundhole, Recovery recovery)
-    : Router(g), overlay_(overlay), boundhole_(boundhole), recovery_(recovery) {}
+    : Router(g),
+      overlay_(&overlay),
+      boundhole_(boundhole),
+      boundhole_resolved_(true),
+      recovery_(recovery) {}
+
+GfRouter::GfRouter(const UnitDiskGraph& g, OverlayProvider overlay,
+                   BoundHoleProvider boundhole, Recovery recovery)
+    : Router(g),
+      overlay_provider_(std::move(overlay)),
+      boundhole_provider_(std::move(boundhole)),
+      recovery_(recovery) {}
+
+const PlanarOverlay& GfRouter::overlay() const {
+  if (overlay_ == nullptr) overlay_ = &overlay_provider_();
+  return *overlay_;
+}
+
+const BoundHoleInfo* GfRouter::boundhole() const {
+  if (!boundhole_resolved_) {
+    boundhole_ = boundhole_provider_ ? boundhole_provider_() : nullptr;
+    boundhole_resolved_ = true;
+  }
+  return boundhole_;
+}
 
 std::unique_ptr<PacketHeader> GfRouter::make_header(NodeId, NodeId) const {
   return std::make_unique<GfHeader>();
@@ -62,14 +86,14 @@ Router::Decision GfRouter::select_successor(NodeId u, NodeId d,
     h.prev = kInvalidNode;
     h.face_steps = 0;
     h.boundary_steps = 0;
-    if (recovery_ == Recovery::kBoundHole && boundhole_ != nullptr &&
-        boundhole_->boundary_of(u) != -1) {
+    if (recovery_ == Recovery::kBoundHole && boundhole() != nullptr &&
+        boundhole()->boundary_of(u) != -1) {
       h.mode = GfHeader::Mode::kBoundary;
-      h.boundary = boundhole_->boundary_of(u);
-      h.cycle_index = boundhole_->cycle_position(u);
+      h.boundary = boundhole()->boundary_of(u);
+      h.cycle_index = boundhole()->cycle_position(u);
       // Walk the side of the hole facing the destination: step to whichever
       // cycle neighbor is first by right hand w.r.t. the ray u->d.
-      const auto& cycle = boundhole_->boundaries()[static_cast<size_t>(h.boundary)].cycle;
+      const auto& cycle = boundhole()->boundaries()[static_cast<size_t>(h.boundary)].cycle;
       int sz = static_cast<int>(cycle.size());
       NodeId fwd = cycle[static_cast<size_t>((h.cycle_index + 1) % sz)];
       NodeId back = cycle[static_cast<size_t>((h.cycle_index - 1 + sz) % sz)];
@@ -95,7 +119,7 @@ Router::Decision GfRouter::boundary_step_decision(NodeId u, NodeId d,
                                                   GfHeader& h) const {
   const UnitDiskGraph& g = graph();
   const auto& cycle =
-      boundhole_->boundaries()[static_cast<size_t>(h.boundary)].cycle;
+      boundhole()->boundaries()[static_cast<size_t>(h.boundary)].cycle;
   int sz = static_cast<int>(cycle.size());
   // Abandon after a full loop without progress: fall back to face routing,
   // re-anchored at the current node (stale entry state corrupts both the
@@ -136,7 +160,7 @@ Router::Decision GfRouter::face_step(NodeId u, NodeId d, GfHeader& h) const {
   Vec2 pu = g.position(u);
   Vec2 dest = g.position(d);
 
-  auto nbrs = overlay_.neighbors(u);
+  auto nbrs = overlay().neighbors(u);
   if (nbrs.empty()) return {kInvalidNode, HopPhase::kPerimeter, false};
 
   // Livelock breaker: a correct face walk visits each overlay edge at most

@@ -13,6 +13,14 @@
 ///    a precomputed BOUNDHOLE boundary, walk that boundary (direction by
 ///    right hand w.r.t. the ray u->d) until a node closer to d than the
 ///    entry point, falling back to face traversal otherwise.
+///
+/// The recovery structures can be supplied lazily: with the provider
+/// constructor the overlay/BOUNDHOLE are materialized only when the first
+/// packet actually hits a local minimum, so hole-free greedy traffic never
+/// pays for them (Network::make_router wires the network's memoized lazy
+/// accessors in here).
+
+#include <functional>
 
 #include "graph/planar.h"
 #include "routing/boundhole.h"
@@ -24,9 +32,22 @@ class GfRouter final : public Router {
  public:
   enum class Recovery { kFace, kBoundHole };
 
-  /// `overlay` must outlive the router. `boundhole` may be null for kFace.
+  /// Lazy sources for the recovery structures. The overlay provider must
+  /// return a reference that outlives the router; the BOUNDHOLE provider may
+  /// return null (face traversal is used instead).
+  using OverlayProvider = std::function<const PlanarOverlay&()>;
+  using BoundHoleProvider = std::function<const BoundHoleInfo*()>;
+
+  /// Eager form: `overlay` must outlive the router. `boundhole` may be null
+  /// for kFace.
   GfRouter(const UnitDiskGraph& g, const PlanarOverlay& overlay,
            const BoundHoleInfo* boundhole, Recovery recovery);
+
+  /// Lazy form: providers are invoked at most once, on the first local
+  /// minimum. Not thread-safe across concurrent route() calls on the same
+  /// router instance (providers themselves may be, e.g. Network's).
+  GfRouter(const UnitDiskGraph& g, OverlayProvider overlay,
+           BoundHoleProvider boundhole, Recovery recovery);
 
   std::string_view name() const noexcept override {
     return recovery_ == Recovery::kFace ? "GF/face" : "GF";
@@ -40,11 +61,17 @@ class GfRouter final : public Router {
  private:
   struct GfHeader;
 
+  const PlanarOverlay& overlay() const;
+  const BoundHoleInfo* boundhole() const;
+
   Decision face_step(NodeId u, NodeId d, GfHeader& h) const;
   Decision boundary_step_decision(NodeId u, NodeId d, GfHeader& h) const;
 
-  const PlanarOverlay& overlay_;
-  const BoundHoleInfo* boundhole_;
+  OverlayProvider overlay_provider_;
+  BoundHoleProvider boundhole_provider_;
+  mutable const PlanarOverlay* overlay_ = nullptr;
+  mutable const BoundHoleInfo* boundhole_ = nullptr;
+  mutable bool boundhole_resolved_ = false;
   Recovery recovery_;
 };
 

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file json.h
+/// Minimal streaming JSON emitter for machine-readable bench/scenario
+/// output. No DOM, no parsing — just well-formed output with automatic
+/// comma placement and string escaping.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("nodes").value(600);
+///   w.key("schemes").begin_array();
+///   w.value("GF").value("SLGF2");
+///   w.end_array();
+///   w.end_object();
+///   std::string text = w.str();
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spr {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// The document so far. Well-formed once every container is closed.
+  const std::string& str() const noexcept { return out_; }
+
+  /// Writes str() to `path`; returns false on I/O error.
+  bool write_file(const std::string& path) const;
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_in_scope_{true};  // per open container
+  bool after_key_ = false;
+};
+
+}  // namespace spr

@@ -68,6 +68,65 @@ TEST(Experiment, ProgressCallbackFires) {
   EXPECT_EQ(calls, 2);  // one per network
 }
 
+TEST(Experiment, ProgressCallbackFiresOncePerCellUnderParallelism) {
+  // The callback is serialized by the sweep, so a plain int is enough even
+  // with worker threads.
+  int calls = 0;
+  SweepConfig config = tiny_sweep();
+  config.node_counts = {400, 450};
+  config.threads = 4;
+  run_sweep(config, [&](int, int, int) { ++calls; });
+  EXPECT_EQ(calls, 4);  // 2 points x 2 networks
+}
+
+TEST(Experiment, ParallelAggregatesBitIdenticalToSerial) {
+  SweepConfig config = tiny_sweep();
+  config.node_counts = {400, 450};
+  config.networks_per_point = 3;
+  config.pairs_per_network = 3;
+
+  config.threads = 1;
+  auto serial = run_sweep(config);
+  for (int threads : {0, 2, 5}) {
+    config.threads = threads;
+    auto parallel = run_sweep(config);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t pi = 0; pi < serial.size(); ++pi) {
+      for (const auto& [label, agg] : serial[pi].by_scheme) {
+        const auto& other = parallel[pi].by_scheme.at(label);
+        EXPECT_EQ(agg.attempted, other.attempted) << label;
+        EXPECT_EQ(agg.delivered, other.delivered) << label;
+        // Bit-identical, not just approximately equal: the merge replays
+        // samples in cell order, so every moment matches exactly.
+        EXPECT_EQ(agg.hops.count(), other.hops.count()) << label;
+        EXPECT_EQ(agg.hops.sum(), other.hops.sum()) << label;
+        EXPECT_EQ(agg.hops.mean(), other.hops.mean()) << label;
+        EXPECT_EQ(agg.hops.variance(), other.hops.variance()) << label;
+        EXPECT_EQ(agg.length.sum(), other.length.sum()) << label;
+        EXPECT_EQ(agg.length.mean(), other.length.mean()) << label;
+        EXPECT_EQ(agg.stretch_hops.mean(), other.stretch_hops.mean()) << label;
+        EXPECT_EQ(agg.stretch_length.mean(), other.stretch_length.mean())
+            << label;
+        EXPECT_EQ(agg.local_minima.sum(), other.local_minima.sum()) << label;
+        EXPECT_EQ(agg.hops.max(), other.hops.max()) << label;
+        EXPECT_EQ(agg.hops.min(), other.hops.min()) << label;
+      }
+    }
+  }
+}
+
+TEST(Experiment, SweepCellSeedMatchesSweepNetworks) {
+  // Exposed so scenarios/tests can rebuild any sweep cell; must differ
+  // across cells and models.
+  SweepConfig ia = tiny_sweep();
+  SweepConfig fa = tiny_sweep();
+  fa.model = DeployModel::kForbiddenAreas;
+  EXPECT_NE(sweep_cell_seed(ia, 400, 0), sweep_cell_seed(ia, 400, 1));
+  EXPECT_NE(sweep_cell_seed(ia, 400, 0), sweep_cell_seed(ia, 450, 0));
+  EXPECT_NE(sweep_cell_seed(ia, 400, 0), sweep_cell_seed(fa, 400, 0));
+  EXPECT_EQ(sweep_cell_seed(ia, 400, 0), sweep_cell_seed(ia, 400, 0));
+}
+
 TEST(Experiment, CustomSchemeLabels) {
   SweepConfig config = tiny_sweep();
   config.schemes = {{Scheme::kSlgf2, {}, "full"},

@@ -19,6 +19,113 @@ TEST(Network, CreateBuildsAllStructures) {
   EXPECT_GT(net.overlay().edge_count(), 0u);
 }
 
+TEST(Network, DerivedStructuresStartUnbuilt) {
+  NetworkConfig config;
+  config.deployment.node_count = 300;
+  config.seed = 5;
+  Network net = Network::create(config);
+  EXPECT_FALSE(net.has_safety());
+  EXPECT_FALSE(net.has_overlay());
+  EXPECT_FALSE(net.has_boundhole());
+  // The eager core is there regardless.
+  EXPECT_EQ(net.graph().size(), 300u);
+  EXPECT_GT(net.interest_area().interior_nodes().size(), 0u);
+}
+
+TEST(Network, AccessorsMemoize) {
+  Network net = test::random_network(250, 3);
+  const SafetyInfo* first = &net.safety();
+  EXPECT_TRUE(net.has_safety());
+  EXPECT_EQ(first, &net.safety());  // stable reference, built once
+  const PlanarOverlay* overlay = &net.overlay();
+  EXPECT_EQ(overlay, &net.overlay());
+}
+
+TEST(Network, ForceBuildsRequestedStructures) {
+  Network net = test::random_network(250, 3);
+  net.force(Network::kNeedsSafety | Network::kNeedsBoundhole);
+  EXPECT_TRUE(net.has_safety());
+  EXPECT_FALSE(net.has_overlay());
+  EXPECT_TRUE(net.has_boundhole());
+}
+
+TEST(Network, NeedsForScheme) {
+  EXPECT_EQ(Network::needs_for(Scheme::kGf), Network::kNeedsNone);
+  EXPECT_EQ(Network::needs_for(Scheme::kLgf), Network::kNeedsNone);
+  EXPECT_EQ(Network::needs_for(Scheme::kGfFace), Network::kNeedsOverlay);
+  EXPECT_EQ(Network::needs_for(Scheme::kSlgf), Network::kNeedsSafety);
+  EXPECT_EQ(Network::needs_for(Scheme::kSlgf2), Network::kNeedsSafety);
+}
+
+TEST(Network, MakeRouterForcesOnlyWhatTheSchemeUses) {
+  {
+    Network net = test::random_network(250, 3);
+    auto router = net.make_router(Scheme::kSlgf2);
+    EXPECT_TRUE(net.has_safety());
+    EXPECT_FALSE(net.has_overlay());
+    EXPECT_FALSE(net.has_boundhole());
+  }
+  {
+    Network net = test::random_network(250, 3);
+    auto router = net.make_router(Scheme::kGfFace);
+    EXPECT_FALSE(net.has_safety());
+    EXPECT_TRUE(net.has_overlay());
+    EXPECT_FALSE(net.has_boundhole());
+  }
+  {
+    Network net = test::random_network(250, 3);
+    auto router = net.make_router(Scheme::kLgf);
+    EXPECT_FALSE(net.has_safety());
+    EXPECT_FALSE(net.has_overlay());
+    EXPECT_FALSE(net.has_boundhole());
+  }
+}
+
+TEST(Network, GfRoutingWithoutLocalMinimaBuildsNothing) {
+  // Dense hole-free grid: greedy forwarding always progresses, so GF must
+  // never materialize the overlay, BOUNDHOLE or safety labeling.
+  Network net{test::dense_grid_deployment(400, 7)};
+  auto router = net.make_router(Scheme::kGf);
+  EXPECT_FALSE(net.has_overlay());
+  EXPECT_FALSE(net.has_boundhole());
+
+  Rng rng(21);
+  int routed = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    auto [s, d] = net.random_connected_interior_pair(rng);
+    ASSERT_NE(s, kInvalidNode);
+    PathResult r = router->route(s, d);
+    EXPECT_TRUE(r.delivered());
+    ++routed;
+  }
+  EXPECT_GT(routed, 0);
+  EXPECT_FALSE(net.has_safety());
+  EXPECT_FALSE(net.has_overlay());
+  EXPECT_FALSE(net.has_boundhole());
+}
+
+TEST(Network, GfRecoveryLazilyBuildsOnFirstLocalMinimum) {
+  // A grid with a large void: some pair hits a local minimum, which must
+  // pull in the recovery structures — and routing must still work.
+  Deployment d = test::grid_with_void(
+      20, 10.0, Rect::from_bounds({60.0, 60.0}, {140.0, 140.0}));
+  Network net{std::move(d)};
+  auto router = net.make_router(Scheme::kGf);
+  EXPECT_FALSE(net.has_overlay());
+  EXPECT_FALSE(net.has_boundhole());
+
+  Rng rng(4);
+  bool hit_minimum = false;
+  for (int trial = 0; trial < 60 && !hit_minimum; ++trial) {
+    auto [s, dd] = net.random_connected_interior_pair(rng);
+    if (s == kInvalidNode) break;
+    PathResult r = router->route(s, dd);
+    hit_minimum = r.local_minima > 0;
+  }
+  ASSERT_TRUE(hit_minimum) << "no pair hit a local minimum; weak fixture";
+  EXPECT_TRUE(net.has_boundhole());
+}
+
 TEST(Network, SameSeedSameNetwork) {
   NetworkConfig config;
   config.deployment.node_count = 200;

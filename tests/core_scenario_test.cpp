@@ -1,0 +1,110 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace spr {
+namespace {
+
+TEST(JsonWriter, NestedContainersAndEscaping) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("line\nbreak \"quoted\"");
+  w.key("count").value(3);
+  w.key("ratio").value(0.5);
+  w.key("ok").value(true);
+  w.key("missing").null();
+  w.key("list").begin_array();
+  w.value(1).value(2);
+  w.begin_object().key("x").value(7).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"line\\nbreak \\\"quoted\\\"\",\"count\":3,"
+            "\"ratio\":0.5,\"ok\":true,\"missing\":null,"
+            "\"list\":[1,2,{\"x\":7}]}");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(ScenarioSuite, BuiltinRegistersTheNamedScenarios) {
+  const auto& suite = ScenarioSuite::builtin();
+  for (const char* name :
+       {"fig5-max-hops", "fig6-avg-hops", "fig7-path-length", "ablation",
+        "hole-field", "failure-dynamics", "mobile-stream", "sweep-scaling"}) {
+    EXPECT_NE(suite.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(suite.find("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioSuite, UnknownScenarioReturns2) {
+  EXPECT_EQ(ScenarioSuite::builtin().run("no-such-scenario"), 2);
+}
+
+TEST(ScenarioSuite, SweepScalingVerifiesDeterminismAndWritesJson) {
+  std::string json_path =
+      testing::TempDir() + "/spr_scenario_scaling_test.json";
+  ScenarioOptions opts;
+  opts.networks = 2;
+  opts.pairs = 2;
+  opts.threads = 3;
+  opts.json_path = json_path;
+  ASSERT_EQ(ScenarioSuite::builtin().run("sweep-scaling", opts), 0);
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  EXPECT_NE(json.find("\"scenario\":\"sweep-scaling\""), std::string::npos);
+  EXPECT_NE(json.find("\"bit_identical\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\":"), std::string::npos);
+  std::remove(json_path.c_str());
+}
+
+TEST(ScenarioSuite, SweepResultsIdenticalDetectsDivergence) {
+  SweepConfig config;
+  config.node_counts = {400};
+  config.networks_per_point = 1;
+  config.pairs_per_network = 2;
+  config.schemes = SweepConfig::paper_schemes();
+  auto a = run_sweep(config);
+  auto b = run_sweep(config);
+  EXPECT_TRUE(sweep_results_identical(a, b));
+  b[0].by_scheme.at("GF").attempted += 1;
+  EXPECT_FALSE(sweep_results_identical(a, b));
+}
+
+TEST(ScenarioOptions, FromEnvReadsOverrides) {
+  ::setenv("SPR_NETWORKS", "5", 1);
+  ::setenv("SPR_PAIRS", "3", 1);
+  ::setenv("SPR_THREADS", "2", 1);
+  ::setenv("SPR_JSON", "/tmp/x.json", 1);
+  ScenarioOptions opts = scenario_options_from_env();
+  EXPECT_EQ(opts.networks, 5);
+  EXPECT_EQ(opts.pairs, 3);
+  EXPECT_EQ(opts.threads, 2);
+  EXPECT_EQ(opts.json_path, "/tmp/x.json");
+  ::unsetenv("SPR_NETWORKS");
+  ::unsetenv("SPR_PAIRS");
+  ::unsetenv("SPR_THREADS");
+  ::unsetenv("SPR_JSON");
+  ScenarioOptions defaults = scenario_options_from_env();
+  EXPECT_EQ(defaults.networks, 0);
+  EXPECT_TRUE(defaults.json_path.empty());
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,100 @@
+#include "util/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace spr {
+namespace {
+
+TEST(TaskPool, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(TaskPool::hardware_threads(), 1);
+}
+
+TEST(TaskPool, DefaultsToHardwareThreads) {
+  TaskPool pool;
+  EXPECT_EQ(pool.thread_count(),
+            static_cast<std::size_t>(TaskPool::hardware_threads()));
+}
+
+TEST(TaskPool, ParallelForCoversEveryIndexExactlyOnce) {
+  const std::size_t n = 500;
+  std::vector<std::atomic<int>> hits(n);
+  TaskPool pool(4);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskPool, SingleThreadPoolStillRunsEverything) {
+  std::atomic<int> sum{0};
+  TaskPool pool(1);
+  pool.parallel_for(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(TaskPool, SubmitAndWaitIdle) {
+  std::atomic<int> done{0};
+  TaskPool pool(3);
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+  // The pool is reusable after an idle wait.
+  pool.submit([&done] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 51);
+}
+
+TEST(TaskPool, ImbalancedTasksAllComplete) {
+  // A few long tasks and many short ones: idle workers must steal the short
+  // ones instead of waiting behind the long ones' home queues.
+  std::atomic<int> done{0};
+  TaskPool pool(4);
+  pool.parallel_for(64, [&](std::size_t i) {
+    if (i % 16 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(TaskPool, TaskExceptionPropagatesToCaller) {
+  TaskPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives the failed batch.
+  std::atomic<int> ok{0};
+  pool.parallel_for(4, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(TaskPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    TaskPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+  }  // ~TaskPool waits
+  EXPECT_EQ(done.load(), 20);
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,11 +1,12 @@
 /// \file spr_cli.cpp
 /// Command-line front end to the library:
 ///
-///   spr_cli info   [flags]            network structure summary
-///   spr_cli label  [flags]            safety labeling summary / dump
-///   spr_cli route  [flags] <s> <d>    route one pair with every scheme
-///   spr_cli sweep  [flags]            mini figure sweep (table output)
-///   spr_cli render [flags] <out.svg>  render deployment + unsafe areas
+///   spr_cli info     [flags]            network structure summary
+///   spr_cli label    [flags]            safety labeling summary / dump
+///   spr_cli route    [flags] <s> <d>    route one pair with every scheme
+///   spr_cli sweep    [flags]            mini figure sweep (table output)
+///   spr_cli scenario [flags] <name>     run a registered scenario (--list)
+///   spr_cli render   [flags] <out.svg>  render deployment + unsafe areas
 ///
 /// Common flags: --nodes, --seed, --fa, --range.
 
@@ -15,6 +16,7 @@
 
 #include "core/experiment.h"
 #include "core/network.h"
+#include "core/scenario.h"
 #include "graph/graph_algos.h"
 #include "graph/metrics.h"
 #include "safety/distributed.h"
@@ -161,11 +163,12 @@ int cmd_route(int argc, const char* const* argv) {
 
 int cmd_sweep(int argc, const char* const* argv) {
   CommonArgs args;
-  int networks = 10, pairs = 10;
+  int networks = 10, pairs = 10, threads = 0;
   FlagSet flags("spr_cli sweep: mini paper sweep");
   add_common(flags, args);
   flags.add_int("networks", &networks, "networks per point");
   flags.add_int("pairs", &pairs, "pairs per network");
+  flags.add_int("threads", &threads, "sweep threads (0=hardware, 1=serial)");
   if (!flags.parse(argc, argv)) return 1;
 
   SweepConfig config;
@@ -173,6 +176,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   config.networks_per_point = networks;
   config.pairs_per_network = pairs;
   config.base_seed = args.seed;
+  config.threads = threads;
   config.schemes = SweepConfig::paper_schemes();
   config.deployment_template.radio_range = args.range;
   auto points = run_sweep(config);
@@ -190,6 +194,38 @@ int cmd_sweep(int argc, const char* const* argv) {
   }
   std::fputs(table.render().c_str(), stdout);
   return 0;
+}
+
+int cmd_scenario(int argc, const char* const* argv) {
+  int networks = 0, pairs = 0, threads = 0;
+  unsigned long long seed = 0;
+  bool list = false;
+  std::string json_path;
+  FlagSet flags("spr_cli scenario <name>: run a registered scenario");
+  flags.add_bool("list", &list, "list the registered scenarios");
+  flags.add_int("networks", &networks, "networks per point (0=default)");
+  flags.add_int("pairs", &pairs, "pairs per network (0=default)");
+  flags.add_uint64("seed", &seed, "base seed (0=default)");
+  flags.add_int("threads", &threads, "sweep threads (0=hardware, 1=serial)");
+  flags.add_string("json", &json_path, "also write a JSON report here");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto& suite = ScenarioSuite::builtin();
+  if (list || flags.positional().empty()) {
+    std::printf("registered scenarios:\n");
+    for (const auto& s : suite.scenarios()) {
+      std::printf("  %-18s %s\n", s.name.c_str(), s.description.c_str());
+    }
+    return list ? 0 : 1;
+  }
+
+  ScenarioOptions opts;
+  opts.networks = networks;
+  opts.pairs = pairs;
+  opts.seed = seed;
+  opts.threads = threads;
+  opts.json_path = json_path;
+  return suite.run(flags.positional().front(), opts);
 }
 
 int cmd_render(int argc, const char* const* argv) {
@@ -228,7 +264,7 @@ int cmd_render(int argc, const char* const* argv) {
 
 void usage() {
   std::fputs(
-      "usage: spr_cli <info|label|route|sweep|render> [flags...]\n"
+      "usage: spr_cli <info|label|route|sweep|scenario|render> [flags...]\n"
       "run 'spr_cli <command> --help' for per-command flags\n",
       stderr);
 }
@@ -248,6 +284,7 @@ int main(int argc, char** argv) {
   if (command == "label") return cmd_label(sub_argc, sub_argv);
   if (command == "route") return cmd_route(sub_argc, sub_argv);
   if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
+  if (command == "scenario") return cmd_scenario(sub_argc, sub_argv);
   if (command == "render") return cmd_render(sub_argc, sub_argv);
   usage();
   return 1;
