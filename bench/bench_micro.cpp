@@ -88,7 +88,12 @@ void route_scheme_bench(benchmark::State& state, Scheme scheme) {
   Rng rng(7);
   std::vector<std::pair<NodeId, NodeId>> pairs;
   for (int i = 0; i < 64; ++i) {
-    pairs.push_back(net.random_connected_interior_pair(rng));
+    auto pair = net.random_connected_interior_pair(rng);
+    if (pair.first != kInvalidNode) pairs.push_back(pair);
+  }
+  if (pairs.empty()) {
+    state.SkipWithError("no connected interior pairs");
+    return;
   }
   std::size_t i = 0;
   for (auto _ : state) {
@@ -115,7 +120,12 @@ void BM_ShortestPathOracle(benchmark::State& state) {
   Rng rng(8);
   std::vector<std::pair<NodeId, NodeId>> pairs;
   for (int i = 0; i < 64; ++i) {
-    pairs.push_back(net.random_connected_interior_pair(rng));
+    auto pair = net.random_connected_interior_pair(rng);
+    if (pair.first != kInvalidNode) pairs.push_back(pair);
+  }
+  if (pairs.empty()) {
+    state.SkipWithError("no connected interior pairs");
+    return;
   }
   std::size_t i = 0;
   for (auto _ : state) {

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   std::size_t worst_perimeter = 0;
   for (int trial = 0; trial < 60; ++trial) {
     auto [s, d] = net.random_connected_interior_pair(rng);
+    if (s == kInvalidNode) continue;
     PathResult r = lgf->route(s, d);
     if (!r.delivered()) continue;
     if (best_s == kInvalidNode || r.perimeter_hops() > worst_perimeter) {

@@ -1,10 +1,13 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 
+#include "graph/graph_algos.h"
 #include "util/task_pool.h"
 
 namespace spr {
@@ -55,9 +58,11 @@ namespace {
 /// One (node_count, network_index) cell's aggregates, keyed like SweepPoint.
 using CellResult = std::map<std::string, RouteAggregate>;
 
-/// Runs one independent sweep cell: draw the network, pick the pairs,
-/// compute the oracles once, route every scheme over the same pairs.
-CellResult run_cell(const SweepConfig& config, int n, int net_index) {
+/// Runs one independent sweep cell: draw the network, pick the pairs, run
+/// the shared per-source oracle, batch-route every scheme over the same
+/// pairs. `timings` (never null) receives this cell's cost breakdown.
+CellResult run_cell(const SweepConfig& config, int n, int net_index,
+                    SweepTimings* timings) {
   CellResult cell;
   for (const auto& spec : config.schemes) {
     cell.emplace(spec.display_label(), RouteAggregate{});
@@ -68,42 +73,82 @@ CellResult run_cell(const SweepConfig& config, int n, int net_index) {
   net_config.deployment.model = config.model;
   net_config.deployment.node_count = n;
   net_config.seed = sweep_cell_seed(config, n, net_index);
+  auto start = std::chrono::steady_clock::now();
   Network network = Network::create(net_config);
+  // Force every structure the scheme set will touch, so the construction
+  // bucket really holds construction (GF's recovery structures stay lazy by
+  // design — if a packet gets stuck their build lands in the routing
+  // bucket, which is exactly the cost model the paper argues about).
+  unsigned needs = Network::kNeedsNone;
+  for (const auto& spec : config.schemes) {
+    needs |= Network::needs_for(spec.scheme);
+  }
+  network.force(needs);
+  timings->construction_seconds += seconds_since(start);
 
   // Same pairs for every scheme: the comparison is paired.
-  Rng pair_rng(mix_seed(net_config.seed, 7, 7, 7));
-  std::vector<std::pair<NodeId, NodeId>> pairs;
-  pairs.reserve(static_cast<size_t>(config.pairs_per_network));
-  for (int p = 0; p < config.pairs_per_network; ++p) {
-    auto pair = network.random_connected_interior_pair(pair_rng);
-    if (pair.first != kInvalidNode) pairs.push_back(pair);
-  }
+  start = std::chrono::steady_clock::now();
+  auto pairs = sweep_cell_pairs(config, network, n, net_index);
+  timings->pair_draw_seconds += seconds_since(start);
+  timings->pairs_requested += static_cast<std::uint64_t>(
+      std::max(config.pairs_per_network, 0));
+  timings->pairs_routed += pairs.size();
 
-  // Oracles once per pair, shared across schemes.
-  std::vector<ShortestPath> oracle_hop, oracle_len;
-  oracle_hop.reserve(pairs.size());
-  oracle_len.reserve(pairs.size());
-  for (auto [s, d] : pairs) {
-    oracle_hop.push_back(bfs_path(network.graph(), s, d));
-    oracle_len.push_back(dijkstra_path(network.graph(), s, d));
-  }
+  // One BFS + one Dijkstra per distinct source, shared by every pair from
+  // that source and every scheme.
+  start = std::chrono::steady_clock::now();
+  OracleBatch oracles(network.graph(), pairs);
+  timings->oracle_seconds += seconds_since(start);
+  timings->bfs_searches += oracles.distinct_sources();
+  timings->dijkstra_searches += oracles.distinct_sources();
 
+  start = std::chrono::steady_clock::now();
   for (const auto& spec : config.schemes) {
     auto router = network.make_router(spec.scheme, spec.slgf2_options);
     RouteAggregate& agg = cell.at(spec.display_label());
+    agg.requested += static_cast<std::size_t>(
+        std::max(config.pairs_per_network, 0));
+    std::vector<PathResult> results =
+        router->route_batch(pairs, config.route_options);
     for (std::size_t i = 0; i < pairs.size(); ++i) {
-      PathResult r = router->route(pairs[i].first, pairs[i].second,
-                                   config.route_options);
-      agg.record(r, &oracle_hop[i], &oracle_len[i]);
+      agg.record(results[i], &oracles.hop_optimal(i),
+                 &oracles.length_optimal(i));
     }
   }
+  timings->routing_seconds += seconds_since(start);
   return cell;
 }
 
 }  // namespace
 
+void SweepTimings::merge(const SweepTimings& other) {
+  construction_seconds += other.construction_seconds;
+  pair_draw_seconds += other.pair_draw_seconds;
+  oracle_seconds += other.oracle_seconds;
+  routing_seconds += other.routing_seconds;
+  bfs_searches += other.bfs_searches;
+  dijkstra_searches += other.dijkstra_searches;
+  pairs_requested += other.pairs_requested;
+  pairs_routed += other.pairs_routed;
+}
+
+std::vector<std::pair<NodeId, NodeId>> sweep_cell_pairs(
+    const SweepConfig& config, const Network& network, int node_count,
+    int net_index) {
+  Rng pair_rng(
+      mix_seed(sweep_cell_seed(config, node_count, net_index), 7, 7, 7));
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(static_cast<size_t>(std::max(config.pairs_per_network, 0)));
+  for (int p = 0; p < config.pairs_per_network; ++p) {
+    auto pair = network.random_connected_interior_pair(pair_rng);
+    if (pair.first != kInvalidNode) pairs.push_back(pair);
+  }
+  return pairs;
+}
+
 std::vector<SweepPoint> run_sweep(const SweepConfig& config,
-                                  const SweepProgress& progress) {
+                                  const SweepProgress& progress,
+                                  SweepTimings* timings) {
   // Flatten the sweep into independent (node_count, network_index) cells.
   struct Cell {
     std::size_t point_index;
@@ -120,14 +165,22 @@ std::vector<SweepPoint> run_sweep(const SweepConfig& config,
   }
 
   std::vector<CellResult> results(cells.size());
+  SweepTimings accumulated;
   std::mutex progress_mutex;
+  std::mutex timings_mutex;
   auto run_one = [&](std::size_t ci) {
     const Cell& cell = cells[ci];
     if (progress) {
       std::lock_guard<std::mutex> lock(progress_mutex);
       progress(cell.node_count, cell.net_index, config.networks_per_point);
     }
-    results[ci] = run_cell(config, cell.node_count, cell.net_index);
+    SweepTimings cell_timings;
+    results[ci] = run_cell(config, cell.node_count, cell.net_index,
+                           &cell_timings);
+    {
+      std::lock_guard<std::mutex> lock(timings_mutex);
+      accumulated.merge(cell_timings);
+    }
   };
 
   if (config.threads == 1) {
@@ -153,7 +206,14 @@ std::vector<SweepPoint> run_sweep(const SweepConfig& config,
       point.by_scheme.at(label).merge(agg);
     }
   }
+  if (timings != nullptr) *timings = accumulated;
   return points;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 int env_int_or(const char* name, int fallback) {

@@ -18,9 +18,12 @@
 /// parallel result is bit-identical to the serial one, thread count and
 /// scheduling notwithstanding.
 
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/metrics.h"
@@ -68,10 +71,41 @@ struct SweepPoint {
 /// the invocation order across cells is unspecified.
 using SweepProgress = std::function<void(int, int, int)>;
 
+/// Cost breakdown of a sweep, accumulated over all cells. The seconds are
+/// wall-clock (timing-noisy, summed across workers); the counts are exact
+/// and deterministic. One BFS and one Dijkstra run per *distinct source*
+/// per cell — `bfs_searches` against `2 * pairs_routed` is the saving over
+/// the per-pair oracle loop this pipeline replaced.
+struct SweepTimings {
+  double construction_seconds = 0.0;  ///< Network::create + forced structures
+  double pair_draw_seconds = 0.0;     ///< connected-pair sampling (BFS probes)
+  double oracle_seconds = 0.0;        ///< OracleBatch searches + extraction
+  double routing_seconds = 0.0;       ///< route_batch over every scheme
+  std::uint64_t bfs_searches = 0;     ///< oracle BFS trees (distinct sources)
+  std::uint64_t dijkstra_searches = 0;
+  std::uint64_t pairs_requested = 0;  ///< cells x pairs_per_network
+  std::uint64_t pairs_routed = 0;     ///< pairs actually drawn and routed
+
+  /// Accumulates another breakdown (the sweep's cell-order reduction).
+  void merge(const SweepTimings& other);
+};
+
 /// Runs the sweep; one SweepPoint per node count, in order. Deterministic:
 /// the result depends only on `config`, not on `config.threads` or timing.
+/// `timings`, when non-null, receives the accumulated cost breakdown.
 std::vector<SweepPoint> run_sweep(const SweepConfig& config,
-                                  const SweepProgress& progress = {});
+                                  const SweepProgress& progress = {},
+                                  SweepTimings* timings = nullptr);
+
+/// The (s, d) pairs cell (node_count, net_index) routes — the exact drawing
+/// the sweep performs, exposed so scenarios and tests can reconstruct any
+/// cell's traffic. `network` must be the cell's network (same seed). May
+/// return fewer than `pairs_per_network` pairs when connected interior
+/// pairs cannot be drawn; the shortfall is what RouteAggregate::requested
+/// tracks.
+std::vector<std::pair<NodeId, NodeId>> sweep_cell_pairs(
+    const SweepConfig& config, const Network& network, int node_count,
+    int net_index);
 
 /// The seed of network `net_index` at sweep point (model, node_count) —
 /// exposed so scenarios and tests can reconstruct any cell's network.
@@ -82,5 +116,9 @@ std::uint64_t sweep_cell_seed(const SweepConfig& config, int node_count,
 /// `SPR_NETWORKS=5 ./bench_fig6_avg_hops` gives a quick pass); returns
 /// `fallback` when unset or unparsable.
 int env_int_or(const char* name, int fallback);
+
+/// Seconds elapsed since `start` — the wall-clock helper behind
+/// SweepTimings and the scenario reports.
+double seconds_since(std::chrono::steady_clock::time_point start);
 
 }  // namespace spr

@@ -30,6 +30,7 @@ void RouteAggregate::merge(const RouteAggregate& other) {
   perimeter_hops.merge(other.perimeter_hops);
   backup_hops.merge(other.backup_hops);
   local_minima.merge(other.local_minima);
+  requested += other.requested;
   attempted += other.attempted;
   delivered += other.delivered;
 }

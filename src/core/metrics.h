@@ -22,6 +22,10 @@ struct RouteAggregate {
   Summary perimeter_hops;  ///< per delivered packet
   Summary backup_hops;     ///< per delivered packet
   Summary local_minima;    ///< per attempted packet
+  /// Packets the configuration asked for. Can exceed `attempted`: a sweep
+  /// cell that fails to draw a connected interior pair routes fewer packets
+  /// than configured, and that shortfall must be visible, not silent.
+  std::size_t requested = 0;
   std::size_t attempted = 0;
   std::size_t delivered = 0;
 
@@ -30,6 +34,11 @@ struct RouteAggregate {
     return attempted == 0 ? 0.0
                           : static_cast<double>(delivered) /
                                 static_cast<double>(attempted);
+  }
+  /// Requested-but-never-routed packets (0 when every configured pair was
+  /// drawn successfully).
+  std::size_t pair_shortfall() const noexcept {
+    return requested > attempted ? requested - attempted : 0;
   }
 
   /// Records one packet. `oracle_hop` / `oracle_len` are the BFS/Dijkstra

@@ -32,22 +32,24 @@ unsigned Network::needs_for(Scheme scheme) noexcept {
 Network Network::create(const NetworkConfig& config) {
   Rng rng(config.seed);
   Deployment d = deploy(config.deployment, rng);
-  return Network(std::move(d), config.edge_band);
+  return Network(std::move(d), config.edge_band, config.build_pool);
 }
 
-Network::Network(Deployment deployment, double edge_band)
-    : deployment_(std::move(deployment)), lazy_(std::make_unique<LazyState>()) {
+Network::Network(Deployment deployment, double edge_band, TaskPool* build_pool)
+    : deployment_(std::move(deployment)),
+      build_pool_(build_pool),
+      lazy_(std::make_unique<LazyState>()) {
   double band = edge_band < 0.0 ? deployment_.radio_range : edge_band;
   graph_ = std::make_unique<UnitDiskGraph>(deployment_.positions,
                                            deployment_.radio_range,
-                                           deployment_.field);
+                                           deployment_.field, build_pool_);
   interest_area_ = std::make_unique<InterestArea>(*graph_, band);
 }
 
 const SafetyInfo& Network::safety() const {
   std::call_once(lazy_->safety_once, [this] {
-    lazy_->safety =
-        std::make_unique<SafetyInfo>(compute_safety(*graph_, *interest_area_));
+    lazy_->safety = std::make_unique<SafetyInfo>(
+        compute_safety(*graph_, *interest_area_, build_pool_));
     lazy_->safety_built.store(true, std::memory_order_release);
   });
   return *lazy_->safety;
@@ -123,13 +125,16 @@ std::pair<NodeId, NodeId> Network::random_interior_pair(Rng& rng) const {
 
 std::pair<NodeId, NodeId> Network::random_connected_interior_pair(
     Rng& rng, int max_tries) const {
-  std::pair<NodeId, NodeId> pair{kInvalidNode, kInvalidNode};
   for (int attempt = 0; attempt < max_tries; ++attempt) {
-    pair = random_interior_pair(rng);
+    auto pair = random_interior_pair(rng);
     if (pair.first == kInvalidNode) return pair;
     if (connected(*graph_, pair.first, pair.second)) return pair;
   }
-  return pair;
+  // No connected pair within budget: report failure rather than handing
+  // back the last (disconnected) sample — routing a known-hopeless pair
+  // would bias delivery metrics while the pair-shortfall accounting shows
+  // a full sample.
+  return {kInvalidNode, kInvalidNode};
 }
 
 }  // namespace spr

@@ -53,6 +53,13 @@ struct NetworkConfig {
   std::uint64_t seed = 1;
   /// Edge-node band around the hull; negative means one radio range.
   double edge_band = -1.0;
+  /// Non-owning pool for *within-network* build parallelism: unit-disk
+  /// adjacency and the safety-labeling initialization fan out over it with
+  /// deterministic (node-id-ordered) merges, so the network is bit-identical
+  /// for every thread count. Must outlive the Network (lazy structures may
+  /// build late). Leave null when networks are themselves built on pool
+  /// workers (the sweep cells do) — nesting would deadlock the pool.
+  TaskPool* build_pool = nullptr;
 };
 
 /// One concrete network. Derived structures build on demand (see file
@@ -77,7 +84,8 @@ class Network {
   static Network create(const NetworkConfig& config);
 
   /// Builds from an existing deployment (e.g. hand-crafted in tests).
-  explicit Network(Deployment deployment, double edge_band = -1.0);
+  explicit Network(Deployment deployment, double edge_band = -1.0,
+                   TaskPool* build_pool = nullptr);
 
   const Deployment& deployment() const noexcept { return deployment_; }
   const UnitDiskGraph& graph() const noexcept { return *graph_; }
@@ -108,7 +116,8 @@ class Network {
   std::pair<NodeId, NodeId> random_interior_pair(Rng& rng) const;
 
   /// As above, resampled (up to `max_tries`) until the pair is connected in
-  /// the unit-disk graph; falls back to the last sample when none is found.
+  /// the unit-disk graph; {kInvalidNode, kInvalidNode} when none is found
+  /// (callers must check — the sweep counts it as a pair shortfall).
   std::pair<NodeId, NodeId> random_connected_interior_pair(
       Rng& rng, int max_tries = 64) const;
 
@@ -126,6 +135,7 @@ class Network {
   };
 
   Deployment deployment_;
+  TaskPool* build_pool_ = nullptr;  ///< non-owning; see NetworkConfig
   std::unique_ptr<UnitDiskGraph> graph_;
   std::unique_ptr<InterestArea> interest_area_;
   std::unique_ptr<LazyState> lazy_;

@@ -18,12 +18,6 @@ namespace spr {
 
 namespace {
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
 const char* model_tag(DeployModel model) {
   return model == DeployModel::kIdeal ? "IA" : "FA";
 }
@@ -40,7 +34,9 @@ void summary_to_json(JsonWriter& w, const Summary& s) {
 
 void aggregate_to_json(JsonWriter& w, const RouteAggregate& agg) {
   w.begin_object();
+  w.key("requested").value(agg.requested);
   w.key("attempted").value(agg.attempted);
+  w.key("pair_shortfall").value(agg.pair_shortfall());
   w.key("delivered").value(agg.delivered);
   w.key("delivery_ratio").value(agg.delivery_ratio());
   w.key("hops");
@@ -67,7 +63,8 @@ bool summaries_identical(const Summary& a, const Summary& b) {
 }
 
 bool aggregates_identical(const RouteAggregate& a, const RouteAggregate& b) {
-  return a.attempted == b.attempted && a.delivered == b.delivered &&
+  return a.requested == b.requested && a.attempted == b.attempted &&
+         a.delivered == b.delivered &&
          summaries_identical(a.hops, b.hops) &&
          summaries_identical(a.length, b.length) &&
          summaries_identical(a.stretch_hops, b.stretch_hops) &&
@@ -221,7 +218,9 @@ int run_hole_field(const ScenarioOptions& opts) {
 
   // Unsafe-node share, sampled over this sweep's own networks (the sweep
   // itself never builds the labeling for GF/LGF — that's the point of the
-  // lazy Network — so sample it here explicitly).
+  // lazy Network — so sample it here explicitly). These builds run on the
+  // main thread, so the adjacency and labeling fan out within each network.
+  TaskPool build_pool(opts.threads);
   Table table({"nodes", "unsafe%", "GF deliv", "LGF deliv", "SLGF deliv",
                "SLGF2 deliv", "SLGF2 perim"});
   std::vector<double> unsafe_shares;
@@ -234,6 +233,7 @@ int run_hole_field(const ScenarioOptions& opts) {
       nc.deployment.model = config.model;
       nc.deployment.node_count = point.node_count;
       nc.seed = sweep_cell_seed(config, point.node_count, i);
+      nc.build_pool = &build_pool;
       Network net = Network::create(nc);
       unsafe_sum += static_cast<double>(net.safety().unsafe_node_count()) /
                     static_cast<double>(net.graph().size());
@@ -286,10 +286,14 @@ int run_failure_dynamics(const ScenarioOptions& opts) {
   Summary flips, incremental_reevals;
   int connected_trials = 0;
 
+  // Single-network trials on the main thread: build-parallelize within
+  // each network (adjacency + labeling init fan out; results identical).
+  TaskPool build_pool(opts.threads);
   for (int trial = 0; trial < trials; ++trial) {
     NetworkConfig config;
     config.deployment.node_count = nodes;
     config.seed = base_seed + static_cast<std::uint64_t>(trial);
+    config.build_pool = &build_pool;
     Network before = Network::create(config);
 
     Rng rng(config.seed ^ 0xdead);
@@ -306,7 +310,8 @@ int run_failure_dynamics(const ScenarioOptions& opts) {
     }
 
     // Shares the original graph's spatial grid — no re-bucketing.
-    UnitDiskGraph dead_graph = before.graph().with_failures(casualties);
+    UnitDiskGraph dead_graph =
+        before.graph().with_failures(casualties, &build_pool);
     if (!connected(dead_graph, s, d)) continue;
     ++connected_trials;
 
@@ -431,12 +436,13 @@ int run_mobile_stream(const ScenarioOptions& opts) {
   Table table({"epoch", "time", "links", "delivered", "hops", "unsafe"});
   int delivered_epochs = 0;
   Summary hop_counts;
+  TaskPool build_pool(opts.threads);  // per-epoch rebuilds fan out within
   for (int epoch = 0; epoch < epochs; ++epoch) {
     // Rebuild the snapshot; positions changed, so every derived structure
     // re-constitutes (the paper's argument for cheap construction).
-    UnitDiskGraph g(model.positions(), dc.radio_range, dc.field);
+    UnitDiskGraph g(model.positions(), dc.radio_range, dc.field, &build_pool);
     InterestArea area(g, dc.radio_range);
-    SafetyInfo info = compute_safety(g, area);
+    SafetyInfo info = compute_safety(g, area, &build_pool);
     Slgf2Router router(g, info);
     PathResult r = router.route(src, dst);
     if (r.delivered()) {
@@ -471,8 +477,25 @@ int run_mobile_stream(const ScenarioOptions& opts) {
   return 0;
 }
 
+/// Serializes one run's SweepTimings breakdown (object under the current
+/// writer position).
+void timings_to_json(JsonWriter& w, const SweepTimings& t) {
+  w.begin_object();
+  w.key("construction_seconds").value(t.construction_seconds);
+  w.key("pair_draw_seconds").value(t.pair_draw_seconds);
+  w.key("oracle_seconds").value(t.oracle_seconds);
+  w.key("routing_seconds").value(t.routing_seconds);
+  w.key("oracle_bfs_searches").value(t.bfs_searches);
+  w.key("oracle_dijkstra_searches").value(t.dijkstra_searches);
+  w.key("pairs_requested").value(t.pairs_requested);
+  w.key("pairs_routed").value(t.pairs_routed);
+  w.end_object();
+}
+
 /// Parallel-sweep scaling: the same sweep serial and parallel, verifying
-/// bit-identical aggregates and reporting the wall-clock ratio.
+/// bit-identical aggregates and reporting the wall-clock ratio plus the
+/// construction / oracle / routing breakdown and the per-source oracle
+/// saving over the per-pair search loop.
 int run_sweep_scaling(const ScenarioOptions& opts) {
   SweepConfig config = figure_config(DeployModel::kIdeal, opts);
   if (opts.networks == 0) config.networks_per_point = 8;
@@ -487,21 +510,46 @@ int run_sweep_scaling(const ScenarioOptions& opts) {
 
   config.threads = 1;
   auto start = std::chrono::steady_clock::now();
-  auto serial = run_sweep(config);
+  SweepTimings serial_timings;
+  auto serial = run_sweep(config, {}, &serial_timings);
   double serial_seconds = seconds_since(start);
 
   config.threads = parallel_threads;
   start = std::chrono::steady_clock::now();
-  auto parallel = run_sweep(config);
+  SweepTimings parallel_timings;
+  auto parallel = run_sweep(config, {}, &parallel_timings);
   double parallel_seconds = seconds_since(start);
 
   bool identical = sweep_results_identical(serial, parallel);
   double speedup =
       parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
   std::printf("serial (threads=1):   %.2fs\n", serial_seconds);
-  std::printf("parallel (threads=%d): %.2fs\n", parallel_threads);
+  std::printf("parallel (threads=%d): %.2fs\n", parallel_threads,
+              parallel_seconds);
   std::printf("speedup: %.2fx, aggregates bit-identical: %s\n", speedup,
               identical ? "yes" : "NO");
+  // Cost breakdown (serial run: the parallel one sums worker wall-clocks).
+  std::printf("serial breakdown: construction %.2fs, pair draw %.2fs, "
+              "oracle %.2fs, routing %.2fs\n",
+              serial_timings.construction_seconds,
+              serial_timings.pair_draw_seconds,
+              serial_timings.oracle_seconds, serial_timings.routing_seconds);
+  std::uint64_t per_pair_searches = 2 * serial_timings.pairs_routed;
+  std::uint64_t shared_searches =
+      serial_timings.bfs_searches + serial_timings.dijkstra_searches;
+  std::printf("oracle searches: %llu (vs %llu per-pair) for %llu pairs — "
+              "one BFS + one Dijkstra per distinct source\n",
+              static_cast<unsigned long long>(shared_searches),
+              static_cast<unsigned long long>(per_pair_searches),
+              static_cast<unsigned long long>(serial_timings.pairs_routed));
+  if (serial_timings.pairs_routed < serial_timings.pairs_requested) {
+    std::printf("pair shortfall: %llu of %llu requested pairs not drawn\n",
+                static_cast<unsigned long long>(
+                    serial_timings.pairs_requested -
+                    serial_timings.pairs_routed),
+                static_cast<unsigned long long>(
+                    serial_timings.pairs_requested));
+  }
 
   if (!opts.json_path.empty()) {
     JsonWriter json;
@@ -513,6 +561,10 @@ int run_sweep_scaling(const ScenarioOptions& opts) {
     json.key("parallel_seconds").value(parallel_seconds);
     json.key("speedup").value(speedup);
     json.key("bit_identical").value(identical);
+    json.key("serial_timings");
+    timings_to_json(json, serial_timings);
+    json.key("parallel_timings");
+    timings_to_json(json, parallel_timings);
     json.key("models").begin_array();
     sweep_points_to_json(json, config, parallel, parallel_seconds);
     json.end_array();

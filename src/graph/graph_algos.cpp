@@ -1,10 +1,26 @@
 #include "graph/graph_algos.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <queue>
 
 namespace spr {
+
+namespace {
+std::atomic<std::uint64_t> g_bfs_trees{0};
+std::atomic<std::uint64_t> g_dijkstra_trees{0};
+}  // namespace
+
+OracleSearchCounts oracle_search_counts() noexcept {
+  return {g_bfs_trees.load(std::memory_order_relaxed),
+          g_dijkstra_trees.load(std::memory_order_relaxed)};
+}
+
+void reset_oracle_search_counts() noexcept {
+  g_bfs_trees.store(0, std::memory_order_relaxed);
+  g_dijkstra_trees.store(0, std::memory_order_relaxed);
+}
 
 std::vector<std::size_t> bfs_hops(const UnitDiskGraph& g, NodeId source) {
   constexpr auto kUnreached = std::numeric_limits<std::size_t>::max();
@@ -25,68 +41,118 @@ std::vector<std::size_t> bfs_hops(const UnitDiskGraph& g, NodeId source) {
   return dist;
 }
 
-namespace {
-ShortestPath reconstruct(const UnitDiskGraph& g,
-                         const std::vector<NodeId>& parent, NodeId source,
-                         NodeId target) {
+ShortestPathTree::ShortestPathTree(const UnitDiskGraph& g, NodeId source,
+                                   Metric metric, NodeId stop_at)
+    : g_(&g), source_(source), metric_(metric) {
+  parent_.assign(g.size(), kInvalidNode);
+  if (source >= g.size()) return;  // invalid source: everything unreachable
+  if (stop_at >= g.size()) stop_at = kInvalidNode;  // out-of-range: full tree
+  if (metric == Metric::kHops) {
+    g_bfs_trees.fetch_add(1, std::memory_order_relaxed);
+    std::vector<bool> seen(g.size(), false);
+    std::queue<NodeId> frontier;
+    seen[source] = true;
+    frontier.push(source);
+    while (!frontier.empty() &&
+           (stop_at == kInvalidNode || !seen[stop_at])) {
+      NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          parent_[v] = u;
+          frontier.push(v);
+        }
+      }
+    }
+  } else {
+    g_dijkstra_trees.fetch_add(1, std::memory_order_relaxed);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(g.size(), kInf);
+    using Entry = std::pair<double, NodeId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0.0;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      if (u == stop_at) break;
+      for (NodeId v : g.neighbors(u)) {
+        double nd = d + distance(g.position(u), g.position(v));
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          parent_[v] = u;
+          heap.emplace(nd, v);
+        }
+      }
+    }
+  }
+}
+
+ShortestPath ShortestPathTree::extract(NodeId target) const {
   ShortestPath result;
-  if (parent[target] == kInvalidNode && target != source) return result;
-  for (NodeId v = target; v != source; v = parent[v]) result.path.push_back(v);
-  result.path.push_back(source);
+  if (target >= parent_.size() || !reached(target)) return result;
+  for (NodeId v = target; v != source_; v = parent_[v]) result.path.push_back(v);
+  result.path.push_back(source_);
   std::reverse(result.path.begin(), result.path.end());
   for (std::size_t i = 1; i < result.path.size(); ++i) {
     result.length +=
-        distance(g.position(result.path[i - 1]), g.position(result.path[i]));
+        distance(g_->position(result.path[i - 1]), g_->position(result.path[i]));
   }
   return result;
 }
-}  // namespace
 
-ShortestPath bfs_path(const UnitDiskGraph& g, NodeId source, NodeId target) {
-  std::vector<NodeId> parent(g.size(), kInvalidNode);
-  std::vector<bool> seen(g.size(), false);
-  std::queue<NodeId> frontier;
-  seen[source] = true;
-  frontier.push(source);
-  while (!frontier.empty() && !seen[target]) {
-    NodeId u = frontier.front();
-    frontier.pop();
-    for (NodeId v : g.neighbors(u)) {
-      if (!seen[v]) {
-        seen[v] = true;
-        parent[v] = u;
-        frontier.push(v);
-      }
+OracleBatch::OracleBatch(const UnitDiskGraph& g,
+                         std::span<const std::pair<NodeId, NodeId>> pairs) {
+  hop_optimal_.resize(pairs.size());
+  length_optimal_.resize(pairs.size());
+
+  // Group pair indices by source, preserving first-appearance order so the
+  // searches run in a deterministic sequence.
+  std::vector<NodeId> sources;
+  std::vector<std::vector<std::size_t>> by_source;
+  std::vector<std::size_t> slot_of(g.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    NodeId s = pairs[i].first;
+    if (s >= g.size()) continue;  // invalid source: optima stay empty
+    if (slot_of[s] == SIZE_MAX) {
+      slot_of[s] = sources.size();
+      sources.push_back(s);
+      by_source.emplace_back();
+    }
+    by_source[slot_of[s]].push_back(i);
+  }
+  distinct_sources_ = sources.size();
+
+  // One BFS + one Dijkstra per distinct source; the trees are transient —
+  // only the per-pair extracted optima are kept (matching the memory
+  // profile of the per-pair loop this replaces). A source with a single
+  // destination keeps the per-pair early exit via stop_at, so the batch is
+  // never more work than the loop it replaced.
+  for (std::size_t si = 0; si < sources.size(); ++si) {
+    const auto& indices = by_source[si];
+    NodeId stop_at =
+        indices.size() == 1 ? pairs[indices[0]].second : kInvalidNode;
+    ShortestPathTree hop_tree(g, sources[si], ShortestPathTree::Metric::kHops,
+                              stop_at);
+    ShortestPathTree len_tree(g, sources[si],
+                              ShortestPathTree::Metric::kLength, stop_at);
+    for (std::size_t i : indices) {
+      hop_optimal_[i] = hop_tree.extract(pairs[i].second);
+      length_optimal_[i] = len_tree.extract(pairs[i].second);
     }
   }
-  if (!seen[target]) return {};
-  return reconstruct(g, parent, source, target);
+}
+
+ShortestPath bfs_path(const UnitDiskGraph& g, NodeId source, NodeId target) {
+  return ShortestPathTree(g, source, ShortestPathTree::Metric::kHops, target)
+      .extract(target);
 }
 
 ShortestPath dijkstra_path(const UnitDiskGraph& g, NodeId source, NodeId target) {
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(g.size(), kInf);
-  std::vector<NodeId> parent(g.size(), kInvalidNode);
-  using Entry = std::pair<double, NodeId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  dist[source] = 0.0;
-  heap.emplace(0.0, source);
-  while (!heap.empty()) {
-    auto [d, u] = heap.top();
-    heap.pop();
-    if (d > dist[u]) continue;
-    if (u == target) break;
-    for (NodeId v : g.neighbors(u)) {
-      double nd = d + distance(g.position(u), g.position(v));
-      if (nd < dist[v]) {
-        dist[v] = nd;
-        parent[v] = u;
-        heap.emplace(nd, v);
-      }
-    }
-  }
-  if (dist[target] == kInf) return {};
-  return reconstruct(g, parent, source, target);
+  return ShortestPathTree(g, source, ShortestPathTree::Metric::kLength, target)
+      .extract(target);
 }
 
 std::vector<int> connected_components(const UnitDiskGraph& g) {

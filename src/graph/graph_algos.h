@@ -5,8 +5,17 @@
 /// Dijkstra Euclidean shortest paths, and connectivity. These are the
 /// oracles the benches use to compute stretch; the routers never consult
 /// them (they are strictly local, as in the paper).
+///
+/// The oracle machinery is batched: a `ShortestPathTree` is one full
+/// single-source search whose parent array answers *every* target via
+/// `extract`, and an `OracleBatch` groups a span of (s, d) pairs by source
+/// so each distinct source costs exactly one BFS and one Dijkstra shared by
+/// all of its destinations. The per-pair `bfs_path` / `dijkstra_path`
+/// entry points are thin wrappers over a single-use tree.
 
-#include <optional>
+#include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/node.h"
@@ -19,6 +28,87 @@ struct ShortestPath {
   std::vector<NodeId> path;  ///< s ... d inclusive; empty when unreachable
   double length = 0.0;       ///< sum of Euclidean edge lengths
   std::size_t hops() const noexcept { return path.empty() ? 0 : path.size() - 1; }
+};
+
+/// Process-wide count of single-source tree searches, the hook behind the
+/// "one search per distinct source" assertions in tests and the sweep
+/// benches. Every `ShortestPathTree` construction increments one counter
+/// (the per-pair wrappers build a tree, so they count too); `bfs_hops` and
+/// the connectivity helpers do not.
+struct OracleSearchCounts {
+  std::uint64_t bfs_trees = 0;
+  std::uint64_t dijkstra_trees = 0;
+};
+
+/// Snapshot of the process-wide counters (atomic, safe under sweeps).
+OracleSearchCounts oracle_search_counts() noexcept;
+
+/// Resets both counters to zero (tests and bench sections).
+void reset_oracle_search_counts() noexcept;
+
+/// One single-source search, memoized as a parent array: BFS (hop-optimal)
+/// or Dijkstra (Euclidean-length-optimal). Answers any number of targets
+/// without re-searching; `extract(t)` yields exactly the path the per-pair
+/// `bfs_path(g, s, t)` / `dijkstra_path(g, s, t)` would return.
+///
+/// `stop_at` bounds the search: the frontier halts once that node is
+/// settled, which is what the per-pair wrappers use to keep their old
+/// early-exit cost. A stopped tree is only valid for targets settled
+/// before the stop (in particular `stop_at` itself); batch consumers that
+/// extract many targets must build the full tree (the default).
+class ShortestPathTree {
+ public:
+  enum class Metric { kHops, kLength };
+
+  ShortestPathTree(const UnitDiskGraph& g, NodeId source, Metric metric,
+                   NodeId stop_at = kInvalidNode);
+
+  NodeId source() const noexcept { return source_; }
+  Metric metric() const noexcept { return metric_; }
+
+  bool reached(NodeId target) const noexcept {
+    if (target >= parent_.size()) return false;  // also: invalid source
+    return target == source_ || parent_[target] != kInvalidNode;
+  }
+
+  /// Tree parent of `target` (kInvalidNode for the source and unreached).
+  NodeId parent(NodeId target) const noexcept { return parent_[target]; }
+
+  /// The s..target path along the tree; empty when unreachable. Identical
+  /// (nodes and floating-point length) to the per-pair search result.
+  ShortestPath extract(NodeId target) const;
+
+ private:
+  const UnitDiskGraph* g_;
+  NodeId source_;
+  Metric metric_;
+  std::vector<NodeId> parent_;
+};
+
+/// The shared-frontier oracle for a batch of (source, destination) pairs:
+/// groups the span by source and runs one BFS tree and one Dijkstra tree
+/// per *distinct* source, then extracts the per-pair optima. Replaces the
+/// two-searches-per-pair loop in the sweep cells.
+class OracleBatch {
+ public:
+  OracleBatch(const UnitDiskGraph& g,
+              std::span<const std::pair<NodeId, NodeId>> pairs);
+
+  std::size_t size() const noexcept { return hop_optimal_.size(); }
+  std::size_t distinct_sources() const noexcept { return distinct_sources_; }
+
+  /// BFS / Dijkstra optimum of pairs[i]; empty path when unreachable.
+  const ShortestPath& hop_optimal(std::size_t i) const noexcept {
+    return hop_optimal_[i];
+  }
+  const ShortestPath& length_optimal(std::size_t i) const noexcept {
+    return length_optimal_[i];
+  }
+
+ private:
+  std::vector<ShortestPath> hop_optimal_;
+  std::vector<ShortestPath> length_optimal_;
+  std::size_t distinct_sources_ = 0;
 };
 
 /// Hop counts from `source` to every node (SIZE_MAX when unreachable).

@@ -10,13 +10,26 @@ SpatialGrid::SpatialGrid(std::vector<Vec2> points, Rect bounds,
     : points_(std::move(points)), bounds_(bounds), cell_size_(cell_size) {
   cols_ = std::max(1, static_cast<int>(std::ceil(bounds.width() / cell_size_)));
   rows_ = std::max(1, static_cast<int>(std::ceil(bounds.height() / cell_size_)));
-  cells_.resize(static_cast<size_t>(cols_) * static_cast<size_t>(rows_));
+  const std::size_t cell_count =
+      static_cast<size_t>(cols_) * static_cast<size_t>(rows_);
+
+  // CSR build: count per cell, prefix-sum into offsets, then fill. Filling
+  // in ascending id order keeps each cell's ids sorted.
+  auto cell_index = [&](Vec2 p) {
+    return static_cast<size_t>(cell_row(p.y)) * static_cast<size_t>(cols_) +
+           static_cast<size_t>(cell_col(p.x));
+  };
+  std::vector<std::size_t> counts(cell_count, 0);
+  for (const Vec2& p : points_) ++counts[cell_index(p)];
+  cell_offsets_.assign(cell_count + 1, 0);
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    cell_offsets_[i + 1] = cell_offsets_[i] + counts[i];
+  }
+  cell_ids_.resize(points_.size());
+  std::vector<std::size_t> cursor(cell_offsets_.begin(),
+                                  cell_offsets_.end() - 1);
   for (NodeId id = 0; id < points_.size(); ++id) {
-    int c = cell_col(points_[id].x);
-    int r = cell_row(points_[id].y);
-    cells_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
-           static_cast<size_t>(c)]
-        .push_back(id);
+    cell_ids_[cursor[cell_index(points_[id])]++] = id;
   }
 }
 

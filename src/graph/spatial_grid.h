@@ -4,6 +4,7 @@
 /// Uniform hash grid over the deployment field, used to build unit-disk
 /// adjacency in O(n) expected time and to answer range queries.
 
+#include <span>
 #include <vector>
 
 #include "geometry/rect.h"
@@ -17,6 +18,11 @@ namespace spr {
 /// The grid owns a copy of the point set, so it stays valid independently of
 /// the caller's vector — UnitDiskGraph shares one grid across every
 /// `with_failures` copy (the positions never change, only aliveness).
+///
+/// Cell contents are stored in CSR form (one flat id array plus per-cell
+/// offsets) rather than a vector-of-vectors: one allocation, contiguous
+/// scans across neighboring cells, and ~2 words per cell of overhead
+/// instead of a vector header each.
 class SpatialGrid {
  public:
   /// Builds the grid over all `points`. `cell_size` should be >= the query
@@ -38,16 +44,20 @@ class SpatialGrid {
  private:
   int cell_col(double x) const noexcept;
   int cell_row(double y) const noexcept;
-  const std::vector<NodeId>& cell(int col, int row) const noexcept {
-    return cells_[static_cast<size_t>(row) * static_cast<size_t>(cols_) +
-                  static_cast<size_t>(col)];
+  /// The ids bucketed into cell (col, row), ascending.
+  std::span<const NodeId> cell(int col, int row) const noexcept {
+    std::size_t i = static_cast<size_t>(row) * static_cast<size_t>(cols_) +
+                    static_cast<size_t>(col);
+    return {cell_ids_.data() + cell_offsets_[i],
+            cell_offsets_[i + 1] - cell_offsets_[i]};
   }
 
   std::vector<Vec2> points_;
   Rect bounds_;
   double cell_size_;
   int cols_, rows_;
-  std::vector<std::vector<NodeId>> cells_;
+  std::vector<std::size_t> cell_offsets_;  ///< cols*rows + 1 entries
+  std::vector<NodeId> cell_ids_;           ///< point ids grouped by cell
 };
 
 }  // namespace spr

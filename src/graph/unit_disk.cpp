@@ -3,32 +3,36 @@
 #include <algorithm>
 
 #include "graph/spatial_grid.h"
+#include "util/task_pool.h"
 
 namespace spr {
 
 UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
-                             Rect bounds)
+                             Rect bounds, TaskPool* build_pool)
     : positions_(std::move(positions)), range_(range), bounds_(bounds) {
-  build(std::vector<bool>(positions_.size(), true));
-}
-
-UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
-                             Rect bounds, const std::vector<bool>& alive)
-    : positions_(std::move(positions)), range_(range), bounds_(bounds) {
-  build(alive);
+  build(std::vector<bool>(positions_.size(), true), build_pool);
 }
 
 UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
                              Rect bounds, const std::vector<bool>& alive,
-                             std::shared_ptr<const SpatialGrid> grid)
+                             TaskPool* build_pool)
+    : positions_(std::move(positions)), range_(range), bounds_(bounds) {
+  build(alive, build_pool);
+}
+
+UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
+                             Rect bounds, const std::vector<bool>& alive,
+                             std::shared_ptr<const SpatialGrid> grid,
+                             TaskPool* build_pool)
     : positions_(std::move(positions)),
       range_(range),
       bounds_(bounds),
       grid_(std::move(grid)) {
-  build(alive);
+  build(alive, build_pool);
 }
 
-void UnitDiskGraph::build(const std::vector<bool>& alive) {
+void UnitDiskGraph::build(const std::vector<bool>& alive,
+                          TaskPool* build_pool) {
   alive_ = alive;
   alive_.resize(positions_.size(), true);
   const std::size_t n = positions_.size();
@@ -39,18 +43,26 @@ void UnitDiskGraph::build(const std::vector<bool>& alive) {
   }
   if (n == 0) return;
 
+  // Per-node radius queries are independent; with a pool they fan out in
+  // fixed-size blocks (one scratch buffer per block, not per node). Every
+  // node writes only its own list, so the id-ordered CSR merge below is
+  // bit-identical to the serial build regardless of thread count.
   std::vector<std::vector<NodeId>> neighbor_lists(n);
-  std::vector<NodeId> scratch;
-  for (NodeId u = 0; u < n; ++u) {
-    if (!alive_[u]) continue;
-    scratch.clear();
-    grid_->query_radius(positions_[u], range_, u, scratch);
-    auto& list = neighbor_lists[u];
-    for (NodeId v : scratch) {
-      if (alive_[v]) list.push_back(v);
-    }
-    std::sort(list.begin(), list.end());
-  }
+  parallel_for_blocked(
+      build_pool, n, 256, [&](std::size_t range_begin, std::size_t range_end) {
+        std::vector<NodeId> scratch;
+        for (NodeId u = static_cast<NodeId>(range_begin);
+             u < static_cast<NodeId>(range_end); ++u) {
+          if (!alive_[u]) continue;
+          scratch.clear();
+          grid_->query_radius(positions_[u], range_, u, scratch);
+          auto& list = neighbor_lists[u];
+          for (NodeId v : scratch) {
+            if (alive_[v]) list.push_back(v);
+          }
+          std::sort(list.begin(), list.end());
+        }
+      });
 
   std::size_t total = 0;
   for (NodeId u = 0; u < n; ++u) {
@@ -76,15 +88,15 @@ double UnitDiskGraph::average_degree() const noexcept {
          static_cast<double>(positions_.size());
 }
 
-UnitDiskGraph UnitDiskGraph::with_failures(
-    const std::vector<NodeId>& failed) const {
+UnitDiskGraph UnitDiskGraph::with_failures(const std::vector<NodeId>& failed,
+                                           TaskPool* build_pool) const {
   std::vector<bool> alive = alive_;
   for (NodeId u : failed) {
     if (u < alive.size()) alive[u] = false;
   }
   // Positions are unchanged, so the copy shares this graph's grid instead of
   // re-bucketing all points for every failure batch.
-  return UnitDiskGraph(positions_, range_, bounds_, alive, grid_);
+  return UnitDiskGraph(positions_, range_, bounds_, alive, grid_, build_pool);
 }
 
 }  // namespace spr

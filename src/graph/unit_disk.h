@@ -17,20 +17,29 @@
 namespace spr {
 
 class SpatialGrid;
+class TaskPool;
 
 /// Immutable unit-disk graph over a fixed set of node positions.
 ///
 /// Neighbor lists are stored in CSR form and sorted by node id. The optional
 /// `alive` mask models failed nodes: dead nodes keep their position but have
 /// no incident edges (used by the failure-dynamics example and tests).
+///
+/// Construction can be parallelized by passing a `build_pool`: the per-node
+/// radius queries fan out over the pool and the sorted per-node lists merge
+/// into CSR in node-id order, so the resulting graph is bit-identical to a
+/// serial build. The pool is only used during construction (never stored).
+/// Callers running *on* a pool worker (e.g. sweep cells) must pass nullptr —
+/// blocking on the same pool from one of its workers deadlocks.
 class UnitDiskGraph {
  public:
   /// Builds adjacency with a spatial grid; O(n + |E|) expected.
-  UnitDiskGraph(std::vector<Vec2> positions, double range, Rect bounds);
+  UnitDiskGraph(std::vector<Vec2> positions, double range, Rect bounds,
+                TaskPool* build_pool = nullptr);
 
   /// As above with an aliveness mask (`alive.size() == positions.size()`).
   UnitDiskGraph(std::vector<Vec2> positions, double range, Rect bounds,
-                const std::vector<bool>& alive);
+                const std::vector<bool>& alive, TaskPool* build_pool = nullptr);
 
   std::size_t size() const noexcept { return positions_.size(); }
   double range() const noexcept { return range_; }
@@ -57,7 +66,8 @@ class UnitDiskGraph {
   /// A copy of this graph with the given nodes marked dead (edges removed).
   /// Reuses this graph's spatial grid (positions are identical), so repeated
   /// failure batches never re-bucket the point set.
-  UnitDiskGraph with_failures(const std::vector<NodeId>& failed) const;
+  UnitDiskGraph with_failures(const std::vector<NodeId>& failed,
+                              TaskPool* build_pool = nullptr) const;
 
   /// The spatial index the adjacency was built with; shared across
   /// `with_failures` copies.
@@ -66,9 +76,9 @@ class UnitDiskGraph {
  private:
   UnitDiskGraph(std::vector<Vec2> positions, double range, Rect bounds,
                 const std::vector<bool>& alive,
-                std::shared_ptr<const SpatialGrid> grid);
+                std::shared_ptr<const SpatialGrid> grid, TaskPool* build_pool);
 
-  void build(const std::vector<bool>& alive);
+  void build(const std::vector<bool>& alive, TaskPool* build_pool);
 
   std::vector<Vec2> positions_;
   double range_;

@@ -58,6 +58,17 @@ std::unique_ptr<PacketHeader> GfRouter::make_header(NodeId, NodeId) const {
   return std::make_unique<GfHeader>();
 }
 
+bool GfRouter::reset_header(PacketHeader& header, NodeId, NodeId) const {
+  static_cast<GfHeader&>(header) = GfHeader{};
+  return true;
+}
+
+std::vector<PathResult> GfRouter::route_batch(
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    const RouteOptions& options) const {
+  return route_batch_reusing_headers(pairs, options);
+}
+
 Router::Decision GfRouter::select_successor(NodeId u, NodeId d,
                                             PacketHeader& header) const {
   auto& h = static_cast<GfHeader&>(header);

@@ -2,18 +2,23 @@
 
 namespace spr {
 
-PathResult Router::route(NodeId s, NodeId d, const RouteOptions& options) const {
+PathResult Router::drive(NodeId s, NodeId d, const RouteOptions& options,
+                         PacketHeader& header,
+                         std::size_t reserve_hint) const {
   PathResult result;
+  if (reserve_hint > 0) {
+    result.path.reserve(reserve_hint + 1);
+    result.hop_phases.reserve(reserve_hint);
+  }
   result.path.push_back(s);
   if (s == d) {
     result.status = RouteStatus::kDelivered;
     return result;
   }
   const std::size_t ttl = options.ttl_factor * std::max<std::size_t>(g_.size(), 1);
-  auto header = make_header(s, d);
   NodeId u = s;
   for (std::size_t hop = 0; hop < ttl; ++hop) {
-    Decision decision = select_successor(u, d, *header);
+    Decision decision = select_successor(u, d, header);
     if (decision.hit_local_minimum) ++result.local_minima;
     if (decision.next == kInvalidNode) {
       result.status = RouteStatus::kDeadEnd;
@@ -30,6 +35,59 @@ PathResult Router::route(NodeId s, NodeId d, const RouteOptions& options) const 
   }
   result.status = RouteStatus::kTtlExpired;
   return result;
+}
+
+PathResult Router::route(NodeId s, NodeId d, const RouteOptions& options) const {
+  if (s >= g_.size() || d >= g_.size()) {
+    return {};  // invalid endpoints: a dead end, never an out-of-bounds walk
+  }
+  if (s == d) {
+    PathResult result;
+    result.path.push_back(s);
+    result.status = RouteStatus::kDelivered;
+    return result;
+  }
+  auto header = make_header(s, d);
+  return drive(s, d, options, *header);
+}
+
+bool Router::reset_header(PacketHeader&, NodeId, NodeId) const { return false; }
+
+std::vector<PathResult> Router::route_batch(
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    const RouteOptions& options) const {
+  std::vector<PathResult> out;
+  out.reserve(pairs.size());
+  for (auto [s, d] : pairs) out.push_back(route(s, d, options));
+  return out;
+}
+
+std::vector<PathResult> Router::route_batch_reusing_headers(
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    const RouteOptions& options) const {
+  std::vector<PathResult> out;
+  out.reserve(pairs.size());
+  std::unique_ptr<PacketHeader> header;
+  std::size_t hint = 0;
+  for (auto [s, d] : pairs) {
+    if (s >= graph().size() || d >= graph().size()) {  // match route()
+      out.emplace_back();
+      continue;
+    }
+    if (s == d) {  // route()'s header-free fast path
+      PathResult result;
+      result.path.push_back(s);
+      result.status = RouteStatus::kDelivered;
+      out.push_back(std::move(result));
+      continue;
+    }
+    if (header == nullptr || !reset_header(*header, s, d)) {
+      header = make_header(s, d);
+    }
+    out.push_back(drive(s, d, options, *header, hint));
+    hint = out.back().hop_phases.size();
+  }
+  return out;
 }
 
 }  // namespace spr

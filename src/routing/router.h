@@ -6,9 +6,19 @@
 /// using only local knowledge (N(u), positions of u/d, and whatever state
 /// the packet header carries); the driver owns TTL, path recording and
 /// phase accounting.
+///
+/// Batching: `route_batch` routes a span of (s, d) pairs and is always
+/// equivalent to looping `route`. The default implementation is exactly
+/// that loop; schemes override it (via `route_batch_reusing_headers`) to
+/// hoist per-packet setup — the header heap allocation, the O(n) visited
+/// buffers, path capacity — out of the inner loop, which is the hot path
+/// of every sweep cell.
 
 #include <memory>
+#include <span>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "graph/unit_disk.h"
 #include "routing/packet.h"
@@ -31,8 +41,17 @@ class Router {
 
   /// Routes one packet from s to d. The default implementation drives
   /// `make_header` / `select_successor` under the TTL in `options`.
+  /// Out-of-range endpoints (e.g. a kInvalidNode pair from a failed
+  /// connected-pair draw) yield an empty kDeadEnd result, never UB.
   virtual PathResult route(NodeId s, NodeId d,
                            const RouteOptions& options = {}) const;
+
+  /// Routes pairs[i] for every i, returning one PathResult per pair in
+  /// order. Semantically identical to calling `route` in a loop (tests
+  /// enforce this per scheme); overrides only hoist per-packet setup.
+  virtual std::vector<PathResult> route_batch(
+      std::span<const std::pair<NodeId, NodeId>> pairs,
+      const RouteOptions& options = {}) const;
 
  protected:
   explicit Router(const UnitDiskGraph& g) : g_(g) {}
@@ -50,6 +69,24 @@ class Router {
 
   /// Fresh per-packet header.
   virtual std::unique_ptr<PacketHeader> make_header(NodeId s, NodeId d) const = 0;
+
+  /// Re-initializes `header` (previously produced by this router's
+  /// `make_header`) for a new (s, d) packet, reusing its buffers. Returns
+  /// false when the router has no in-place reset (the batch loop then
+  /// falls back to a fresh header). The default supports no reset.
+  virtual bool reset_header(PacketHeader& header, NodeId s, NodeId d) const;
+
+  /// The hop loop behind `route`, driving an externally owned and already
+  /// initialized header. `reserve_hint` pre-sizes the path/phase buffers
+  /// (pass the previous packet's hop count in batch loops; 0 = no reserve).
+  PathResult drive(NodeId s, NodeId d, const RouteOptions& options,
+                   PacketHeader& header, std::size_t reserve_hint = 0) const;
+
+  /// Shared `route_batch` override body: one header allocated up front,
+  /// `reset_header` per packet, path capacity carried between packets.
+  std::vector<PathResult> route_batch_reusing_headers(
+      std::span<const std::pair<NodeId, NodeId>> pairs,
+      const RouteOptions& options) const;
 
   const UnitDiskGraph& graph() const noexcept { return g_; }
 

@@ -22,6 +22,21 @@ std::unique_ptr<PacketHeader> SlgfRouter::make_header(NodeId s, NodeId) const {
   return header;
 }
 
+bool SlgfRouter::reset_header(PacketHeader& header, NodeId s, NodeId) const {
+  auto& h = static_cast<SlgfHeader&>(header);
+  h.visited.assign(graph().size(), false);
+  h.visited[s] = true;
+  h.in_perimeter = false;
+  h.stuck_dist = 0.0;
+  return true;
+}
+
+std::vector<PathResult> SlgfRouter::route_batch(
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    const RouteOptions& options) const {
+  return route_batch_reusing_headers(pairs, options);
+}
+
 Router::Decision SlgfRouter::select_successor(NodeId u, NodeId d,
                                               PacketHeader& header) const {
   auto& h = static_cast<SlgfHeader&>(header);

@@ -26,6 +26,23 @@ std::unique_ptr<PacketHeader> Slgf2Router::make_header(NodeId s, NodeId) const {
   return header;
 }
 
+bool Slgf2Router::reset_header(PacketHeader& header, NodeId s, NodeId) const {
+  auto& h = static_cast<Header&>(header);
+  h.mode = Header::Mode::kNormal;
+  h.hand = Hand::kRight;
+  h.hand_committed = false;
+  h.perimeter_rect.reset();
+  h.visited.assign(graph().size(), false);
+  h.visited[s] = true;
+  return true;
+}
+
+std::vector<PathResult> Slgf2Router::route_batch(
+    std::span<const std::pair<NodeId, NodeId>> pairs,
+    const RouteOptions& options) const {
+  return route_batch_reusing_headers(pairs, options);
+}
+
 Router::Decision Slgf2Router::select_successor(NodeId u, NodeId d,
                                                PacketHeader& header) const {
   auto& h = static_cast<Header&>(header);

@@ -1,10 +1,12 @@
 #include "safety/labeling.h"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <queue>
 
 #include "geometry/angle.h"
+#include "util/task_pool.h"
 
 namespace spr {
 
@@ -114,12 +116,35 @@ std::size_t recompute_all_anchors(const UnitDiskGraph& g, SafetyInfo& info) {
   return written;
 }
 
-SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area) {
+SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area,
+                          TaskPool* build_pool) {
   const std::size_t n = g.size();
   std::vector<SafetyTuple> tuples(n);
 
-  // Worklist over (node, type) pairs. Monotone flips guarantee a unique
-  // fixpoint regardless of processing order.
+  // Initialization round against the all-safe labeling: S_t(u) can only
+  // flip when Q_t(u) holds no neighbor at all (must_flip is vacuously
+  // true). Each (node, type) is independent and only reads the graph, so
+  // this round fans out over the pool; the flip set is data-determined and
+  // applied in node-id order below, keeping the fixpoint — which is unique
+  // regardless of evaluation order — identical for every thread count.
+  std::vector<std::array<bool, 4>> initial_flip(
+      n, {false, false, false, false});
+  parallel_for_blocked(
+      build_pool, n, 256, [&](std::size_t range_begin, std::size_t range_end) {
+        for (NodeId u = static_cast<NodeId>(range_begin);
+             u < static_cast<NodeId>(range_end); ++u) {
+          if (!g.alive(u) || area.is_edge_node(u)) continue;  // pinned / dead
+          for (ZoneType t : kAllZoneTypes) {
+            if (must_flip(g, tuples, u, t)) {
+              initial_flip[u][static_cast<size_t>(zone_index(t))] = true;
+            }
+          }
+        }
+      });
+
+  // Worklist over (node, type) pairs, seeded by the initial flips' fan-out.
+  // Monotone flips guarantee a unique fixpoint regardless of processing
+  // order.
   std::deque<std::pair<NodeId, ZoneType>> worklist;
   std::vector<std::array<bool, 4>> queued(n, {false, false, false, false});
   auto enqueue = [&](NodeId u, ZoneType t) {
@@ -130,7 +155,13 @@ SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area) {
     }
   };
   for (NodeId u = 0; u < n; ++u) {
-    for (ZoneType t : kAllZoneTypes) enqueue(u, t);
+    for (ZoneType t : kAllZoneTypes) {
+      if (!initial_flip[u][static_cast<size_t>(zone_index(t))]) continue;
+      tuples[u].set_safe(t, false);
+      for (NodeId w : g.neighbors(u)) {
+        if (in_quadrant(g.position(w), g.position(u), t)) enqueue(w, t);
+      }
+    }
   }
 
   while (!worklist.empty()) {

@@ -14,6 +14,8 @@
 
 namespace spr {
 
+class TaskPool;
+
 /// The safety information of a whole network.
 class SafetyInfo {
  public:
@@ -39,7 +41,14 @@ class SafetyInfo {
 /// are monotone 1->0, so any fair order yields the same result), pinning
 /// edge nodes of `area` at (1,1,1,1), then computes the anchors u(1)/u(2)
 /// per Algorithm 2 for every unsafe (node, type).
-SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area);
+///
+/// With a `build_pool` the per-(node, type) initialization round — the
+/// vacuous-quadrant flips against the all-safe labeling — fans out over the
+/// pool; the flip set is data-determined and applied in node-id order, so
+/// the result is identical for every thread count. Callers running *on* a
+/// pool worker must pass nullptr (see UnitDiskGraph).
+SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area,
+                          TaskPool* build_pool = nullptr);
 
 /// As above but evaluates the fixpoint in synchronous rounds (the paper's
 /// Fig. 3 narration). Exists to test order-independence of the fixpoint.

@@ -137,4 +137,17 @@ void TaskPool::parallel_for(std::size_t n,
   wait_idle();
 }
 
+void parallel_for_blocked(
+    TaskPool* pool, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (pool == nullptr || pool->thread_count() <= 1 || n < 2 * grain) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t blocks = (n + grain - 1) / grain;
+  pool->parallel_for(blocks, [&](std::size_t b) {
+    fn(b * grain, std::min(n, (b + 1) * grain));
+  });
+}
+
 }  // namespace spr

@@ -76,4 +76,16 @@ class TaskPool {
   std::exception_ptr first_error_;
 };
 
+/// Runs fn(range_begin, range_end) over [0, n) in disjoint blocks of
+/// `grain` elements — on `pool` when it is non-null, has more than one
+/// worker and n spans at least two blocks; serially on the calling thread
+/// otherwise. The shared dispatch behind the deterministic within-network
+/// build passes (unit-disk adjacency, safety-labeling init): blocks never
+/// overlap, so per-element writes stay race-free and order-independent.
+/// Never call from a worker of the same pool (blocking on one's own pool
+/// deadlocks).
+void parallel_for_blocked(
+    TaskPool* pool, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
 }  // namespace spr

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <set>
+
+#include "graph/graph_algos.h"
 
 namespace spr {
 namespace {
@@ -113,6 +116,82 @@ TEST(Experiment, ParallelAggregatesBitIdenticalToSerial) {
       }
     }
   }
+}
+
+TEST(Experiment, OneSearchPerDistinctSourcePerCell) {
+  // The acceptance check for the batched oracle: a cell must run exactly
+  // one BFS and one Dijkstra per distinct pair source, however many pairs
+  // and schemes it routes.
+  SweepConfig config = tiny_sweep();
+  config.networks_per_point = 1;
+  config.pairs_per_network = 12;
+
+  // Reconstruct the cell's traffic to count its distinct sources.
+  NetworkConfig nc;
+  nc.deployment = config.deployment_template;
+  nc.deployment.model = config.model;
+  nc.deployment.node_count = 400;
+  nc.seed = sweep_cell_seed(config, 400, 0);
+  Network network = Network::create(nc);
+  auto pairs = sweep_cell_pairs(config, network, 400, 0);
+  ASSERT_FALSE(pairs.empty());
+  std::set<NodeId> sources;
+  for (auto [s, d] : pairs) sources.insert(s);
+
+  reset_oracle_search_counts();
+  SweepTimings timings;
+  run_sweep(config, {}, &timings);
+  EXPECT_EQ(timings.bfs_searches, sources.size());
+  EXPECT_EQ(timings.dijkstra_searches, sources.size());
+  EXPECT_EQ(timings.pairs_routed, pairs.size());
+  // The process-wide hook agrees: the sweep ran no other tree searches.
+  auto counts = oracle_search_counts();
+  EXPECT_EQ(counts.bfs_trees, sources.size());
+  EXPECT_EQ(counts.dijkstra_trees, sources.size());
+}
+
+TEST(Experiment, RequestedPairsAccounted) {
+  SweepConfig config = tiny_sweep();
+  auto points = run_sweep(config);
+  for (const auto& [label, agg] : points[0].by_scheme) {
+    EXPECT_EQ(agg.requested, 8u) << label;  // 2 networks x 4 pairs
+    EXPECT_LE(agg.attempted, agg.requested) << label;
+    EXPECT_EQ(agg.pair_shortfall(), agg.requested - agg.attempted) << label;
+  }
+}
+
+TEST(Experiment, PairShortfallSurfacesOnUndrawablePairs) {
+  // Three nodes cannot yield interior pairs (the hull owns them all), so
+  // every configured pair goes undrawn — which must be visible, not a
+  // silently smaller sample.
+  SweepConfig config = tiny_sweep();
+  config.node_counts = {3};
+  config.networks_per_point = 1;
+  SweepTimings timings;
+  auto points = run_sweep(config, {}, &timings);
+  for (const auto& [label, agg] : points[0].by_scheme) {
+    EXPECT_EQ(agg.requested, 4u) << label;
+    EXPECT_EQ(agg.attempted, 0u) << label;
+    EXPECT_EQ(agg.pair_shortfall(), 4u) << label;
+  }
+  EXPECT_EQ(timings.pairs_requested, 4u);
+  EXPECT_EQ(timings.pairs_routed, 0u);
+}
+
+TEST(Experiment, TimingsAccumulateAcrossCells) {
+  SweepConfig config = tiny_sweep();
+  SweepTimings timings;
+  run_sweep(config, {}, &timings);
+  EXPECT_EQ(timings.pairs_requested, 8u);  // 2 networks x 4 pairs
+  EXPECT_GE(timings.construction_seconds, 0.0);
+  EXPECT_GE(timings.oracle_seconds, 0.0);
+  EXPECT_GE(timings.routing_seconds, 0.0);
+  // Search counts are deterministic, so a second run must agree exactly.
+  SweepTimings again;
+  run_sweep(config, {}, &again);
+  EXPECT_EQ(timings.bfs_searches, again.bfs_searches);
+  EXPECT_EQ(timings.dijkstra_searches, again.dijkstra_searches);
+  EXPECT_EQ(timings.pairs_routed, again.pairs_routed);
 }
 
 TEST(Experiment, SweepCellSeedMatchesSweepNetworks) {

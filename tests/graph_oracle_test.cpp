@@ -1,0 +1,196 @@
+/// \file graph_oracle_test.cpp
+/// The batched oracle machinery: ShortestPathTree against brute-force
+/// single-pair searches, OracleBatch's per-source sharing, and the search
+/// counters the sweep cells are asserted with.
+
+#include "graph/graph_algos.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "deploy/rng.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Heap-free O(n^2) Dijkstra distances — an implementation independent of
+/// the tree under test.
+std::vector<double> brute_force_distances(const UnitDiskGraph& g,
+                                          NodeId source) {
+  std::vector<double> dist(g.size(), kInf);
+  std::vector<bool> done(g.size(), false);
+  dist[source] = 0.0;
+  for (std::size_t round = 0; round < g.size(); ++round) {
+    NodeId u = kInvalidNode;
+    for (NodeId v = 0; v < g.size(); ++v) {
+      if (!done[v] && dist[v] < kInf &&
+          (u == kInvalidNode || dist[v] < dist[u])) {
+        u = v;
+      }
+    }
+    if (u == kInvalidNode) break;
+    done[u] = true;
+    for (NodeId v : g.neighbors(u)) {
+      double nd = dist[u] + distance(g.position(u), g.position(v));
+      if (nd < dist[v]) dist[v] = nd;
+    }
+  }
+  return dist;
+}
+
+/// A path must walk existing edges from s to d and report its own length.
+void expect_valid_path(const UnitDiskGraph& g, const ShortestPath& sp,
+                       NodeId s, NodeId d) {
+  ASSERT_FALSE(sp.path.empty());
+  EXPECT_EQ(sp.path.front(), s);
+  EXPECT_EQ(sp.path.back(), d);
+  double length = 0.0;
+  for (std::size_t i = 1; i < sp.path.size(); ++i) {
+    EXPECT_TRUE(g.are_neighbors(sp.path[i - 1], sp.path[i]));
+    length += distance(g.position(sp.path[i - 1]), g.position(sp.path[i]));
+  }
+  EXPECT_DOUBLE_EQ(sp.length, length);
+}
+
+UnitDiskGraph holey_graph(std::uint64_t seed) {
+  Deployment d = test::dense_grid_deployment(200, seed);
+  return UnitDiskGraph(d.positions, d.radio_range, d.field);
+}
+
+TEST(ShortestPathTree, BfsMatchesBruteForceHops) {
+  for (std::uint64_t seed : test::property_seeds()) {
+    UnitDiskGraph g = holey_graph(seed);
+    NodeId source = static_cast<NodeId>(seed % g.size());
+    ShortestPathTree tree(g, source, ShortestPathTree::Metric::kHops);
+    auto hops = bfs_hops(g, source);  // independent implementation
+    for (NodeId t = 0; t < g.size(); ++t) {
+      ShortestPath sp = tree.extract(t);
+      if (hops[t] == std::numeric_limits<std::size_t>::max()) {
+        EXPECT_TRUE(sp.path.empty());
+        EXPECT_FALSE(tree.reached(t));
+        continue;
+      }
+      EXPECT_EQ(sp.hops(), hops[t]) << "target " << t;
+      expect_valid_path(g, sp, source, t);
+    }
+  }
+}
+
+TEST(ShortestPathTree, DijkstraMatchesBruteForceDistances) {
+  for (std::uint64_t seed : test::property_seeds()) {
+    UnitDiskGraph g = holey_graph(seed);
+    NodeId source = static_cast<NodeId>((seed * 7) % g.size());
+    ShortestPathTree tree(g, source, ShortestPathTree::Metric::kLength);
+    auto dist = brute_force_distances(g, source);
+    for (NodeId t = 0; t < g.size(); ++t) {
+      ShortestPath sp = tree.extract(t);
+      if (dist[t] == kInf) {
+        EXPECT_TRUE(sp.path.empty());
+        continue;
+      }
+      EXPECT_NEAR(sp.length, dist[t], 1e-9) << "target " << t;
+      expect_valid_path(g, sp, source, t);
+    }
+  }
+}
+
+TEST(ShortestPathTree, ExtractIdenticalToPerPairWrappers) {
+  UnitDiskGraph g = holey_graph(3);
+  NodeId source = 5;
+  ShortestPathTree hop_tree(g, source, ShortestPathTree::Metric::kHops);
+  ShortestPathTree len_tree(g, source, ShortestPathTree::Metric::kLength);
+  for (NodeId t = 0; t < g.size(); ++t) {
+    ShortestPath hop = hop_tree.extract(t);
+    ShortestPath len = len_tree.extract(t);
+    ShortestPath hop_pp = bfs_path(g, source, t);
+    ShortestPath len_pp = dijkstra_path(g, source, t);
+    EXPECT_EQ(hop.path, hop_pp.path);
+    EXPECT_EQ(hop.length, hop_pp.length);  // bitwise: same summation order
+    EXPECT_EQ(len.path, len_pp.path);
+    EXPECT_EQ(len.length, len_pp.length);
+  }
+}
+
+TEST(OracleBatch, EquivalentToPerPairSearches) {
+  UnitDiskGraph g = holey_graph(11);
+  Rng rng(99);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 40; ++i) {
+    NodeId s = static_cast<NodeId>(rng.next_below(g.size()));
+    NodeId d = static_cast<NodeId>(rng.next_below(g.size()));
+    pairs.emplace_back(s, d);
+  }
+  // Force shared sources, a repeated pair, and a self-pair.
+  pairs.emplace_back(pairs[0].first, pairs[1].second);
+  pairs.push_back(pairs[2]);
+  pairs.emplace_back(pairs[3].first, pairs[3].first);
+
+  OracleBatch batch(g, pairs);
+  ASSERT_EQ(batch.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ShortestPath hop = bfs_path(g, pairs[i].first, pairs[i].second);
+    ShortestPath len = dijkstra_path(g, pairs[i].first, pairs[i].second);
+    EXPECT_EQ(batch.hop_optimal(i).path, hop.path) << "pair " << i;
+    EXPECT_EQ(batch.hop_optimal(i).length, hop.length) << "pair " << i;
+    EXPECT_EQ(batch.length_optimal(i).path, len.path) << "pair " << i;
+    EXPECT_EQ(batch.length_optimal(i).length, len.length) << "pair " << i;
+  }
+}
+
+TEST(OracleBatch, OneSearchPairPerDistinctSource) {
+  UnitDiskGraph g = holey_graph(13);
+  std::vector<std::pair<NodeId, NodeId>> pairs = {
+      {0, 10}, {0, 20}, {0, 30}, {1, 10}, {2, 10}, {1, 40}};
+  reset_oracle_search_counts();
+  OracleBatch batch(g, pairs);
+  EXPECT_EQ(batch.distinct_sources(), 3u);
+  auto counts = oracle_search_counts();
+  EXPECT_EQ(counts.bfs_trees, 3u);
+  EXPECT_EQ(counts.dijkstra_trees, 3u);
+}
+
+TEST(OracleBatch, InvalidPairsYieldEmptyOptima) {
+  UnitDiskGraph g = holey_graph(23);
+  std::vector<std::pair<NodeId, NodeId>> pairs = {
+      {kInvalidNode, 0}, {0, kInvalidNode}, {0, 5}};
+  OracleBatch batch(g, pairs);
+  EXPECT_TRUE(batch.hop_optimal(0).path.empty());
+  EXPECT_TRUE(batch.length_optimal(0).path.empty());
+  EXPECT_TRUE(batch.hop_optimal(1).path.empty());
+  EXPECT_FALSE(batch.hop_optimal(2).path.empty());
+  // The per-pair wrappers degrade the same way.
+  EXPECT_TRUE(bfs_path(g, kInvalidNode, 0).path.empty());
+  EXPECT_TRUE(dijkstra_path(g, 0, kInvalidNode).path.empty());
+}
+
+TEST(OracleBatch, EmptySpan) {
+  UnitDiskGraph g = holey_graph(17);
+  OracleBatch batch(g, {});
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_EQ(batch.distinct_sources(), 0u);
+}
+
+TEST(OracleSearchCounts, WrappersCountOneTreeEach) {
+  UnitDiskGraph g = holey_graph(19);
+  reset_oracle_search_counts();
+  bfs_path(g, 0, 1);
+  bfs_path(g, 0, 2);
+  dijkstra_path(g, 0, 1);
+  auto counts = oracle_search_counts();
+  EXPECT_EQ(counts.bfs_trees, 2u);
+  EXPECT_EQ(counts.dijkstra_trees, 1u);
+  // bfs_hops and connectivity checks are not tree searches.
+  bfs_hops(g, 0);
+  connected(g, 0, 1);
+  counts = oracle_search_counts();
+  EXPECT_EQ(counts.bfs_trees, 2u);
+}
+
+}  // namespace
+}  // namespace spr

@@ -44,6 +44,7 @@ TEST(Gf, GreedyHopsAlwaysProgress) {
   Rng rng(1);
   for (int trial = 0; trial < 30; ++trial) {
     auto [s, d] = net.random_connected_interior_pair(rng);
+    ASSERT_NE(s, kInvalidNode);
     PathResult r = router->route(s, d);
     Vec2 dest = g.position(d);
     for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
@@ -129,6 +130,7 @@ TEST(Gf, PathIsValidWalk) {
     Rng rng(6);
     for (int trial = 0; trial < 25; ++trial) {
       auto [s, d] = net.random_connected_interior_pair(rng);
+      ASSERT_NE(s, kInvalidNode);
       PathResult r = router->route(s, d);
       EXPECT_EQ(r.path.front(), s);
       for (std::size_t i = 1; i < r.path.size(); ++i) {

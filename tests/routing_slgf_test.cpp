@@ -26,6 +26,7 @@ TEST(Slgf, PathIsValidWalk) {
   Rng rng(8);
   for (int trial = 0; trial < 30; ++trial) {
     auto [s, d] = net.random_connected_interior_pair(rng);
+    ASSERT_NE(s, kInvalidNode);
     PathResult r = router->route(s, d);
     EXPECT_EQ(r.path.front(), s);
     for (std::size_t i = 1; i < r.path.size(); ++i) {
