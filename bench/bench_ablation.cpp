@@ -4,7 +4,7 @@
 /// rectangle confinement — each disabled in turn, plus SLGF and full SLGF2
 /// as anchors. FA model (the regime the mechanisms target). Thin wrapper
 /// over the "ablation" scenario; SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/
-/// SPR_JSON apply (see bench_common.h).
+/// SPR_FORMATS/SPR_JSON/SPR_CSV/SPR_SVG apply (see bench_common.h).
 
 #include "core/scenario.h"
 

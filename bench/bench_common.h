@@ -10,10 +10,17 @@
 ///   SPR_PAIRS     source/destination pairs per network (default 20)
 ///   SPR_SEED      base seed (default 2009)
 ///   SPR_THREADS   sweep worker threads (default 0 = hardware, 1 = serial)
+///   SPR_FORMATS   report sinks for scenarios ("console,json,csv,svg")
 ///   SPR_JSON      when set, scenarios also write a JSON report there
+///   SPR_CSV       when set, scenarios also export their tables as CSV there
+///   SPR_SVG       when set, scenarios also write an SVG sweep plot there
+
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/experiment.h"
 #include "core/scenario.h"
+#include "report/sink.h"
 #include "stats/table.h"
 
 namespace spr::bench {
@@ -31,6 +38,17 @@ inline SweepConfig figure_config(DeployModel model) {
 
 inline const char* model_name(DeployModel model) {
   return spr::model_name(model);
+}
+
+/// Exports a non-scenario bench's tables as CSV when SPR_CSV is set (the
+/// scenario-backed benches get this via the sink selection in
+/// ScenarioSuite::run). Returns false after printing when the write fails.
+inline bool export_csv_from_env(const ScenarioReport& report) {
+  const char* csv = std::getenv("SPR_CSV");
+  if (csv == nullptr || *csv == '\0') return true;
+  if (CsvSink(csv).emit(report)) return true;
+  std::fprintf(stderr, "cannot write %s\n", csv);
+  return false;
 }
 
 }  // namespace spr::bench

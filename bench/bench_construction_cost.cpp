@@ -67,6 +67,8 @@ int main() {
   std::printf("== Construction cost of the safety information (Algorithm 2) "
               "==\n\n");
   int networks = env_int_or("SPR_NETWORKS", 20);
+  ScenarioReport report;
+  report.scenario = "bench-construction-cost";
   for (DeployModel model :
        {DeployModel::kIdeal, DeployModel::kForbiddenAreas}) {
     std::printf("%s model, %d networks per point\n",
@@ -101,7 +103,9 @@ int main() {
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\n");
+    report.add_table(std::move(table), spr::deploy_model_tag(model));
   }
+  if (!spr::bench::export_csv_from_env(report)) return 1;
   std::printf("broadcasts stay near one per node: only nodes whose status or\n"
               "anchors change rebroadcast, matching the minimality claim.\n");
   return 0;

@@ -26,6 +26,8 @@ int main() {
   std::printf("== Delivery ratio per scheme (connected interior pairs) ==\n\n");
   int networks = env_int_or("SPR_NETWORKS", 30);
   int pairs = env_int_or("SPR_PAIRS", 15);
+  ScenarioReport report;
+  report.scenario = "bench-delivery";
 
   for (DeployModel model :
        {DeployModel::kIdeal, DeployModel::kForbiddenAreas}) {
@@ -68,7 +70,9 @@ int main() {
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\n");
+    report.add_table(std::move(table), spr::deploy_model_tag(model));
   }
+  if (!spr::bench::export_csv_from_env(report)) return 1;
   std::printf("flooding = oracle (1.000 by construction on connected pairs);\n"
               "MFR/Compass are greedy-only and show the raw local-minimum\n"
               "rate that the recovery machinery must absorb.\n");

@@ -2,7 +2,7 @@
 /// Reproduces paper Fig. 5 (a)/(b): the maximum number of hops of a routing
 /// path for GF, LGF, SLGF and SLGF2, as the node count varies from 400 to
 /// 800 over the IA and FA deployment models. Thin wrapper over the
-/// "fig5-max-hops" scenario; SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/SPR_JSON
+/// "fig5-max-hops" scenario; SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/SPR_FORMATS/SPR_JSON/SPR_CSV/SPR_SVG
 /// apply (see bench_common.h).
 
 #include "core/scenario.h"

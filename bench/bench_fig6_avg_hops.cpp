@@ -2,7 +2,7 @@
 /// Reproduces paper Fig. 6 (a)/(b): the average number of hops of a routing
 /// path for GF, LGF, SLGF and SLGF2 over the IA and FA deployment models.
 /// Thin wrapper over the "fig6-avg-hops" scenario;
-/// SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/SPR_JSON apply (see bench_common.h).
+/// SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/SPR_FORMATS/SPR_JSON/SPR_CSV/SPR_SVG apply (see bench_common.h).
 
 #include "core/scenario.h"
 

@@ -8,6 +8,7 @@
 #include "core/network.h"
 #include "deploy/deployment.h"
 #include "graph/graph_algos.h"
+#include "report/serialize.h"
 #include "safety/distributed.h"
 
 namespace {
@@ -135,6 +136,34 @@ void BM_ShortestPathOracle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShortestPathOracle);
+
+/// Cost of the shard serialization round trip (report/serialize.h): one
+/// sweep cell's full aggregates to JSON text, parsed back, deserialized.
+/// This bounds the per-cell overhead the distributed sweep path adds on
+/// top of the computation itself.
+void BM_CellResultJsonRoundTrip(benchmark::State& state) {
+  SweepConfig config;
+  config.node_counts = {600};
+  config.networks_per_point = 1;
+  config.pairs_per_network = 20;
+  config.threads = 1;
+  config.schemes = SweepConfig::paper_schemes();
+  CellResult cell = run_sweep_cell(config, 600, 0);
+  for (auto _ : state) {
+    JsonWriter w;
+    to_json(w, cell);
+    JsonValue parsed;
+    bool ok = JsonValue::parse(w.str(), parsed);
+    CellResult decoded;
+    ok = ok && from_json(parsed, decoded);
+    if (!ok) {
+      state.SkipWithError("round trip failed");
+      return;
+    }
+    benchmark::DoNotOptimize(decoded.size());
+  }
+}
+BENCHMARK(BM_CellResultJsonRoundTrip);
 
 }  // namespace
 

@@ -11,6 +11,8 @@
 int main() {
   using namespace spr;
   std::printf("== Path stretch vs optimal (delivered packets) ==\n\n");
+  ScenarioReport report;
+  report.scenario = "bench-stretch";
 
   for (DeployModel model :
        {DeployModel::kIdeal, DeployModel::kForbiddenAreas}) {
@@ -41,6 +43,10 @@ int main() {
                 spr::bench::model_name(model));
     std::fputs(length.render().c_str(), stdout);
     std::printf("\n");
+    std::string tag = spr::deploy_model_tag(model);
+    report.add_table(std::move(hops), tag + " hop stretch");
+    report.add_table(std::move(length), tag + " length stretch");
   }
+  if (!spr::bench::export_csv_from_env(report)) return 1;
   return 0;
 }

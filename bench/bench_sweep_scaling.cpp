@@ -2,9 +2,9 @@
 /// The parallel sweep engine's scaling check: runs the same sweep with
 /// threads=1 and threads=hardware, asserts the aggregates are bit-identical
 /// and reports the wall-clock speedup. Thin wrapper over the
-/// "sweep-scaling" scenario; SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/SPR_JSON
-/// apply (see bench_common.h). Exits nonzero if the parallel result ever
-/// diverges from serial.
+/// "sweep-scaling" scenario; SPR_NETWORKS/SPR_PAIRS/SPR_THREADS/
+/// SPR_FORMATS/SPR_JSON/SPR_CSV/SPR_SVG apply (see bench_common.h). Exits
+/// nonzero if the parallel result ever diverges from serial.
 
 #include "core/scenario.h"
 

@@ -1,0 +1,37 @@
+# Artifact validity gate (ctest): run a quick scenario with the JSON, CSV
+# and SVG sinks enabled, then re-parse the emitted JSON artifact with the
+# bundled reader (`spr_cli validate`). Catches a writer/reader drift the
+# unit tests could miss — the gate exercises the exact bytes CI uploads.
+#
+# Invoked as:
+#   cmake -DSPR_CLI=<path-to-spr_cli> -DOUT_DIR=<scratch-dir> -P artifact_gate.cmake
+
+if(NOT DEFINED SPR_CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "artifact_gate.cmake needs -DSPR_CLI=... and -DOUT_DIR=...")
+endif()
+
+set(json "${OUT_DIR}/artifact-gate.json")
+set(csv "${OUT_DIR}/artifact-gate.csv")
+set(svg "${OUT_DIR}/artifact-gate.svg")
+
+execute_process(
+  COMMAND "${SPR_CLI}" scenario mobile-stream --networks 2
+          --json "${json}" --csv "${csv}" --svg "${svg}"
+  RESULT_VARIABLE run_result
+  OUTPUT_QUIET)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "scenario run failed (exit ${run_result})")
+endif()
+
+foreach(artifact "${json}" "${csv}" "${svg}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "expected artifact missing: ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${SPR_CLI}" validate "${json}"
+  RESULT_VARIABLE validate_result)
+if(NOT validate_result EQUAL 0)
+  message(FATAL_ERROR "emitted JSON artifact failed to re-parse")
+endif()

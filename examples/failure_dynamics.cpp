@@ -13,6 +13,7 @@
 
 #include "core/network.h"
 #include "graph/graph_algos.h"
+#include "report/sink.h"
 #include "routing/gf.h"
 #include "routing/lgf.h"
 #include "routing/slgf.h"
@@ -26,10 +27,13 @@ int main(int argc, char** argv) {
   int nodes = 700;
   unsigned long long seed = 3;
   double blast = 35.0;
+  std::string json_path;
   FlagSet flags("failure_dynamics: labeling and routing under node failures");
   flags.add_int("nodes", &nodes, "number of sensors");
   flags.add_uint64("seed", &seed, "deployment seed");
   flags.add_double("blast", &blast, "radius (m) of the failure patch");
+  flags.add_string("json", &json_path,
+                   "also write a machine-readable report here");
   if (!flags.parse(argc, argv)) return 1;
 
   NetworkConfig config;
@@ -94,11 +98,32 @@ int main(int argc, char** argv) {
               flips, before_info.unsafe_node_count(),
               rebuilt.info.unsafe_node_count());
 
+  ScenarioReport report;
+  report.scenario = "failure-dynamics-example";
+  report.param("nodes", JsonValue::of(nodes));
+  report.param("casualties",
+               JsonValue::of(static_cast<std::uint64_t>(casualties.size())));
+  report.param("incremental_seeds",
+               JsonValue::of(static_cast<std::uint64_t>(inc_stats.seeds)));
+  report.param("incremental_reevaluations",
+               JsonValue::of(static_cast<std::uint64_t>(inc_stats.reevaluations)));
+  report.param("status_flips", JsonValue::of(static_cast<std::uint64_t>(flips)));
+  report.param("matches_full_recompute",
+               JsonValue::of(incremental == rebuilt.info));
+  auto write_report = [&]() {
+    if (json_path.empty()) return true;
+    if (JsonSink(json_path).emit(report)) return true;
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return false;
+  };
+
   // Route the same pair before and after.
   if (!connected(dead_graph, s, d)) {
     std::printf("the failure disconnected the pair; no routing possible\n");
-    return 0;
+    report.param("pair_disconnected", JsonValue::of(true));
+    return write_report() ? 0 : 1;
   }
+  JsonValue routes = JsonValue::array();
   std::printf("%-8s %18s %22s\n", "scheme", "before (hops/len)",
               "after (hops/len/status)");
   InterestArea before_area(before.graph(), before.graph().range());
@@ -128,8 +153,15 @@ int main(int argc, char** argv) {
     std::printf("%-8s %10zu/%-7.0f %12zu/%-7.0f %s\n", scheme_name(scheme),
                 rb.hops(), rb.length, ra.hops(), ra.length,
                 ra.delivered() ? "delivered" : "FAILED");
+    JsonValue entry = JsonValue::object();
+    entry.set("scheme", JsonValue::of(scheme_name(scheme)));
+    entry.set("hops_before", JsonValue::of(static_cast<std::uint64_t>(rb.hops())));
+    entry.set("hops_after", JsonValue::of(static_cast<std::uint64_t>(ra.hops())));
+    entry.set("delivered_after", JsonValue::of(ra.delivered()));
+    routes.push(std::move(entry));
   }
+  report.param("routes", std::move(routes));
   std::printf("\nthe safety model adapts: the new hole is labeled unsafe and\n"
               "SLGF2 detours around it without blind perimeter probing.\n");
-  return 0;
+  return write_report() ? 0 : 1;
 }

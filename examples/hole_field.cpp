@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/network.h"
+#include "report/sink.h"
 #include "safety/shape.h"
 #include "util/ascii_canvas.h"
 #include "util/flags.h"
@@ -20,11 +21,13 @@ int main(int argc, char** argv) {
 
   int nodes = 600;
   unsigned long long seed = 11;
-  std::string svg_path;
+  std::string svg_path, json_path;
   FlagSet flags("hole_field: visualize unsafe areas and detours");
   flags.add_int("nodes", &nodes, "number of sensors");
   flags.add_uint64("seed", &seed, "deployment seed");
   flags.add_string("svg", &svg_path, "also write an SVG rendering here");
+  flags.add_string("json", &json_path,
+                   "also write a machine-readable report here");
   if (!flags.parse(argc, argv)) return 1;
 
   NetworkConfig config;
@@ -122,6 +125,30 @@ int main(int argc, char** argv) {
               "SLGF2: %zu hops (%zu backup, %zu perimeter)\n",
               unsafe_count, r_lgf.hops(), r_lgf.perimeter_hops(),
               r_slgf2.hops(), r_slgf2.backup_hops(), r_slgf2.perimeter_hops());
+
+  if (!json_path.empty()) {
+    ScenarioReport report;
+    report.scenario = "hole-field-example";
+    report.param("nodes", JsonValue::of(nodes));
+    report.param("unsafe_nodes",
+                 JsonValue::of(static_cast<std::uint64_t>(unsafe_count)));
+    auto route_entry = [](const PathResult& r) {
+      JsonValue entry = JsonValue::object();
+      entry.set("hops", JsonValue::of(static_cast<std::uint64_t>(r.hops())));
+      entry.set("perimeter_hops",
+                JsonValue::of(static_cast<std::uint64_t>(r.perimeter_hops())));
+      entry.set("backup_hops",
+                JsonValue::of(static_cast<std::uint64_t>(r.backup_hops())));
+      entry.set("length_m", JsonValue::of(r.length));
+      return entry;
+    };
+    report.param("lgf", route_entry(r_lgf));
+    report.param("slgf2", route_entry(r_slgf2));
+    if (!JsonSink(json_path).emit(report)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
 
   // Show one estimated unsafe area as the paper's [x_u:x_u(1), y_u:y_u(2)].
   for (NodeId u = 0; u < g.size(); ++u) {

@@ -2,12 +2,13 @@
 /// Smallest end-to-end use of the library: deploy a WASN, build the safety
 /// information, route one packet with each scheme, and print the results.
 ///
-///   ./quickstart [--nodes=600] [--seed=42] [--fa]
+///   ./quickstart [--nodes=600] [--seed=42] [--fa] [--json=out.json]
 
 #include <cstdio>
 
 #include "core/network.h"
 #include "graph/graph_algos.h"
+#include "report/sink.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
@@ -16,10 +17,13 @@ int main(int argc, char** argv) {
   int nodes = 600;
   unsigned long long seed = 42;
   bool fa = false;
+  std::string json_path;
   FlagSet flags("quickstart: route one packet with GF/LGF/SLGF/SLGF2");
   flags.add_int("nodes", &nodes, "number of sensors in the 200m x 200m field");
   flags.add_uint64("seed", &seed, "deployment seed");
   flags.add_bool("fa", &fa, "use the forbidden-area (large holes) model");
+  flags.add_string("json", &json_path,
+                   "also write a machine-readable report here");
   if (!flags.parse(argc, argv)) return 1;
 
   // 1. Deploy the network and derive everything the routers need: the
@@ -61,7 +65,14 @@ int main(int argc, char** argv) {
               "optimal %zu hops\n\n",
               s, ps.x, ps.y, d, pd.x, pd.y, distance(ps, pd), optimal.hops());
 
-  // 3. Route with each scheme and compare.
+  // 3. Route with each scheme and compare; the structured report mirrors
+  //    the printed comparison for machine consumers (see report/sink.h).
+  ScenarioReport report;
+  report.scenario = "quickstart";
+  report.param("nodes", JsonValue::of(nodes));
+  report.param("optimal_hops",
+               JsonValue::of(static_cast<std::uint64_t>(optimal.hops())));
+  JsonValue results = JsonValue::array();
   std::printf("%-8s %-10s %5s %9s %8s %8s %7s\n", "scheme", "status", "hops",
               "length_m", "greedy", "backup", "perim");
   for (Scheme scheme : {Scheme::kGf, Scheme::kLgf, Scheme::kSlgf, Scheme::kSlgf2}) {
@@ -71,6 +82,17 @@ int main(int argc, char** argv) {
                 scheme_name(scheme),
                 r.delivered() ? "delivered" : "FAILED", r.hops(), r.length,
                 r.greedy_hops(), r.backup_hops(), r.perimeter_hops());
+    JsonValue entry = JsonValue::object();
+    entry.set("scheme", JsonValue::of(scheme_name(scheme)));
+    entry.set("delivered", JsonValue::of(r.delivered()));
+    entry.set("hops", JsonValue::of(static_cast<std::uint64_t>(r.hops())));
+    entry.set("length_m", JsonValue::of(r.length));
+    results.push(std::move(entry));
+  }
+  report.param("routes", std::move(results));
+  if (!json_path.empty() && !JsonSink(json_path).emit(report)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 /// per-node peak load, and a simple radio-energy estimate.
 ///
 ///   ./streaming_delivery [--nodes=650] [--seed=7] [--packets=1000]
+///                        [--csv=out.csv]
 
 #include <cstdio>
 
@@ -17,6 +18,8 @@
 #include "graph/graph_algos.h"
 #include "radio/energy.h"
 #include "radio/interference.h"
+#include "report/sink.h"
+#include "stats/table.h"
 #include "util/flags.h"
 
 namespace {
@@ -29,10 +32,12 @@ int main(int argc, char** argv) {
   int nodes = 650;
   unsigned long long seed = 7;
   int packets = 1000;
+  std::string csv_path;
   FlagSet flags("streaming_delivery: energy/interference of a data stream");
   flags.add_int("nodes", &nodes, "number of sensors");
   flags.add_uint64("seed", &seed, "deployment seed");
   flags.add_int("packets", &packets, "packets in the stream");
+  flags.add_string("csv", &csv_path, "also export the comparison as CSV");
   if (!flags.parse(argc, argv)) return 1;
 
   NetworkConfig config;
@@ -75,6 +80,8 @@ int main(int argc, char** argv) {
   std::printf("%-8s %6s %9s %8s %12s %11s %11s %9s\n", "scheme", "hops",
               "length_m", "relays", "transmissions", "energy_mJ",
               "vs_optimal", "blocked");
+  Table csv_table({"scheme", "hops", "length_m", "relays", "transmissions",
+                   "energy_mJ", "vs_optimal", "blocked"});
   for (Scheme scheme : {Scheme::kGf, Scheme::kLgf, Scheme::kSlgf, Scheme::kSlgf2}) {
     auto router = net.make_router(scheme);
     PathResult r = router->route(source, sink);
@@ -93,6 +100,22 @@ int main(int argc, char** argv) {
                 r.hops() * static_cast<std::size_t>(packets),
                 stream_j * 1000.0, stream_j / optimal_stream_j,
                 footprint.blocked_nodes);
+    csv_table.add_row({scheme_name(scheme), std::to_string(r.hops()),
+                       Table::fmt(r.length, 1), std::to_string(pe.relays),
+                       std::to_string(r.hops() *
+                                      static_cast<std::size_t>(packets)),
+                       Table::fmt(stream_j * 1000.0, 2),
+                       Table::fmt(stream_j / optimal_stream_j, 2),
+                       std::to_string(footprint.blocked_nodes)});
+  }
+  if (!csv_path.empty()) {
+    ScenarioReport report;
+    report.scenario = "streaming-delivery";
+    report.add_table(std::move(csv_table));
+    if (!CsvSink(csv_path).emit(report)) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
   }
 
   std::printf("\nfewer relays -> smaller interference footprint for other\n"

@@ -55,9 +55,6 @@ std::uint64_t sweep_cell_seed(const SweepConfig& config, int node_count,
 
 namespace {
 
-/// One (node_count, network_index) cell's aggregates, keyed like SweepPoint.
-using CellResult = std::map<std::string, RouteAggregate>;
-
 /// Runs one independent sweep cell: draw the network, pick the pairs, run
 /// the shared per-source oracle, batch-route every scheme over the same
 /// pairs. `timings` (never null) receives this cell's cost breakdown.
@@ -120,6 +117,90 @@ CellResult run_cell(const SweepConfig& config, int n, int net_index,
 }
 
 }  // namespace
+
+CellResult run_sweep_cell(const SweepConfig& config, int node_count,
+                          int net_index, SweepTimings* timings) {
+  SweepTimings scratch;
+  return run_cell(config, node_count, net_index,
+                  timings != nullptr ? timings : &scratch);
+}
+
+std::vector<ShardCell> run_sweep_shard(const SweepConfig& config,
+                                       int shard_index, int shard_count,
+                                       SweepTimings* timings) {
+  std::vector<ShardCell> shard;
+  if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+    return shard;
+  }
+  // Canonical cell enumeration, filtered by congruence class.
+  std::size_t global_index = 0;
+  for (int node_count : config.node_counts) {
+    for (int i = 0; i < config.networks_per_point; ++i, ++global_index) {
+      if (global_index % static_cast<std::size_t>(shard_count) !=
+          static_cast<std::size_t>(shard_index)) {
+        continue;
+      }
+      shard.push_back({node_count, i, {}});
+    }
+  }
+
+  SweepTimings accumulated;
+  std::mutex timings_mutex;
+  auto run_one = [&](std::size_t ci) {
+    SweepTimings cell_timings;
+    shard[ci].result = run_cell(config, shard[ci].node_count,
+                                shard[ci].net_index, &cell_timings);
+    std::lock_guard<std::mutex> lock(timings_mutex);
+    accumulated.merge(cell_timings);
+  };
+  if (config.threads == 1) {
+    for (std::size_t ci = 0; ci < shard.size(); ++ci) run_one(ci);
+  } else {
+    TaskPool pool(config.threads);
+    pool.parallel_for(shard.size(), run_one);
+  }
+  if (timings != nullptr) timings->merge(accumulated);
+  return shard;
+}
+
+std::vector<SweepPoint> merge_cell_results(
+    const std::vector<int>& node_counts,
+    const std::vector<std::string>& scheme_labels,
+    std::vector<ShardCell> cells) {
+  // Point index of each node count; cells at unknown counts are dropped.
+  auto point_of = [&](int node_count) -> std::size_t {
+    for (std::size_t pi = 0; pi < node_counts.size(); ++pi) {
+      if (node_counts[pi] == node_count) return pi;
+    }
+    return node_counts.size();
+  };
+  // run_sweep merges cells point-major in net_index order; replay that
+  // order exactly so Summary::merge sees the same sample sequence.
+  std::stable_sort(cells.begin(), cells.end(),
+                   [&](const ShardCell& a, const ShardCell& b) {
+                     std::size_t pa = point_of(a.node_count);
+                     std::size_t pb = point_of(b.node_count);
+                     if (pa != pb) return pa < pb;
+                     return a.net_index < b.net_index;
+                   });
+
+  std::vector<SweepPoint> points(node_counts.size());
+  for (std::size_t pi = 0; pi < node_counts.size(); ++pi) {
+    points[pi].node_count = node_counts[pi];
+    for (const auto& label : scheme_labels) {
+      points[pi].by_scheme.emplace(label, RouteAggregate{});
+    }
+  }
+  for (const auto& cell : cells) {
+    std::size_t pi = point_of(cell.node_count);
+    if (pi >= points.size()) continue;
+    for (const auto& [label, agg] : cell.result) {
+      auto it = points[pi].by_scheme.find(label);
+      if (it != points[pi].by_scheme.end()) it->second.merge(agg);
+    }
+  }
+  return points;
+}
 
 void SweepTimings::merge(const SweepTimings& other) {
   construction_seconds += other.construction_seconds;
@@ -220,6 +301,15 @@ int env_int_or(const char* name, int fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   int value = 0;
+  auto [ptr, ec] = std::from_chars(raw, raw + std::strlen(raw), value);
+  if (ec != std::errc() || ptr != raw + std::strlen(raw)) return fallback;
+  return value;
+}
+
+std::uint64_t env_uint64_or(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::uint64_t value = 0;
   auto [ptr, ec] = std::from_chars(raw, raw + std::strlen(raw), value);
   if (ec != std::errc() || ptr != raw + std::strlen(raw)) return fallback;
   return value;

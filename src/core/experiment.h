@@ -66,6 +66,20 @@ struct SweepPoint {
   std::map<std::string, RouteAggregate> by_scheme;  ///< keyed by display label
 };
 
+/// One (node_count, network_index) cell's aggregates, keyed like SweepPoint
+/// (display label -> aggregate). The cell is the sweep's unit of
+/// parallelism and — serialized (report/serialize.h) — its unit of
+/// cross-process distribution.
+using CellResult = std::map<std::string, RouteAggregate>;
+
+/// A cell result tagged with its sweep coordinates, as carried by shard
+/// files.
+struct ShardCell {
+  int node_count = 0;
+  int net_index = 0;
+  CellResult result;
+};
+
 /// Progress callback: (node_count, network_index, networks_total). Invoked
 /// once per network cell under a mutex (never concurrently); with threads>1
 /// the invocation order across cells is unspecified.
@@ -97,6 +111,32 @@ std::vector<SweepPoint> run_sweep(const SweepConfig& config,
                                   const SweepProgress& progress = {},
                                   SweepTimings* timings = nullptr);
 
+/// Runs one independent sweep cell — exactly what run_sweep does for cell
+/// (node_count, net_index). Exposed so shard runners and tests can compute
+/// any cell out of process. `timings`, when non-null, accumulates the
+/// cell's cost breakdown.
+CellResult run_sweep_cell(const SweepConfig& config, int node_count,
+                          int net_index, SweepTimings* timings = nullptr);
+
+/// Runs the subset of the sweep's cells whose canonical index (point-major:
+/// node_counts outer, net_index inner) is congruent to `shard_index` modulo
+/// `shard_count`, in parallel per `config.threads`. The union of all shards
+/// is exactly the cell set run_sweep computes.
+std::vector<ShardCell> run_sweep_shard(const SweepConfig& config,
+                                       int shard_index, int shard_count,
+                                       SweepTimings* timings = nullptr);
+
+/// Merges tagged cell results into sweep points, replaying run_sweep's
+/// canonical cell-order reduction (node_counts outer, net_index inner) —
+/// given every cell of a sweep, the result is bit-identical to running
+/// run_sweep in process. Cells with a node_count not in `node_counts` are
+/// ignored; every point starts with an empty aggregate per label in
+/// `scheme_labels`.
+std::vector<SweepPoint> merge_cell_results(
+    const std::vector<int>& node_counts,
+    const std::vector<std::string>& scheme_labels,
+    std::vector<ShardCell> cells);
+
 /// The (s, d) pairs cell (node_count, net_index) routes — the exact drawing
 /// the sweep performs, exposed so scenarios and tests can reconstruct any
 /// cell's traffic. `network` must be the cell's network (same seed). May
@@ -116,6 +156,10 @@ std::uint64_t sweep_cell_seed(const SweepConfig& config, int node_count,
 /// `SPR_NETWORKS=5 ./bench_fig6_avg_hops` gives a quick pass); returns
 /// `fallback` when unset or unparsable.
 int env_int_or(const char* name, int fallback);
+
+/// env_int_or's 64-bit sibling for seeds: any valid uint64 is accepted;
+/// malformed, negative or overflowing values return `fallback`.
+std::uint64_t env_uint64_or(const char* name, std::uint64_t fallback);
 
 /// Seconds elapsed since `start` — the wall-clock helper behind
 /// SweepTimings and the scenario reports.

@@ -1,11 +1,14 @@
 #include "core/scenario.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "graph/graph_algos.h"
 #include "mobility/waypoint.h"
+#include "report/serialize.h"
 #include "routing/gf.h"
 #include "routing/lgf.h"
 #include "routing/slgf.h"
@@ -17,44 +20,6 @@
 namespace spr {
 
 namespace {
-
-const char* model_tag(DeployModel model) {
-  return model == DeployModel::kIdeal ? "IA" : "FA";
-}
-
-void summary_to_json(JsonWriter& w, const Summary& s) {
-  w.begin_object();
-  w.key("count").value(s.count());
-  w.key("mean").value(s.mean());
-  w.key("min").value(s.min());
-  w.key("max").value(s.max());
-  w.key("stddev").value(s.stddev());
-  w.end_object();
-}
-
-void aggregate_to_json(JsonWriter& w, const RouteAggregate& agg) {
-  w.begin_object();
-  w.key("requested").value(agg.requested);
-  w.key("attempted").value(agg.attempted);
-  w.key("pair_shortfall").value(agg.pair_shortfall());
-  w.key("delivered").value(agg.delivered);
-  w.key("delivery_ratio").value(agg.delivery_ratio());
-  w.key("hops");
-  summary_to_json(w, agg.hops);
-  w.key("length");
-  summary_to_json(w, agg.length);
-  w.key("stretch_hops");
-  summary_to_json(w, agg.stretch_hops);
-  w.key("stretch_length");
-  summary_to_json(w, agg.stretch_length);
-  w.key("perimeter_hops");
-  summary_to_json(w, agg.perimeter_hops);
-  w.key("backup_hops");
-  summary_to_json(w, agg.backup_hops);
-  w.key("local_minima");
-  summary_to_json(w, agg.local_minima);
-  w.end_object();
-}
 
 bool summaries_identical(const Summary& a, const Summary& b) {
   return a.count() == b.count() && a.sum() == b.sum() && a.mean() == b.mean() &&
@@ -86,23 +51,40 @@ SweepConfig figure_config(DeployModel model, const ScenarioOptions& opts) {
   return config;
 }
 
-/// Shared driver for the fig5/6/7 scenarios: runs both deployment models,
-/// prints one table per panel, optionally writes one JSON report covering
-/// both models.
-int run_figure(const ScenarioOptions& opts, const std::string& scenario_name,
-               const std::string& figure_title, const MetricFn& metric,
-               int decimals) {
-  JsonWriter json;
-  json.begin_object();
-  json.key("scenario").value(scenario_name);
-  json.key("models").begin_array();
+/// The per-scheme metric series of one sweep, as a plot curve.
+ReportCurve metric_curve(std::string title, const std::string& y_label,
+                         const SweepConfig& config,
+                         const std::vector<SweepPoint>& points,
+                         const MetricFn& metric) {
+  ReportCurve curve;
+  curve.title = std::move(title);
+  curve.x_label = "nodes";
+  curve.y_label = y_label;
+  for (const auto& spec : config.schemes) {
+    ReportSeries series;
+    series.label = spec.display_label();
+    for (const auto& point : points) {
+      series.points.emplace_back(
+          static_cast<double>(point.node_count),
+          metric(point.by_scheme.at(spec.display_label())));
+    }
+    curve.series.push_back(std::move(series));
+  }
+  return curve;
+}
 
+/// Shared driver for the fig5/6/7 scenarios: runs both deployment models,
+/// records one table (and one plot curve) per panel and one sweep section
+/// per model.
+int run_figure(const ScenarioOptions& opts, const std::string& figure_title,
+               const std::string& metric_label, const MetricFn& metric,
+               int decimals, ScenarioReport& report) {
   for (DeployModel model :
        {DeployModel::kIdeal, DeployModel::kForbiddenAreas}) {
     SweepConfig config = figure_config(model, opts);
-    std::printf("%s — %s model, %d networks x %d pairs per point\n",
-                figure_title.c_str(), model_name(model),
-                config.networks_per_point, config.pairs_per_network);
+    report.textf("%s — %s model, %d networks x %d pairs per point\n",
+                 figure_title.c_str(), model_name(model),
+                 config.networks_per_point, config.pairs_per_network);
     auto start = std::chrono::steady_clock::now();
     auto points = run_sweep(config);
     double wall = seconds_since(start);
@@ -119,33 +101,34 @@ int run_figure(const ScenarioOptions& opts, const std::string& scenario_name,
       }
       table.add_row(std::move(row));
     }
-    std::fputs(table.render().c_str(), stdout);
+    report.add_table(std::move(table), deploy_model_tag(model));
     // Delivery context so failed routes are visible, not silently dropped.
-    std::printf("delivery ratio per scheme (worst point):");
+    std::string delivery = "delivery ratio per scheme (worst point):";
     for (const auto& spec : config.schemes) {
       double worst = 1.0;
       for (const auto& point : points) {
         worst = std::min(
             worst, point.by_scheme.at(spec.display_label()).delivery_ratio());
       }
-      std::printf("  %s>=%.2f", spec.display_label().c_str(), worst);
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "  %s>=%.2f",
+                    spec.display_label().c_str(), worst);
+      delivery += buf;
     }
-    std::printf("\n\n");
+    report.note(std::move(delivery));
+    report.text("\n");
 
-    sweep_points_to_json(json, config, points, wall);
-  }
-  json.end_array();
-  json.end_object();
-  if (!opts.json_path.empty() && !json.write_file(opts.json_path)) {
-    std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
-    return 1;
+    report.curves.push_back(metric_curve(
+        figure_title + " — " + model_name(model), metric_label, config,
+        points, metric));
+    report.add_sweep(config, std::move(points), wall);
   }
   return 0;
 }
 
-int run_ablation(const ScenarioOptions& opts) {
-  std::printf("== SLGF2 ablation: contribution of each mechanism (FA model) "
-              "==\n\n");
+int run_ablation(const ScenarioOptions& opts, ScenarioReport& report) {
+  report.textf("== SLGF2 ablation: contribution of each mechanism (FA model) "
+               "==\n\n");
   std::vector<SchemeSpec> schemes = {
       {Scheme::kSlgf, {}, "SLGF"},
       {Scheme::kSlgf2, {}, "SLGF2"},
@@ -163,51 +146,46 @@ int run_ablation(const ScenarioOptions& opts) {
   auto points = run_sweep(config);
   double wall = seconds_since(start);
 
-  for (const char* metric :
-       {"avg-hops", "avg-length", "perimeter-hops", "delivery"}) {
-    std::printf("%s\n", metric);
+  struct Metric {
+    const char* name;
+    MetricFn fn;
+  };
+  const Metric metrics[] = {
+      {"avg-hops", [](const RouteAggregate& a) { return a.hops.mean(); }},
+      {"avg-length", [](const RouteAggregate& a) { return a.length.mean(); }},
+      {"perimeter-hops",
+       [](const RouteAggregate& a) { return a.perimeter_hops.mean(); }},
+      {"delivery", [](const RouteAggregate& a) { return a.delivery_ratio(); }},
+  };
+  for (const Metric& metric : metrics) {
+    report.textf("%s\n", metric.name);
     std::vector<std::string> header{"nodes"};
     for (const auto& s : schemes) header.push_back(s.display_label());
     Table table(std::move(header));
     for (const auto& point : points) {
       std::vector<std::string> row{std::to_string(point.node_count)};
       for (const auto& s : schemes) {
-        const auto& agg = point.by_scheme.at(s.display_label());
-        double value = 0.0;
-        if (std::string(metric) == "avg-hops") value = agg.hops.mean();
-        if (std::string(metric) == "avg-length") value = agg.length.mean();
-        if (std::string(metric) == "perimeter-hops")
-          value = agg.perimeter_hops.mean();
-        if (std::string(metric) == "delivery") value = agg.delivery_ratio();
-        row.push_back(Table::fmt(value, 2));
+        row.push_back(
+            Table::fmt(metric.fn(point.by_scheme.at(s.display_label())), 2));
       }
       table.add_row(std::move(row));
     }
-    std::fputs(table.render().c_str(), stdout);
-    std::printf("\n");
+    report.add_table(std::move(table), metric.name);
+    report.textf("\n");
+    report.curves.push_back(metric_curve(
+        std::string("ablation — ") + metric.name, metric.name, config, points,
+        metric.fn));
   }
 
-  if (!opts.json_path.empty()) {
-    JsonWriter json;
-    json.begin_object();
-    json.key("scenario").value("ablation");
-    json.key("models").begin_array();
-    sweep_points_to_json(json, config, points, wall);
-    json.end_array();
-    json.end_object();
-    if (!json.write_file(opts.json_path)) {
-      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
-      return 1;
-    }
-  }
+  report.add_sweep(config, std::move(points), wall);
   return 0;
 }
 
 /// Hole-field study: the FA regime the safety model targets — how much of
 /// the network is labeled unsafe and what that buys each scheme.
-int run_hole_field(const ScenarioOptions& opts) {
-  std::printf("== Hole field: unsafe labeling share and per-scheme delivery "
-              "(FA model) ==\n\n");
+int run_hole_field(const ScenarioOptions& opts, ScenarioReport& report) {
+  report.textf("== Hole field: unsafe labeling share and per-scheme delivery "
+               "(FA model) ==\n\n");
   SweepConfig config = figure_config(DeployModel::kForbiddenAreas, opts);
   if (opts.networks == 0) config.networks_per_point = 20;
   config.node_counts = {500, 600, 700};
@@ -249,36 +227,41 @@ int run_hole_field(const ScenarioOptions& opts) {
          Table::fmt(point.by_scheme.at("SLGF2").delivery_ratio()),
          Table::fmt(point.by_scheme.at("SLGF2").perimeter_hops.mean())});
   }
-  std::fputs(table.render().c_str(), stdout);
+  report.add_table(std::move(table));
 
-  if (!opts.json_path.empty()) {
-    JsonWriter json;
-    json.begin_object();
-    json.key("scenario").value("hole-field");
-    json.key("unsafe_share").begin_array();
-    for (double s : unsafe_shares) json.value(s);
-    json.end_array();
-    json.key("models").begin_array();
-    sweep_points_to_json(json, config, points, wall);
-    json.end_array();
-    json.end_object();
-    if (!json.write_file(opts.json_path)) {
-      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
-      return 1;
-    }
+  JsonValue shares = JsonValue::array();
+  for (double s : unsafe_shares) shares.push(JsonValue::of(s));
+  report.param("unsafe_share", std::move(shares));
+
+  ReportCurve unsafe_curve;
+  unsafe_curve.title = "hole-field — unsafe node share";
+  unsafe_curve.x_label = "nodes";
+  unsafe_curve.y_label = "unsafe %";
+  ReportSeries share_series;
+  share_series.label = "unsafe%";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    share_series.points.emplace_back(
+        static_cast<double>(points[i].node_count), 100.0 * unsafe_shares[i]);
   }
+  unsafe_curve.series.push_back(std::move(share_series));
+  report.curves.push_back(std::move(unsafe_curve));
+  report.curves.push_back(metric_curve(
+      "hole-field — delivery ratio", "delivery ratio", config, points,
+      [](const RouteAggregate& a) { return a.delivery_ratio(); }));
+
+  report.add_sweep(config, std::move(points), wall);
   return 0;
 }
 
 /// Failure dynamics: kill a disc of nodes between a routable pair, update
 /// the labeling incrementally, and compare each scheme before/after.
-int run_failure_dynamics(const ScenarioOptions& opts) {
+int run_failure_dynamics(const ScenarioOptions& opts, ScenarioReport& report) {
   int trials = opts.networks > 0 ? opts.networks : 10;
   std::uint64_t base_seed = opts.seed != 0 ? opts.seed : 3;
   const int nodes = 700;
   const double blast = 35.0;
-  std::printf("== Failure dynamics: %d trials, %d nodes, %.0fm blast ==\n\n",
-              trials, nodes, blast);
+  report.textf("== Failure dynamics: %d trials, %d nodes, %.0fm blast ==\n\n",
+               trials, nodes, blast);
 
   const Scheme schemes[] = {Scheme::kGf, Scheme::kLgf, Scheme::kSlgf,
                             Scheme::kSlgf2};
@@ -356,49 +339,43 @@ int run_failure_dynamics(const ScenarioOptions& opts) {
                    std::to_string(delivered_after[k]) + "/" +
                        std::to_string(connected_trials)});
   }
-  std::fputs(table.render().c_str(), stdout);
+  report.add_table(std::move(table));
   if (!flips.empty()) {
-    std::printf("incremental relabeling: %.1f flips, %.1f re-evaluations per "
-                "failure (mean over %zu trials)\n",
-                flips.mean(), incremental_reevals.mean(), flips.count());
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "incremental relabeling: %.1f flips, %.1f re-evaluations per "
+                  "failure (mean over %zu trials)",
+                  flips.mean(), incremental_reevals.mean(), flips.count());
+    report.note(buf);
   }
 
-  if (!opts.json_path.empty()) {
-    JsonWriter json;
-    json.begin_object();
-    json.key("scenario").value("failure-dynamics");
-    json.key("trials").value(trials);
-    json.key("connected_trials").value(connected_trials);
-    json.key("schemes").begin_array();
-    for (int k = 0; k < 4; ++k) {
-      json.begin_object();
-      json.key("scheme").value(scheme_name(schemes[k]));
-      json.key("delivered_before").value(delivered_before[k]);
-      json.key("delivered_after").value(delivered_after[k]);
-      json.end_object();
-    }
-    json.end_array();
-    json.key("relabel_flips");
-    summary_to_json(json, flips);
-    json.end_object();
-    if (!json.write_file(opts.json_path)) {
-      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
-      return 1;
-    }
+  report.param("trials", JsonValue::of(trials));
+  report.param("connected_trials", JsonValue::of(connected_trials));
+  JsonValue scheme_results = JsonValue::array();
+  for (int k = 0; k < 4; ++k) {
+    JsonValue entry = JsonValue::object();
+    entry.set("scheme", JsonValue::of(scheme_name(schemes[k])));
+    entry.set("delivered_before",
+              JsonValue::of(static_cast<std::uint64_t>(delivered_before[k])));
+    entry.set("delivered_after",
+              JsonValue::of(static_cast<std::uint64_t>(delivered_after[k])));
+    scheme_results.push(std::move(entry));
   }
+  report.param("schemes", std::move(scheme_results));
+  report.param("relabel_flips", summary_stats(flips));
   return 0;
 }
 
 /// Mobile stream: a long-lived SLGF2 stream between fixed endpoints while
 /// every other node follows a random-waypoint process.
-int run_mobile_stream(const ScenarioOptions& opts) {
+int run_mobile_stream(const ScenarioOptions& opts, ScenarioReport& report) {
   int epochs = opts.networks > 0 ? opts.networks : 8;
   std::uint64_t seed = opts.seed != 0 ? opts.seed : 9;
   const double dt = 20.0;
   DeploymentConfig dc;
   dc.node_count = 600;
-  std::printf("== Mobile stream: %d epochs, %d nodes, dt=%.0fs ==\n\n", epochs,
-              dc.node_count, dt);
+  report.textf("== Mobile stream: %d epochs, %d nodes, dt=%.0fs ==\n\n",
+               epochs, dc.node_count, dt);
 
   Rng deploy_rng(seed);
   Deployment d = deploy(dc, deploy_rng);
@@ -411,7 +388,8 @@ int run_mobile_stream(const ScenarioOptions& opts) {
   InterestArea area0(g0, dc.radio_range);
   const auto& interior = area0.interior_nodes();
   if (interior.size() < 2) {
-    std::printf("network too small for interior endpoints\n");
+    report.textf("network too small for interior endpoints\n");
+    report.aborted = true;
     return 1;
   }
   Rng pick_rng(seed ^ 0x22);
@@ -429,7 +407,8 @@ int run_mobile_stream(const ScenarioOptions& opts) {
     }
   }
   if (src == kInvalidNode) {
-    std::printf("no routable pair in the first snapshot\n");
+    report.textf("no routable pair in the first snapshot\n");
+    report.aborted = true;
     return 1;
   }
 
@@ -456,57 +435,34 @@ int run_mobile_stream(const ScenarioOptions& opts) {
                    std::to_string(info.unsafe_node_count())});
     model.advance(dt);
   }
-  std::fputs(table.render().c_str(), stdout);
-  std::printf("delivered %d/%d epochs, mean hops %.1f\n", delivered_epochs,
-              epochs, hop_counts.empty() ? 0.0 : hop_counts.mean());
+  report.add_table(std::move(table));
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "delivered %d/%d epochs, mean hops %.1f",
+                delivered_epochs, epochs,
+                hop_counts.empty() ? 0.0 : hop_counts.mean());
+  report.note(buf);
 
-  if (!opts.json_path.empty()) {
-    JsonWriter json;
-    json.begin_object();
-    json.key("scenario").value("mobile-stream");
-    json.key("epochs").value(epochs);
-    json.key("delivered_epochs").value(delivered_epochs);
-    json.key("hops");
-    summary_to_json(json, hop_counts);
-    json.end_object();
-    if (!json.write_file(opts.json_path)) {
-      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
-      return 1;
-    }
-  }
+  report.param("epochs", JsonValue::of(epochs));
+  report.param("delivered_epochs", JsonValue::of(delivered_epochs));
+  report.param("hops", summary_stats(hop_counts));
   return 0;
-}
-
-/// Serializes one run's SweepTimings breakdown (object under the current
-/// writer position).
-void timings_to_json(JsonWriter& w, const SweepTimings& t) {
-  w.begin_object();
-  w.key("construction_seconds").value(t.construction_seconds);
-  w.key("pair_draw_seconds").value(t.pair_draw_seconds);
-  w.key("oracle_seconds").value(t.oracle_seconds);
-  w.key("routing_seconds").value(t.routing_seconds);
-  w.key("oracle_bfs_searches").value(t.bfs_searches);
-  w.key("oracle_dijkstra_searches").value(t.dijkstra_searches);
-  w.key("pairs_requested").value(t.pairs_requested);
-  w.key("pairs_routed").value(t.pairs_routed);
-  w.end_object();
 }
 
 /// Parallel-sweep scaling: the same sweep serial and parallel, verifying
 /// bit-identical aggregates and reporting the wall-clock ratio plus the
 /// construction / oracle / routing breakdown and the per-source oracle
 /// saving over the per-pair search loop.
-int run_sweep_scaling(const ScenarioOptions& opts) {
+int run_sweep_scaling(const ScenarioOptions& opts, ScenarioReport& report) {
   SweepConfig config = figure_config(DeployModel::kIdeal, opts);
   if (opts.networks == 0) config.networks_per_point = 8;
   if (opts.pairs == 0) config.pairs_per_network = 6;
   config.node_counts = {400, 600, 800};
   int hardware = TaskPool::hardware_threads();
   int parallel_threads = opts.threads > 1 ? opts.threads : hardware;
-  std::printf("== Sweep scaling: %zu points x %d networks x %d pairs, "
-              "%d hardware threads ==\n\n",
-              config.node_counts.size(), config.networks_per_point,
-              config.pairs_per_network, hardware);
+  report.textf("== Sweep scaling: %zu points x %d networks x %d pairs, "
+               "%d hardware threads ==\n\n",
+               config.node_counts.size(), config.networks_per_point,
+               config.pairs_per_network, hardware);
 
   config.threads = 1;
   auto start = std::chrono::steady_clock::now();
@@ -523,58 +479,61 @@ int run_sweep_scaling(const ScenarioOptions& opts) {
   bool identical = sweep_results_identical(serial, parallel);
   double speedup =
       parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
-  std::printf("serial (threads=1):   %.2fs\n", serial_seconds);
-  std::printf("parallel (threads=%d): %.2fs\n", parallel_threads,
-              parallel_seconds);
-  std::printf("speedup: %.2fx, aggregates bit-identical: %s\n", speedup,
-              identical ? "yes" : "NO");
+  report.textf("serial (threads=1):   %.2fs\n", serial_seconds);
+  report.textf("parallel (threads=%d): %.2fs\n", parallel_threads,
+               parallel_seconds);
+  report.textf("speedup: %.2fx, aggregates bit-identical: %s\n", speedup,
+               identical ? "yes" : "NO");
   // Cost breakdown (serial run: the parallel one sums worker wall-clocks).
-  std::printf("serial breakdown: construction %.2fs, pair draw %.2fs, "
-              "oracle %.2fs, routing %.2fs\n",
-              serial_timings.construction_seconds,
-              serial_timings.pair_draw_seconds,
-              serial_timings.oracle_seconds, serial_timings.routing_seconds);
+  report.textf("serial breakdown: construction %.2fs, pair draw %.2fs, "
+               "oracle %.2fs, routing %.2fs\n",
+               serial_timings.construction_seconds,
+               serial_timings.pair_draw_seconds,
+               serial_timings.oracle_seconds, serial_timings.routing_seconds);
   std::uint64_t per_pair_searches = 2 * serial_timings.pairs_routed;
   std::uint64_t shared_searches =
       serial_timings.bfs_searches + serial_timings.dijkstra_searches;
-  std::printf("oracle searches: %llu (vs %llu per-pair) for %llu pairs — "
-              "one BFS + one Dijkstra per distinct source\n",
-              static_cast<unsigned long long>(shared_searches),
-              static_cast<unsigned long long>(per_pair_searches),
-              static_cast<unsigned long long>(serial_timings.pairs_routed));
+  report.textf("oracle searches: %llu (vs %llu per-pair) for %llu pairs — "
+               "one BFS + one Dijkstra per distinct source\n",
+               static_cast<unsigned long long>(shared_searches),
+               static_cast<unsigned long long>(per_pair_searches),
+               static_cast<unsigned long long>(serial_timings.pairs_routed));
   if (serial_timings.pairs_routed < serial_timings.pairs_requested) {
-    std::printf("pair shortfall: %llu of %llu requested pairs not drawn\n",
-                static_cast<unsigned long long>(
-                    serial_timings.pairs_requested -
-                    serial_timings.pairs_routed),
-                static_cast<unsigned long long>(
-                    serial_timings.pairs_requested));
+    report.textf("pair shortfall: %llu of %llu requested pairs not drawn\n",
+                 static_cast<unsigned long long>(
+                     serial_timings.pairs_requested -
+                     serial_timings.pairs_routed),
+                 static_cast<unsigned long long>(
+                     serial_timings.pairs_requested));
   }
 
-  if (!opts.json_path.empty()) {
-    JsonWriter json;
-    json.begin_object();
-    json.key("scenario").value("sweep-scaling");
-    json.key("hardware_threads").value(hardware);
-    json.key("parallel_threads").value(parallel_threads);
-    json.key("serial_seconds").value(serial_seconds);
-    json.key("parallel_seconds").value(parallel_seconds);
-    json.key("speedup").value(speedup);
-    json.key("bit_identical").value(identical);
-    json.key("serial_timings");
-    timings_to_json(json, serial_timings);
-    json.key("parallel_timings");
-    timings_to_json(json, parallel_timings);
-    json.key("models").begin_array();
-    sweep_points_to_json(json, config, parallel, parallel_seconds);
-    json.end_array();
-    json.end_object();
-    if (!json.write_file(opts.json_path)) {
-      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
-      return 1;
+  report.param("hardware_threads", JsonValue::of(hardware));
+  report.param("parallel_threads", JsonValue::of(parallel_threads));
+  report.param("serial_seconds", JsonValue::of(serial_seconds));
+  report.param("parallel_seconds", JsonValue::of(parallel_seconds));
+  report.param("speedup", JsonValue::of(speedup));
+  report.param("bit_identical", JsonValue::of(identical));
+  report.add_timings("serial_timings", serial_timings);
+  report.add_timings("parallel_timings", parallel_timings);
+  report.add_sweep(config, std::move(parallel), parallel_seconds);
+  return identical ? 0 : 1;
+}
+
+/// Edit distance (Levenshtein) for the unknown-name suggestions.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t previous = row[j];
+      std::size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+      diagonal = previous;
     }
   }
-  return identical ? 0 : 1;
+  return row[b.size()];
 }
 
 }  // namespace
@@ -585,13 +544,20 @@ const char* model_name(DeployModel model) noexcept {
 
 ScenarioOptions scenario_options_from_env() {
   ScenarioOptions opts;
-  opts.networks = env_int_or("SPR_NETWORKS", 0);
-  opts.pairs = env_int_or("SPR_PAIRS", 0);
-  opts.seed = static_cast<std::uint64_t>(env_int_or("SPR_SEED", 0));
-  opts.threads = env_int_or("SPR_THREADS", 0);
-  if (const char* path = std::getenv("SPR_JSON"); path != nullptr && *path) {
-    opts.json_path = path;
-  }
+  // Malformed and overflowing values already fall back inside env_int_or;
+  // negative counts are meaningless, so they fall back to the defaults too.
+  opts.networks = std::max(0, env_int_or("SPR_NETWORKS", 0));
+  opts.pairs = std::max(0, env_int_or("SPR_PAIRS", 0));
+  opts.seed = env_uint64_or("SPR_SEED", 0);
+  opts.threads = std::max(0, env_int_or("SPR_THREADS", 0));
+  auto env_string = [](const char* name) -> std::string {
+    const char* raw = std::getenv(name);
+    return raw != nullptr ? std::string(raw) : std::string();
+  };
+  opts.formats = env_string("SPR_FORMATS");
+  opts.json_path = env_string("SPR_JSON");
+  opts.csv_path = env_string("SPR_CSV");
+  opts.svg_path = env_string("SPR_SVG");
   return opts;
 }
 
@@ -606,19 +572,142 @@ const Scenario* ScenarioSuite::find(std::string_view name) const noexcept {
   return nullptr;
 }
 
+std::vector<std::string> ScenarioSuite::suggestions(
+    std::string_view name) const {
+  // Rank by: prefix match (best), then small edit distance relative to the
+  // query length.
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  for (const auto& s : scenarios_) {
+    std::size_t score;
+    if (!name.empty() &&
+        std::string_view(s.name).substr(0, name.size()) == name) {
+      score = 0;
+    } else {
+      std::size_t distance = edit_distance(name, s.name);
+      std::size_t budget = std::max<std::size_t>(2, name.size() / 3);
+      if (distance > budget) continue;
+      score = distance;
+    }
+    ranked.emplace_back(score, s.name);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::string> out;
+  for (auto& [score, suggestion] : ranked) out.push_back(std::move(suggestion));
+  return out;
+}
+
+namespace {
+
+/// The sinks `options` selects, with per-scenario default paths for
+/// formats requested without an explicit one.
+std::vector<std::unique_ptr<ReportSink>> make_sinks(
+    const ScenarioOptions& options, const std::string& scenario_name,
+    std::string* error) {
+  std::vector<ReportFormat> formats;
+  if (!parse_report_formats(options.formats, formats, error)) return {};
+  auto enabled = [&](ReportFormat f) {
+    return std::find(formats.begin(), formats.end(), f) != formats.end();
+  };
+  // An empty list means console; an explicit output path enables its sink
+  // either way (SPR_JSON / --json predate --format and keep working).
+  if (formats.empty()) formats.push_back(ReportFormat::kConsole);
+  if (!options.json_path.empty() && !enabled(ReportFormat::kJson)) {
+    formats.push_back(ReportFormat::kJson);
+  }
+  if (!options.csv_path.empty() && !enabled(ReportFormat::kCsv)) {
+    formats.push_back(ReportFormat::kCsv);
+  }
+  if (!options.svg_path.empty() && !enabled(ReportFormat::kSvg)) {
+    formats.push_back(ReportFormat::kSvg);
+  }
+
+  std::vector<std::unique_ptr<ReportSink>> sinks;
+  for (ReportFormat format : formats) {
+    switch (format) {
+      case ReportFormat::kConsole:
+        sinks.push_back(std::make_unique<ConsoleSink>());
+        break;
+      case ReportFormat::kJson:
+        sinks.push_back(std::make_unique<JsonSink>(
+            !options.json_path.empty() ? options.json_path
+                                       : scenario_name + ".json"));
+        break;
+      case ReportFormat::kCsv:
+        sinks.push_back(std::make_unique<CsvSink>(
+            !options.csv_path.empty() ? options.csv_path
+                                      : scenario_name + ".csv"));
+        break;
+      case ReportFormat::kSvg:
+        sinks.push_back(std::make_unique<SvgSink>(
+            !options.svg_path.empty() ? options.svg_path
+                                      : scenario_name + ".svg"));
+        break;
+    }
+  }
+  return sinks;
+}
+
+}  // namespace
+
 int ScenarioSuite::run(std::string_view name,
                        const ScenarioOptions& options) const {
   const Scenario* scenario = find(name);
   if (scenario == nullptr) {
-    std::fprintf(stderr, "unknown scenario '%.*s'; available:\n",
+    std::fprintf(stderr, "unknown scenario '%.*s'",
                  static_cast<int>(name.size()), name.data());
+    auto near_matches = suggestions(name);
+    if (!near_matches.empty()) {
+      std::fprintf(stderr, "; did you mean:\n");
+      for (const auto& s : near_matches) {
+        std::fprintf(stderr, "  %s\n", s.c_str());
+      }
+      std::fprintf(stderr, "available:\n");
+    } else {
+      std::fprintf(stderr, "; available:\n");
+    }
     for (const auto& s : scenarios_) {
       std::fprintf(stderr, "  %-18s %s\n", s.name.c_str(),
                    s.description.c_str());
     }
     return 2;
   }
-  return scenario->run(options);
+
+  std::string sink_error;
+  auto sinks = make_sinks(options, scenario->name, &sink_error);
+  if (sinks.empty()) {
+    std::fprintf(stderr, "%s\n", sink_error.c_str());
+    return 2;
+  }
+
+  ScenarioReport report;
+  report.scenario = scenario->name;
+  int code = scenario->build(options, report);
+
+  // An aborted report only carries its failure message in the console
+  // blocks; if the user selected structured sinks only, route those blocks
+  // to stderr so the failure isn't silent.
+  auto is_console_sink = [](const std::unique_ptr<ReportSink>& sink) {
+    return std::string_view(sink->name()) == "console";
+  };
+  if (report.aborted &&
+      std::none_of(sinks.begin(), sinks.end(), is_console_sink)) {
+    ConsoleSink(stderr).emit(report);
+  }
+
+  for (const auto& sink : sinks) {
+    // The console stream always prints (it carries the scenario's own
+    // failure messages); structured sinks skip aborted half-built reports.
+    bool is_console = is_console_sink(sink);
+    if (report.aborted && !is_console) continue;
+    if (!sink->emit(report)) {
+      std::string destination = sink->destination();
+      std::fprintf(stderr, "cannot write %s\n",
+                   destination.empty() ? sink->name() : destination.c_str());
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
 }
 
 ScenarioSuite& ScenarioSuite::builtin() {
@@ -626,31 +715,33 @@ ScenarioSuite& ScenarioSuite::builtin() {
     ScenarioSuite s;
     s.add({"fig5-max-hops",
            "paper Fig. 5: maximum hops per scheme, IA + FA models",
-           [](const ScenarioOptions& o) {
-             std::printf("== Fig. 5: maximum number of hops of a GF, LGF, "
-                         "SLGF, SLGF2 routing ==\n\n");
+           [](const ScenarioOptions& o, ScenarioReport& r) {
+             r.textf("== Fig. 5: maximum number of hops of a GF, LGF, "
+                     "SLGF, SLGF2 routing ==\n\n");
              return run_figure(
-                 o, "fig5-max-hops", "Fig. 5",
-                 [](const RouteAggregate& agg) { return agg.max_hops(); }, 0);
+                 o, "Fig. 5", "max hops",
+                 [](const RouteAggregate& agg) { return agg.max_hops(); }, 0,
+                 r);
            }});
     s.add({"fig6-avg-hops",
            "paper Fig. 6: average hops per scheme, IA + FA models",
-           [](const ScenarioOptions& o) {
-             std::printf("== Fig. 6: average number of hops of a GF, LGF, "
-                         "SLGF, SLGF2 routing ==\n\n");
+           [](const ScenarioOptions& o, ScenarioReport& r) {
+             r.textf("== Fig. 6: average number of hops of a GF, LGF, "
+                     "SLGF, SLGF2 routing ==\n\n");
              return run_figure(
-                 o, "fig6-avg-hops", "Fig. 6",
-                 [](const RouteAggregate& agg) { return agg.hops.mean(); }, 2);
+                 o, "Fig. 6", "avg hops",
+                 [](const RouteAggregate& agg) { return agg.hops.mean(); }, 2,
+                 r);
            }});
     s.add({"fig7-path-length",
            "paper Fig. 7: average path length per scheme, IA + FA models",
-           [](const ScenarioOptions& o) {
-             std::printf("== Fig. 7: average length of a GF, LGF, SLGF, SLGF2 "
-                         "routing ==\n\n");
+           [](const ScenarioOptions& o, ScenarioReport& r) {
+             r.textf("== Fig. 7: average length of a GF, LGF, SLGF, SLGF2 "
+                     "routing ==\n\n");
              return run_figure(
-                 o, "fig7-path-length", "Fig. 7",
+                 o, "Fig. 7", "avg path length (m)",
                  [](const RouteAggregate& agg) { return agg.length.mean(); },
-                 1);
+                 1, r);
            }});
     s.add({"ablation", "SLGF2 mechanism ablation (FA model)", run_ablation});
     s.add({"hole-field",
@@ -668,32 +759,6 @@ ScenarioSuite& ScenarioSuite::builtin() {
     return s;
   }();
   return suite;
-}
-
-void sweep_points_to_json(JsonWriter& w, const SweepConfig& config,
-                          const std::vector<SweepPoint>& points,
-                          double wall_seconds) {
-  w.begin_object();
-  w.key("model").value(model_tag(config.model));
-  w.key("networks_per_point").value(config.networks_per_point);
-  w.key("pairs_per_network").value(config.pairs_per_network);
-  w.key("base_seed").value(static_cast<std::uint64_t>(config.base_seed));
-  w.key("threads").value(config.threads);
-  w.key("wall_seconds").value(wall_seconds);
-  w.key("points").begin_array();
-  for (const auto& point : points) {
-    w.begin_object();
-    w.key("nodes").value(point.node_count);
-    w.key("schemes").begin_object();
-    for (const auto& [label, agg] : point.by_scheme) {
-      w.key(label);
-      aggregate_to_json(w, agg);
-    }
-    w.end_object();
-    w.end_object();
-  }
-  w.end_array();
-  w.end_object();
 }
 
 bool sweep_results_identical(const std::vector<SweepPoint>& a,

@@ -4,9 +4,18 @@
 /// ScenarioSuite: the shared runner behind the figure benches, the CLI and
 /// CI. A scenario is a named, parameterized experiment (a paper figure, a
 /// hole-field study, failure dynamics, a mobile stream, the parallel-sweep
-/// scaling check); every scenario prints its human-readable tables and,
-/// when `ScenarioOptions::json_path` is set, also emits a machine-readable
-/// JSON report — the artifact CI uploads.
+/// scaling check). Scenarios don't print: each builds a typed
+/// ScenarioReport (report/report.h) and the suite renders it through the
+/// selected ReportSink backends (report/sink.h) — console tables by
+/// default, plus JSON / CSV / SVG when requested via
+/// `ScenarioOptions::formats` (`--format`, `SPR_FORMATS`) or an explicit
+/// output path.
+///
+/// Trade-off of the report model: the console stream renders after the
+/// scenario completes, so a paper-scale sweep prints nothing while it
+/// runs (the old printf path streamed per model). Pass smaller
+/// `networks`/`pairs` for interactive runs, or watch the JSON/CSV
+/// artifacts.
 ///
 ///   spr::ScenarioOptions opts = spr::scenario_options_from_env();
 ///   return spr::ScenarioSuite::builtin().run("fig6-avg-hops", opts);
@@ -17,7 +26,8 @@
 #include <vector>
 
 #include "core/experiment.h"
-#include "util/json.h"
+#include "report/report.h"
+#include "report/sink.h"
 
 namespace spr {
 
@@ -27,18 +37,27 @@ struct ScenarioOptions {
   int pairs = 0;           ///< pairs per network
   std::uint64_t seed = 0;  ///< base seed
   int threads = 0;         ///< sweep threads: 0 = hardware, 1 = serial
-  std::string json_path;   ///< non-empty: also write a JSON report here
+  /// Comma-separated sink selection ("console,json,csv,svg"). Empty means
+  /// console, plus any sink whose explicit path below is set.
+  std::string formats;
+  std::string json_path;  ///< non-empty: write the JSON report here
+  std::string csv_path;   ///< non-empty: write CSV table exports here
+  std::string svg_path;   ///< non-empty: write the SVG sweep plot here
 };
 
 /// Options from the environment: SPR_NETWORKS, SPR_PAIRS, SPR_SEED,
-/// SPR_THREADS, SPR_JSON. Unset variables leave the scenario defaults.
+/// SPR_THREADS, SPR_FORMATS, SPR_JSON, SPR_CSV, SPR_SVG. Unset variables
+/// leave the scenario defaults; malformed, negative or overflowing numbers
+/// fall back to the defaults too (never UB, never silent garbage).
 ScenarioOptions scenario_options_from_env();
 
-/// One registered scenario. `run` returns a process exit code.
+/// One registered scenario. `build` fills the report and returns a process
+/// exit code; it must not print (the suite renders the report through the
+/// selected sinks afterwards).
 struct Scenario {
   std::string name;
   std::string description;
-  std::function<int(const ScenarioOptions&)> run;
+  std::function<int(const ScenarioOptions&, ScenarioReport&)> build;
 };
 
 /// A registry of scenarios, looked up by name.
@@ -55,7 +74,15 @@ class ScenarioSuite {
     return scenarios_;
   }
 
-  /// Runs the named scenario; 2 (plus a message to stderr) when unknown.
+  /// Registered names close to `name` (prefix or small edit distance),
+  /// best match first — the "did you mean" list behind run()'s unknown-name
+  /// message.
+  std::vector<std::string> suggestions(std::string_view name) const;
+
+  /// Runs the named scenario and renders its report through the sinks
+  /// `options` selects; 2 (plus a message with near-match suggestions to
+  /// stderr) when the name is unknown, 1 when a sink cannot write its
+  /// output.
   int run(std::string_view name, const ScenarioOptions& options = {}) const;
 
  private:
@@ -69,14 +96,9 @@ using MetricFn = std::function<double(const RouteAggregate&)>;
 /// areas)"), shared by the scenarios and the benches.
 const char* model_name(DeployModel model) noexcept;
 
-/// Serializes one sweep's aggregates under the writer's current container
-/// position (emits an object). Shared by scenarios, benches and tests.
-void sweep_points_to_json(JsonWriter& w, const SweepConfig& config,
-                          const std::vector<SweepPoint>& points,
-                          double wall_seconds);
-
 /// Exact equality of two sweep results (bitwise on every summary moment);
-/// the determinism check behind the sweep-scaling scenario and tests.
+/// the determinism check behind the sweep-scaling scenario, the shard
+/// merge acceptance tests, and the parallel-sweep tests.
 bool sweep_results_identical(const std::vector<SweepPoint>& a,
                              const std::vector<SweepPoint>& b);
 

@@ -1,0 +1,432 @@
+#include "report/serialize.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace spr {
+
+// ------------------------------------------------------------ stats form
+
+void summary_stats_to_json(JsonWriter& w, const Summary& s) {
+  w.begin_object();
+  w.key("count").value(s.count());
+  w.key("mean").value(s.mean());
+  w.key("min").value(s.min());
+  w.key("max").value(s.max());
+  w.key("stddev").value(s.stddev());
+  w.end_object();
+}
+
+JsonValue summary_stats(const Summary& s) {
+  JsonValue v = JsonValue::object();
+  v.set("count", JsonValue::of(static_cast<std::uint64_t>(s.count())));
+  v.set("mean", JsonValue::of(s.mean()));
+  v.set("min", JsonValue::of(s.min()));
+  v.set("max", JsonValue::of(s.max()));
+  v.set("stddev", JsonValue::of(s.stddev()));
+  return v;
+}
+
+void aggregate_stats_to_json(JsonWriter& w, const RouteAggregate& agg) {
+  w.begin_object();
+  w.key("requested").value(agg.requested);
+  w.key("attempted").value(agg.attempted);
+  w.key("pair_shortfall").value(agg.pair_shortfall());
+  w.key("delivered").value(agg.delivered);
+  w.key("delivery_ratio").value(agg.delivery_ratio());
+  w.key("hops");
+  summary_stats_to_json(w, agg.hops);
+  w.key("length");
+  summary_stats_to_json(w, agg.length);
+  w.key("stretch_hops");
+  summary_stats_to_json(w, agg.stretch_hops);
+  w.key("stretch_length");
+  summary_stats_to_json(w, agg.stretch_length);
+  w.key("perimeter_hops");
+  summary_stats_to_json(w, agg.perimeter_hops);
+  w.key("backup_hops");
+  summary_stats_to_json(w, agg.backup_hops);
+  w.key("local_minima");
+  summary_stats_to_json(w, agg.local_minima);
+  w.end_object();
+}
+
+void sweep_section_to_json(JsonWriter& w, const SweepSection& section) {
+  w.begin_object();
+  w.key("model").value(deploy_model_tag(section.model));
+  w.key("networks_per_point").value(section.networks_per_point);
+  w.key("pairs_per_network").value(section.pairs_per_network);
+  w.key("base_seed").value(section.base_seed);
+  w.key("threads").value(section.threads);
+  w.key("wall_seconds").value(section.wall_seconds);
+  w.key("points").begin_array();
+  for (const auto& point : section.points) {
+    w.begin_object();
+    w.key("nodes").value(point.node_count);
+    w.key("schemes").begin_object();
+    for (const auto& [label, agg] : point.by_scheme) {
+      w.key(label);
+      aggregate_stats_to_json(w, agg);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void timings_to_json(JsonWriter& w, const SweepTimings& t) {
+  w.begin_object();
+  w.key("construction_seconds").value(t.construction_seconds);
+  w.key("pair_draw_seconds").value(t.pair_draw_seconds);
+  w.key("oracle_seconds").value(t.oracle_seconds);
+  w.key("routing_seconds").value(t.routing_seconds);
+  w.key("oracle_bfs_searches").value(t.bfs_searches);
+  w.key("oracle_dijkstra_searches").value(t.dijkstra_searches);
+  w.key("pairs_requested").value(t.pairs_requested);
+  w.key("pairs_routed").value(t.pairs_routed);
+  w.end_object();
+}
+
+// ------------------------------------------------------------- full form
+
+namespace {
+
+/// Reads a required finite-number member into `out`.
+bool read_double(const JsonValue& v, const char* key, double& out) {
+  const JsonValue* m = v.find(key);
+  if (m == nullptr || !m->is_number()) return false;
+  out = m->as_double();
+  return true;
+}
+
+bool read_uint(const JsonValue& v, const char* key, std::uint64_t& out) {
+  const JsonValue* m = v.find(key);
+  if (m == nullptr || !m->is_integer()) return false;
+  out = m->as_uint64();
+  return true;
+}
+
+bool read_size(const JsonValue& v, const char* key, std::size_t& out) {
+  std::uint64_t u = 0;
+  if (!read_uint(v, key, u)) return false;
+  out = static_cast<std::size_t>(u);
+  return true;
+}
+
+bool read_int(const JsonValue& v, const char* key, int& out) {
+  const JsonValue* m = v.find(key);
+  if (m == nullptr || !m->is_integer()) return false;
+  std::int64_t i = m->as_int64(INT64_MIN);
+  if (i < INT32_MIN || i > INT32_MAX) return false;
+  out = static_cast<int>(i);
+  return true;
+}
+
+bool read_summary(const JsonValue& v, const char* key, Summary& out) {
+  const JsonValue* m = v.find(key);
+  return m != nullptr && from_json(*m, out);
+}
+
+}  // namespace
+
+void to_json(JsonWriter& w, const Summary& s) {
+  w.begin_object();
+  w.key("values").begin_array();
+  for (double value : s.values()) w.value(value);
+  w.end_array();
+  w.end_object();
+}
+
+bool from_json(const JsonValue& v, Summary& out) {
+  const JsonValue* values = v.find("values");
+  if (values == nullptr || !values->is_array()) return false;
+  Summary s;
+  for (const JsonValue& item : values->items()) {
+    if (!item.is_number()) return false;  // null = a non-finite sample; reject
+    s.add(item.as_double());
+  }
+  out = std::move(s);
+  return true;
+}
+
+void to_json(JsonWriter& w, const RouteAggregate& agg) {
+  w.begin_object();
+  w.key("requested").value(agg.requested);
+  w.key("attempted").value(agg.attempted);
+  w.key("delivered").value(agg.delivered);
+  w.key("hops");
+  to_json(w, agg.hops);
+  w.key("length");
+  to_json(w, agg.length);
+  w.key("stretch_hops");
+  to_json(w, agg.stretch_hops);
+  w.key("stretch_length");
+  to_json(w, agg.stretch_length);
+  w.key("perimeter_hops");
+  to_json(w, agg.perimeter_hops);
+  w.key("backup_hops");
+  to_json(w, agg.backup_hops);
+  w.key("local_minima");
+  to_json(w, agg.local_minima);
+  w.end_object();
+}
+
+bool from_json(const JsonValue& v, RouteAggregate& out) {
+  if (!v.is_object()) return false;
+  RouteAggregate agg;
+  if (!read_size(v, "requested", agg.requested) ||
+      !read_size(v, "attempted", agg.attempted) ||
+      !read_size(v, "delivered", agg.delivered) ||
+      !read_summary(v, "hops", agg.hops) ||
+      !read_summary(v, "length", agg.length) ||
+      !read_summary(v, "stretch_hops", agg.stretch_hops) ||
+      !read_summary(v, "stretch_length", agg.stretch_length) ||
+      !read_summary(v, "perimeter_hops", agg.perimeter_hops) ||
+      !read_summary(v, "backup_hops", agg.backup_hops) ||
+      !read_summary(v, "local_minima", agg.local_minima)) {
+    return false;
+  }
+  out = std::move(agg);
+  return true;
+}
+
+void to_json(JsonWriter& w, const CellResult& cell) {
+  w.begin_object();
+  for (const auto& [label, agg] : cell) {
+    w.key(label);
+    to_json(w, agg);
+  }
+  w.end_object();
+}
+
+bool from_json(const JsonValue& v, CellResult& out) {
+  if (!v.is_object()) return false;
+  CellResult cell;
+  for (const auto& [label, value] : v.members()) {
+    RouteAggregate agg;
+    if (!from_json(value, agg)) return false;
+    if (!cell.emplace(label, std::move(agg)).second) return false;
+  }
+  out = std::move(cell);
+  return true;
+}
+
+void to_json(JsonWriter& w, const SweepPoint& point) {
+  w.begin_object();
+  w.key("nodes").value(point.node_count);
+  w.key("schemes");
+  to_json(w, point.by_scheme);
+  w.end_object();
+}
+
+bool from_json(const JsonValue& v, SweepPoint& out) {
+  if (!v.is_object()) return false;
+  SweepPoint point;
+  if (!read_int(v, "nodes", point.node_count)) return false;
+  if (!from_json(v.get("schemes"), point.by_scheme)) return false;
+  out = std::move(point);
+  return true;
+}
+
+void to_json(JsonWriter& w, const SweepTimings& t) { timings_to_json(w, t); }
+
+bool from_json(const JsonValue& v, SweepTimings& out) {
+  if (!v.is_object()) return false;
+  SweepTimings t;
+  if (!read_double(v, "construction_seconds", t.construction_seconds) ||
+      !read_double(v, "pair_draw_seconds", t.pair_draw_seconds) ||
+      !read_double(v, "oracle_seconds", t.oracle_seconds) ||
+      !read_double(v, "routing_seconds", t.routing_seconds) ||
+      !read_uint(v, "oracle_bfs_searches", t.bfs_searches) ||
+      !read_uint(v, "oracle_dijkstra_searches", t.dijkstra_searches) ||
+      !read_uint(v, "pairs_requested", t.pairs_requested) ||
+      !read_uint(v, "pairs_routed", t.pairs_routed)) {
+    return false;
+  }
+  out = t;
+  return true;
+}
+
+// ------------------------------------------------------------ shard files
+
+namespace {
+constexpr int kShardFormatVersion = 1;
+}  // namespace
+
+SweepShard make_shard(const SweepConfig& config, int shard_index,
+                      int shard_count, std::vector<ShardCell> cells) {
+  SweepShard shard;
+  shard.model_tag = deploy_model_tag(config.model);
+  shard.node_counts = config.node_counts;
+  shard.networks_per_point = config.networks_per_point;
+  shard.pairs_per_network = config.pairs_per_network;
+  shard.base_seed = config.base_seed;
+  for (const auto& spec : config.schemes) {
+    shard.scheme_labels.push_back(spec.display_label());
+  }
+  shard.shard_index = shard_index;
+  shard.shard_count = shard_count;
+  shard.cells = std::move(cells);
+  return shard;
+}
+
+void to_json(JsonWriter& w, const SweepShard& shard) {
+  w.begin_object();
+  w.key("spr_shard").value(kShardFormatVersion);
+  w.key("model").value(shard.model_tag);
+  w.key("node_counts").begin_array();
+  for (int n : shard.node_counts) w.value(n);
+  w.end_array();
+  w.key("networks_per_point").value(shard.networks_per_point);
+  w.key("pairs_per_network").value(shard.pairs_per_network);
+  w.key("base_seed").value(shard.base_seed);
+  w.key("schemes").begin_array();
+  for (const auto& label : shard.scheme_labels) w.value(label);
+  w.end_array();
+  w.key("shard_index").value(shard.shard_index);
+  w.key("shard_count").value(shard.shard_count);
+  w.key("cells").begin_array();
+  for (const auto& cell : shard.cells) {
+    w.begin_object();
+    w.key("node_count").value(cell.node_count);
+    w.key("net_index").value(cell.net_index);
+    w.key("results");
+    to_json(w, cell.result);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+bool from_json(const JsonValue& v, SweepShard& out) {
+  if (!v.is_object()) return false;
+  int version = 0;
+  if (!read_int(v, "spr_shard", version) || version != kShardFormatVersion) {
+    return false;
+  }
+  SweepShard shard;
+  const JsonValue* model = v.find("model");
+  if (model == nullptr || !model->is_string()) return false;
+  shard.model_tag = model->as_string();
+  DeployModel parsed_model;
+  if (!deploy_model_from_tag(shard.model_tag, parsed_model)) return false;
+
+  const JsonValue* counts = v.find("node_counts");
+  if (counts == nullptr || !counts->is_array()) return false;
+  for (const JsonValue& n : counts->items()) {
+    std::int64_t count = n.is_integer() ? n.as_int64(INT64_MIN) : INT64_MIN;
+    if (count < 0 || count > INT32_MAX) return false;
+    shard.node_counts.push_back(static_cast<int>(count));
+  }
+  if (!read_int(v, "networks_per_point", shard.networks_per_point) ||
+      !read_int(v, "pairs_per_network", shard.pairs_per_network) ||
+      !read_uint(v, "base_seed", shard.base_seed) ||
+      !read_int(v, "shard_index", shard.shard_index) ||
+      !read_int(v, "shard_count", shard.shard_count)) {
+    return false;
+  }
+  const JsonValue* schemes = v.find("schemes");
+  if (schemes == nullptr || !schemes->is_array()) return false;
+  for (const JsonValue& label : schemes->items()) {
+    if (!label.is_string()) return false;
+    shard.scheme_labels.push_back(label.as_string());
+  }
+  const JsonValue* cells = v.find("cells");
+  if (cells == nullptr || !cells->is_array()) return false;
+  for (const JsonValue& c : cells->items()) {
+    ShardCell cell;
+    if (!read_int(c, "node_count", cell.node_count) ||
+        !read_int(c, "net_index", cell.net_index) ||
+        !from_json(c.get("results"), cell.result)) {
+      return false;
+    }
+    shard.cells.push_back(std::move(cell));
+  }
+  out = std::move(shard);
+  return true;
+}
+
+namespace {
+
+bool same_sweep(const SweepShard& a, const SweepShard& b) {
+  return a.model_tag == b.model_tag && a.node_counts == b.node_counts &&
+         a.networks_per_point == b.networks_per_point &&
+         a.pairs_per_network == b.pairs_per_network &&
+         a.base_seed == b.base_seed && a.scheme_labels == b.scheme_labels;
+}
+
+bool merge_fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+bool merge_shards(std::vector<SweepShard> shards,
+                  std::vector<SweepPoint>& out_points, std::string* error) {
+  if (shards.empty()) return merge_fail(error, "no shards to merge");
+  const SweepShard& head = shards.front();
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    if (!same_sweep(head, shards[i])) {
+      return merge_fail(error,
+                        "shard " + std::to_string(i) +
+                            " belongs to a different sweep (config mismatch)");
+    }
+  }
+
+  std::vector<ShardCell> cells;
+  std::set<std::pair<int, int>> seen;
+  for (const SweepShard& shard : shards) {
+    for (const ShardCell& cell : shard.cells) {
+      if (std::find(head.node_counts.begin(), head.node_counts.end(),
+                    cell.node_count) == head.node_counts.end()) {
+        return merge_fail(error, "cell at unknown node count " +
+                                     std::to_string(cell.node_count));
+      }
+      if (cell.net_index < 0 || cell.net_index >= head.networks_per_point) {
+        return merge_fail(error, "cell net_index " +
+                                     std::to_string(cell.net_index) +
+                                     " out of range");
+      }
+      if (!seen.emplace(cell.node_count, cell.net_index).second) {
+        return merge_fail(error,
+                          "duplicate cell (" + std::to_string(cell.node_count) +
+                              ", " + std::to_string(cell.net_index) + ")");
+      }
+      // Every cell must carry exactly the sweep's scheme set — a missing or
+      // extra label means a truncated/foreign shard, and merge_cell_results
+      // would silently skip it, corrupting the bit-identical guarantee.
+      if (cell.result.size() != head.scheme_labels.size()) {
+        return merge_fail(error,
+                          "cell (" + std::to_string(cell.node_count) + ", " +
+                              std::to_string(cell.net_index) + ") has " +
+                              std::to_string(cell.result.size()) +
+                              " scheme results, expected " +
+                              std::to_string(head.scheme_labels.size()));
+      }
+      for (const auto& label : head.scheme_labels) {
+        if (cell.result.find(label) == cell.result.end()) {
+          return merge_fail(error, "cell (" +
+                                       std::to_string(cell.node_count) + ", " +
+                                       std::to_string(cell.net_index) +
+                                       ") is missing scheme '" + label + "'");
+        }
+      }
+      cells.push_back(cell);
+    }
+  }
+  std::size_t expected = head.node_counts.size() *
+                         static_cast<std::size_t>(head.networks_per_point);
+  if (cells.size() != expected) {
+    return merge_fail(error, "incomplete sweep: " +
+                                 std::to_string(cells.size()) + " of " +
+                                 std::to_string(expected) + " cells present");
+  }
+  out_points = merge_cell_results(head.node_counts, head.scheme_labels,
+                                  std::move(cells));
+  return true;
+}
+
+}  // namespace spr

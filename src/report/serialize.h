@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file serialize.h
+/// JSON round-trip for the sweep result model. Two forms coexist:
+///
+/// - *Stats* form (`summary_stats_to_json` / `aggregate_stats_to_json`):
+///   the compact derived-moments shape the scenario reports have always
+///   emitted (count/mean/min/max/stddev). Lossy — for human and dashboard
+///   consumption.
+/// - *Full* form (`to_json` / `from_json`): retains every Summary sample,
+///   so deserializing re-adds the samples in order and reconstructs the
+///   accumulator bit-identically. This is what makes the sweep cell the
+///   unit of cross-process distribution: run shards anywhere, serialize
+///   their `CellResult`s, and `merge_shards` reproduces the in-process
+///   `run_sweep` aggregates exactly.
+///
+/// Doubles are emitted with %.17g and parsed with from_chars, so every
+/// finite double survives the trip bit-exactly.
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "report/report.h"
+#include "stats/summary.h"
+#include "util/json.h"
+
+namespace spr {
+
+// ------------------------------------------------------------ stats form
+/// {count, mean, min, max, stddev} — the report shape.
+void summary_stats_to_json(JsonWriter& w, const Summary& s);
+JsonValue summary_stats(const Summary& s);
+/// The per-aggregate report shape (delivery ratio + stats summaries).
+void aggregate_stats_to_json(JsonWriter& w, const RouteAggregate& agg);
+/// One sweep section in the report shape (the "models" array element).
+void sweep_section_to_json(JsonWriter& w, const SweepSection& section);
+void timings_to_json(JsonWriter& w, const SweepTimings& t);
+
+// ------------------------------------------------------------- full form
+/// {"values": [...]} — everything needed to rebuild the accumulator.
+void to_json(JsonWriter& w, const Summary& s);
+bool from_json(const JsonValue& v, Summary& out);
+
+void to_json(JsonWriter& w, const RouteAggregate& agg);
+bool from_json(const JsonValue& v, RouteAggregate& out);
+
+/// {"nodes": n, "schemes": {label: aggregate...}}
+void to_json(JsonWriter& w, const SweepPoint& point);
+bool from_json(const JsonValue& v, SweepPoint& out);
+
+/// {label: aggregate...}
+void to_json(JsonWriter& w, const CellResult& cell);
+bool from_json(const JsonValue& v, CellResult& out);
+
+void to_json(JsonWriter& w, const SweepTimings& t);
+bool from_json(const JsonValue& v, SweepTimings& out);
+
+// ------------------------------------------------------------ shard files
+/// A serialized sweep shard: the sweep's identity (enough to check that two
+/// shards came from the same sweep) plus the computed cells in full form.
+struct SweepShard {
+  std::string model_tag;  ///< "IA" / "FA"
+  std::vector<int> node_counts;
+  int networks_per_point = 0;
+  int pairs_per_network = 0;
+  std::uint64_t base_seed = 0;
+  std::vector<std::string> scheme_labels;
+  int shard_index = 0;
+  int shard_count = 1;
+  std::vector<ShardCell> cells;
+};
+
+/// Builds the shard header from the config that ran the cells.
+SweepShard make_shard(const SweepConfig& config, int shard_index,
+                      int shard_count, std::vector<ShardCell> cells);
+
+void to_json(JsonWriter& w, const SweepShard& shard);
+bool from_json(const JsonValue& v, SweepShard& out);
+
+/// Merges shard files into sweep points. Validates that every shard
+/// belongs to the same sweep (identical header identity), that no cell
+/// appears twice, and that the union covers every cell of the sweep —
+/// then replays run_sweep's canonical cell-order reduction, so the result
+/// is bit-identical to the in-process sweep. On failure returns false and
+/// describes the problem in `error` (when non-null).
+bool merge_shards(std::vector<SweepShard> shards,
+                  std::vector<SweepPoint>& out_points,
+                  std::string* error = nullptr);
+
+}  // namespace spr

@@ -42,6 +42,11 @@ class Summary {
   /// Merges another summary into this one.
   void merge(const Summary& other);
 
+  /// The retained samples, in insertion order — what merge() replays and
+  /// what the full JSON form (report/serialize.h) persists so a
+  /// deserialized Summary reconstructs the accumulator bit-identically.
+  const std::vector<double>& values() const noexcept { return values_; }
+
  private:
   std::vector<double> values_;
   double mean_ = 0.0;

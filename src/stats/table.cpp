@@ -45,11 +45,24 @@ std::string Table::render() const {
 
 std::string Table::to_csv() const {
   std::ostringstream out;
+  // RFC 4180: cells containing a comma, a double quote or a line break are
+  // quoted; embedded quotes are doubled.
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+      out << cell;
+      return;
+    }
+    out << '"';
+    for (char c : cell) {
+      if (c == '"') out << '"';
+      out << c;
+    }
+    out << '"';
+  };
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::string cell = row[c];
-      std::replace(cell.begin(), cell.end(), ',', ';');
-      out << (c ? "," : "") << cell;
+      if (c) out << ',';
+      emit_cell(row[c]);
     }
     out << '\n';
   };

@@ -26,8 +26,9 @@ class Table {
   /// Renders with aligned columns and a separator under the header.
   std::string render() const;
 
-  /// Renders RFC-4180-ish CSV (no quoting of embedded commas needed for our
-  /// numeric content; commas in cells are replaced by ';').
+  /// Renders CSV with RFC-4180 quoting (cells containing a comma, a double
+  /// quote or a line break are quoted, embedded quotes doubled); rows end
+  /// in LF, not the RFC's CRLF.
   std::string to_csv() const;
 
  private:

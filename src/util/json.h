@@ -1,9 +1,11 @@
 #pragma once
 
 /// \file json.h
-/// Minimal streaming JSON emitter for machine-readable bench/scenario
-/// output. No DOM, no parsing — just well-formed output with automatic
-/// comma placement and string escaping.
+/// Minimal JSON layer for machine-readable bench/scenario output and for
+/// reading it back (shard merge, artifact validation).
+///
+/// JsonWriter is a streaming emitter — no DOM, automatic comma placement
+/// and string escaping:
 ///
 ///   JsonWriter w;
 ///   w.begin_object();
@@ -13,10 +15,18 @@
 ///   w.end_array();
 ///   w.end_object();
 ///   std::string text = w.str();
+///
+/// JsonValue is the matching reader-side DOM: a strict recursive-descent
+/// parser (depth-capped, bounds-checked) plus just enough construction API
+/// to build report payloads programmatically. Numbers keep an exact
+/// int64/uint64 representation when the token is integral, so 64-bit seeds
+/// and counters round-trip exactly; doubles are emitted with %.17g and
+/// parsed with from_chars, so finite doubles round-trip bit-exactly too.
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace spr {
@@ -52,6 +62,101 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> first_in_scope_{true};  // per open container
   bool after_key_ = false;
+};
+
+/// A parsed (or programmatically built) JSON document node.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  /// One object member; members keep insertion/document order.
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  ///< null
+
+  // ------------------------------------------------------------ builders
+  static JsonValue array();
+  static JsonValue object();
+  static JsonValue of(bool flag);
+  static JsonValue of(double number);
+  static JsonValue of(std::int64_t number);
+  static JsonValue of(std::uint64_t number);
+  static JsonValue of(int number) { return of(static_cast<std::int64_t>(number)); }
+  static JsonValue of(std::string_view text);
+  static JsonValue of(const char* text) { return of(std::string_view(text)); }
+
+  /// Appends to an array. A non-array target (null or scalar) is replaced
+  /// by a fresh array first.
+  JsonValue& push(JsonValue item);
+  /// Sets an object member, replacing an existing key. A non-object target
+  /// (null or scalar) is replaced by a fresh object first. Returns *this
+  /// for chaining.
+  JsonValue& set(std::string key, JsonValue value);
+
+  // ------------------------------------------------------------ inspection
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  /// True for numbers carried exactly as int64/uint64 (an integral token,
+  /// or a value built from an integer) — what strict integer readers check
+  /// so "1.7" can't silently truncate into an index.
+  bool is_integer() const noexcept {
+    return kind_ == Kind::kNumber && repr_ != NumRepr::kDouble;
+  }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const noexcept;
+  double as_double(double fallback = 0.0) const noexcept;
+  std::int64_t as_int64(std::int64_t fallback = 0) const noexcept;
+  std::uint64_t as_uint64(std::uint64_t fallback = 0) const noexcept;
+  /// String payload; empty for non-strings.
+  const std::string& as_string() const noexcept;
+
+  /// Element / member count (0 for scalars).
+  std::size_t size() const noexcept;
+  /// Array element, or a shared null when out of range / not an array.
+  const JsonValue& at(std::size_t index) const noexcept;
+  /// Object member by key, or nullptr when absent / not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// Object member by key, or a shared null when absent.
+  const JsonValue& get(std::string_view key) const noexcept;
+
+  const std::vector<JsonValue>& items() const noexcept { return items_; }
+  const std::vector<Member>& members() const noexcept { return members_; }
+
+  // ------------------------------------------------------------ round-trip
+  /// Emits this value at the writer's current position. Integral numbers
+  /// are written exactly; doubles via the writer's %.17g path.
+  void write(JsonWriter& w) const;
+  /// The value as a standalone compact document.
+  std::string dump() const;
+
+  /// Strict parse of a complete document (one value plus whitespace).
+  /// Returns false on malformed input; `error`, when non-null, receives a
+  /// short message with the byte offset. Never throws, never reads out of
+  /// bounds; nesting deeper than 200 levels is rejected.
+  static bool parse(std::string_view text, JsonValue& out,
+                    std::string* error = nullptr);
+  /// parse() over a file's contents; false on I/O error too.
+  static bool parse_file(const std::string& path, JsonValue& out,
+                         std::string* error = nullptr);
+
+ private:
+  enum class NumRepr { kDouble, kInt64, kUint64 };
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  NumRepr repr_ = NumRepr::kDouble;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+
+  friend class JsonParser;
 };
 
 }  // namespace spr

@@ -87,23 +87,111 @@ TEST(ScenarioSuite, SweepResultsIdenticalDetectsDivergence) {
   EXPECT_FALSE(sweep_results_identical(a, b));
 }
 
+void clear_scenario_env() {
+  for (const char* name : {"SPR_NETWORKS", "SPR_PAIRS", "SPR_SEED",
+                           "SPR_THREADS", "SPR_FORMATS", "SPR_JSON",
+                           "SPR_CSV", "SPR_SVG"}) {
+    ::unsetenv(name);
+  }
+}
+
 TEST(ScenarioOptions, FromEnvReadsOverrides) {
   ::setenv("SPR_NETWORKS", "5", 1);
   ::setenv("SPR_PAIRS", "3", 1);
+  ::setenv("SPR_SEED", "11", 1);
   ::setenv("SPR_THREADS", "2", 1);
+  ::setenv("SPR_FORMATS", "console,json", 1);
   ::setenv("SPR_JSON", "/tmp/x.json", 1);
+  ::setenv("SPR_CSV", "/tmp/x.csv", 1);
+  ::setenv("SPR_SVG", "/tmp/x.svg", 1);
   ScenarioOptions opts = scenario_options_from_env();
   EXPECT_EQ(opts.networks, 5);
   EXPECT_EQ(opts.pairs, 3);
+  EXPECT_EQ(opts.seed, 11u);
   EXPECT_EQ(opts.threads, 2);
+  EXPECT_EQ(opts.formats, "console,json");
   EXPECT_EQ(opts.json_path, "/tmp/x.json");
-  ::unsetenv("SPR_NETWORKS");
-  ::unsetenv("SPR_PAIRS");
-  ::unsetenv("SPR_THREADS");
-  ::unsetenv("SPR_JSON");
+  EXPECT_EQ(opts.csv_path, "/tmp/x.csv");
+  EXPECT_EQ(opts.svg_path, "/tmp/x.svg");
+  clear_scenario_env();
   ScenarioOptions defaults = scenario_options_from_env();
   EXPECT_EQ(defaults.networks, 0);
+  EXPECT_TRUE(defaults.formats.empty());
   EXPECT_TRUE(defaults.json_path.empty());
+  EXPECT_TRUE(defaults.csv_path.empty());
+  EXPECT_TRUE(defaults.svg_path.empty());
+}
+
+TEST(ScenarioOptions, FromEnvFallsBackOnMalformedValues) {
+  // Non-numeric, partially numeric, and empty values are not numbers:
+  // every numeric knob falls back to its default instead of UB/garbage.
+  for (const char* bad : {"abc", "12abc", "", " ", "1.5", "0x10"}) {
+    ::setenv("SPR_NETWORKS", bad, 1);
+    ::setenv("SPR_PAIRS", bad, 1);
+    ::setenv("SPR_SEED", bad, 1);
+    ::setenv("SPR_THREADS", bad, 1);
+    ScenarioOptions opts = scenario_options_from_env();
+    EXPECT_EQ(opts.networks, 0) << "'" << bad << "'";
+    EXPECT_EQ(opts.pairs, 0) << "'" << bad << "'";
+    EXPECT_EQ(opts.seed, 0u) << "'" << bad << "'";
+    EXPECT_EQ(opts.threads, 0) << "'" << bad << "'";
+  }
+  clear_scenario_env();
+}
+
+TEST(ScenarioOptions, FromEnvFallsBackOnNegativeValues) {
+  ::setenv("SPR_NETWORKS", "-5", 1);
+  ::setenv("SPR_PAIRS", "-1", 1);
+  ::setenv("SPR_SEED", "-2009", 1);
+  ::setenv("SPR_THREADS", "-8", 1);
+  ScenarioOptions opts = scenario_options_from_env();
+  EXPECT_EQ(opts.networks, 0);
+  EXPECT_EQ(opts.pairs, 0);
+  EXPECT_EQ(opts.seed, 0u);
+  EXPECT_EQ(opts.threads, 0);
+  clear_scenario_env();
+}
+
+TEST(ScenarioOptions, FromEnvFallsBackOnOverflowValues) {
+  for (const char* huge :
+       {"99999999999999999999", "2147483648", "-99999999999999999999"}) {
+    ::setenv("SPR_NETWORKS", huge, 1);
+    ::setenv("SPR_PAIRS", huge, 1);
+    ::setenv("SPR_THREADS", huge, 1);
+    ScenarioOptions opts = scenario_options_from_env();
+    EXPECT_EQ(opts.networks, 0) << huge;
+    EXPECT_EQ(opts.pairs, 0) << huge;
+    EXPECT_EQ(opts.threads, 0) << huge;
+  }
+  // The seed is a full uint64: values past INT_MAX are real seeds, only
+  // values past UINT64_MAX (or negative) fall back.
+  ::setenv("SPR_SEED", "3000000000", 1);
+  EXPECT_EQ(scenario_options_from_env().seed, 3000000000u);
+  ::setenv("SPR_SEED", "18446744073709551615", 1);
+  EXPECT_EQ(scenario_options_from_env().seed, 18446744073709551615u);
+  for (const char* bad : {"99999999999999999999", "-99999999999999999999",
+                          "-2009"}) {
+    ::setenv("SPR_SEED", bad, 1);
+    EXPECT_EQ(scenario_options_from_env().seed, 0u) << bad;
+  }
+  clear_scenario_env();
+}
+
+TEST(ScenarioSuite, SuggestsNearMatchesForUnknownNames) {
+  const auto& suite = ScenarioSuite::builtin();
+  // Prefix match.
+  auto by_prefix = suite.suggestions("fig6");
+  ASSERT_FALSE(by_prefix.empty());
+  EXPECT_EQ(by_prefix.front(), "fig6-avg-hops");
+  // Small typo (edit distance).
+  auto by_typo = suite.suggestions("mobile-strem");
+  ASSERT_FALSE(by_typo.empty());
+  EXPECT_EQ(by_typo.front(), "mobile-stream");
+  auto by_typo2 = suite.suggestions("sweep-scalng");
+  ASSERT_FALSE(by_typo2.empty());
+  EXPECT_EQ(by_typo2.front(), "sweep-scaling");
+  // Nothing close.
+  EXPECT_TRUE(suite.suggestions("zzzzzzzz").empty());
 }
 
 }  // namespace

@@ -42,10 +42,28 @@ TEST(Table, CsvFormat) {
   EXPECT_EQ(t.to_csv(), "n,hops\n400,12.5\n");
 }
 
-TEST(Table, CsvReplacesEmbeddedCommas) {
+TEST(Table, CsvQuotesEmbeddedCommas) {
   Table t({"label"});
   t.add_row({"a,b"});
-  EXPECT_EQ(t.to_csv(), "label\na;b\n");
+  EXPECT_EQ(t.to_csv(), "label\n\"a,b\"\n");
+}
+
+TEST(Table, CsvQuotesAndDoublesEmbeddedQuotes) {
+  Table t({"label"});
+  t.add_row({"he said \"hi\""});
+  EXPECT_EQ(t.to_csv(), "label\n\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, CsvQuotesEmbeddedLineBreaks) {
+  Table t({"a", "b"});
+  t.add_row({"one\ntwo", "cr\rcell"});
+  EXPECT_EQ(t.to_csv(), "a,b\n\"one\ntwo\",\"cr\rcell\"\n");
+}
+
+TEST(Table, CsvQuotedHeaderCells) {
+  Table t({"plain", "with,comma"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "plain,\"with,comma\"\n1,2\n");
 }
 
 TEST(Table, FmtFixedPoint) {

@@ -1,0 +1,212 @@
+/// \file util_json_reader_test.cpp
+/// The JsonValue parser: strict acceptance of what JsonWriter emits (and
+/// ordinary JSON beyond it), exact number round-trips, and rejection of
+/// truncated / malformed input without crashes (the suite runs under
+/// ASan/UBSan in CI).
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace spr {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(JsonValue::parse(text, v, &error)) << text << ": " << error;
+  return v;
+}
+
+void expect_reject(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse(text, v, &error)) << text;
+  EXPECT_FALSE(error.empty()) << text;
+}
+
+TEST(JsonReader, Scalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").as_bool());
+  EXPECT_FALSE(parse_ok("false").as_bool(true));
+  EXPECT_EQ(parse_ok("42").as_int64(), 42);
+  EXPECT_EQ(parse_ok("-7").as_int64(), -7);
+  EXPECT_DOUBLE_EQ(parse_ok("0.5").as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(parse_ok("-1e3").as_double(), -1000.0);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+  EXPECT_TRUE(parse_ok("  [ ]  ").is_array());
+  EXPECT_TRUE(parse_ok("\t{ }\n").is_object());
+}
+
+TEST(JsonReader, NestedContainersAndOrder) {
+  JsonValue v = parse_ok(
+      R"({"a":1,"list":[1,2,{"x":7}],"b":{"nested":true},"z":null})");
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.get("a").as_int64(), 1);
+  EXPECT_EQ(v.get("list").size(), 3u);
+  EXPECT_EQ(v.get("list").at(2).get("x").as_int64(), 7);
+  EXPECT_TRUE(v.get("b").get("nested").as_bool());
+  EXPECT_TRUE(v.get("z").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  // Members keep document order.
+  EXPECT_EQ(v.members()[0].first, "a");
+  EXPECT_EQ(v.members()[3].first, "z");
+}
+
+TEST(JsonReader, StringEscapes) {
+  EXPECT_EQ(parse_ok(R"("line\nbreak \"quoted\" \\ \/ \t")").as_string(),
+            "line\nbreak \"quoted\" \\ / \t");
+  EXPECT_EQ(parse_ok(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair -> U+1F600 (4-byte UTF-8).
+  EXPECT_EQ(parse_ok(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, ParsesWhatTheWriterEmits) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("line\nbreak \"quoted\"");
+  w.key("count").value(3);
+  w.key("big").value(std::uint64_t{18446744073709551615ULL});
+  w.key("neg").value(std::int64_t{-9223372036854775807LL});
+  w.key("ratio").value(0.1);
+  w.key("bad").value(std::numeric_limits<double>::quiet_NaN());
+  w.key("list").begin_array().value(1).value(true).null().end_array();
+  w.end_object();
+
+  JsonValue v = parse_ok(w.str());
+  EXPECT_EQ(v.get("name").as_string(), "line\nbreak \"quoted\"");
+  EXPECT_EQ(v.get("count").as_int64(), 3);
+  EXPECT_EQ(v.get("big").as_uint64(), 18446744073709551615ULL);
+  EXPECT_EQ(v.get("neg").as_int64(), -9223372036854775807LL);
+  EXPECT_DOUBLE_EQ(v.get("ratio").as_double(), 0.1);
+  EXPECT_TRUE(v.get("bad").is_null());  // NaN was emitted as null
+  EXPECT_EQ(v.get("list").size(), 3u);
+  // Re-emitting the parsed DOM reproduces the document byte-for-byte.
+  EXPECT_EQ(v.dump(), w.str());
+}
+
+TEST(JsonReader, DoublesRoundTripBitExactly) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0 / 3.0,
+                          6.02214076e23,
+                          -2.2250738585072014e-308,
+                          123456789.123456789,
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::denorm_min()};
+  for (double expected : cases) {
+    JsonWriter w;
+    w.value(expected);
+    JsonValue v = parse_ok(w.str());
+    double actual = v.as_double();
+    // Bit-exact, not just approximately equal.
+    EXPECT_EQ(std::memcmp(&expected, &actual, sizeof expected), 0)
+        << expected << " -> " << w.str() << " -> " << actual;
+  }
+}
+
+TEST(JsonReader, OutOfRangeDoublesFallBackInIntegerAccessors) {
+  // Casting an out-of-range double would be UB; the accessors must return
+  // the fallback instead.
+  JsonValue huge = parse_ok("1e300");
+  EXPECT_EQ(huge.as_int64(7), 7);
+  EXPECT_EQ(huge.as_uint64(7u), 7u);
+  JsonValue negative = parse_ok("-1e300");
+  EXPECT_EQ(negative.as_int64(7), 7);
+  EXPECT_EQ(negative.as_uint64(7u), 7u);
+  // In-range doubles still convert.
+  EXPECT_EQ(parse_ok("3.9").as_int64(), 3);
+  EXPECT_EQ(parse_ok("3.9").as_uint64(), 3u);
+}
+
+TEST(JsonReader, OutOfRangeLiteralsKeepMagnitudeAndSign) {
+  // Tokens beyond double range follow IEEE strtod semantics: overflow to
+  // a signed infinity, underflow to a signed zero — never a silent +0.
+  EXPECT_TRUE(std::isinf(parse_ok("1e999").as_double()));
+  EXPECT_GT(parse_ok("1e999").as_double(), 0.0);
+  EXPECT_TRUE(std::isinf(parse_ok("-1e999").as_double()));
+  EXPECT_LT(parse_ok("-1e999").as_double(), 0.0);
+  EXPECT_EQ(parse_ok("1e-999").as_double(), 0.0);
+  EXPECT_TRUE(std::signbit(parse_ok("-1e-999").as_double()));
+}
+
+TEST(JsonReader, IsIntegerDistinguishesReprs) {
+  EXPECT_TRUE(parse_ok("42").is_integer());
+  EXPECT_TRUE(parse_ok("-7").is_integer());
+  EXPECT_TRUE(parse_ok("18446744073709551615").is_integer());
+  EXPECT_FALSE(parse_ok("1.7").is_integer());
+  EXPECT_FALSE(parse_ok("1e3").is_integer());
+  EXPECT_FALSE(parse_ok("\"42\"").is_integer());
+  EXPECT_FALSE(parse_ok("null").is_integer());
+}
+
+TEST(JsonReader, DuplicateKeysLastWins) {
+  JsonValue v = parse_ok(R"({"k":1,"k":2})");
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.get("k").as_int64(), 2);
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  for (const char* text :
+       {"", "   ", "{", "[", "\"unterminated", "{\"a\":}", "{\"a\" 1}",
+        "{\"a\":1,}", "[1,]", "[1 2]", "tru", "nul", "falsee", "01", "1.",
+        "1e", "+1", ".5", "--1", "\"\\x\"", "\"\\u12\"", "\"\\ud83d\"",
+        "\"\\ude00\"", "\"raw\ncontrol\"", "{\"a\":1} extra", "[1],",
+        "{'a':1}", "[01]", "1 2"}) {
+    expect_reject(text);
+  }
+}
+
+TEST(JsonReader, RejectsTruncatedWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("list").begin_array();
+  for (int i = 0; i < 20; ++i) w.value(i);
+  w.end_array();
+  w.key("tail").value("x");
+  w.end_object();
+  const std::string& full = w.str();
+  // Every strict prefix must be rejected (no crash, no acceptance).
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    JsonValue v;
+    EXPECT_FALSE(JsonValue::parse(full.substr(0, cut), v))
+        << "prefix length " << cut;
+  }
+}
+
+TEST(JsonReader, RejectsOverDeepNesting) {
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  expect_reject(deep);
+  // ...but reasonable nesting is fine.
+  std::string ok(64, '[');
+  ok += std::string(64, ']');
+  parse_ok(ok);
+}
+
+TEST(JsonReader, ParseFileErrors) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse_file("/nonexistent/path.json", v, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(JsonValueBuilder, BuildsDocuments) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", JsonValue::of("spr"));
+  doc.set("count", JsonValue::of(2));
+  JsonValue list = JsonValue::array();
+  list.push(JsonValue::of(1.5)).push(JsonValue::of(false));
+  doc.set("list", std::move(list));
+  doc.set("count", JsonValue::of(3));  // replaces, keeps position
+  EXPECT_EQ(doc.dump(), R"({"name":"spr","count":3,"list":[1.5,false]})");
+}
+
+}  // namespace
+}  // namespace spr

@@ -4,21 +4,35 @@
 ///   spr_cli info     [flags]            network structure summary
 ///   spr_cli label    [flags]            safety labeling summary / dump
 ///   spr_cli route    [flags] <s> <d>    route one pair with every scheme
-///   spr_cli sweep    [flags]            mini figure sweep (table output)
-///   spr_cli scenario [flags] <name>     run a registered scenario (--list)
+///   spr_cli sweep    [flags]            mini figure sweep (table output);
+///                                       --shard i/m writes a shard JSON
+///   spr_cli merge    [flags] <shard.json>...  merge sweep shards
+///   spr_cli validate <file.json>...     parse JSON artifacts (CI gate)
+///   spr_cli scenario [flags] <name>     run a registered scenario (--list);
+///                                       --format console,json,csv,svg
 ///   spr_cli render   [flags] <out.svg>  render deployment + unsafe areas
 ///
 /// Common flags: --nodes, --seed, --fa, --range.
+///
+/// Distributed sweeps: the sweep's (node_count, network_index) cells are
+/// independent, so `sweep --shard i/m` computes every i-th cell and
+/// serializes the full per-cell aggregates; run the m shards on any
+/// machines, copy the JSONs back, and `merge` reproduces the in-process
+/// sweep bit-identically.
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/network.h"
 #include "core/scenario.h"
 #include "graph/graph_algos.h"
 #include "graph/metrics.h"
+#include "report/serialize.h"
 #include "safety/distributed.h"
 #include "stats/table.h"
 #include "util/flags.h"
@@ -161,26 +175,8 @@ int cmd_route(int argc, const char* const* argv) {
   return 0;
 }
 
-int cmd_sweep(int argc, const char* const* argv) {
-  CommonArgs args;
-  int networks = 10, pairs = 10, threads = 0;
-  FlagSet flags("spr_cli sweep: mini paper sweep");
-  add_common(flags, args);
-  flags.add_int("networks", &networks, "networks per point");
-  flags.add_int("pairs", &pairs, "pairs per network");
-  flags.add_int("threads", &threads, "sweep threads (0=hardware, 1=serial)");
-  if (!flags.parse(argc, argv)) return 1;
-
-  SweepConfig config;
-  config.model = args.fa ? DeployModel::kForbiddenAreas : DeployModel::kIdeal;
-  config.networks_per_point = networks;
-  config.pairs_per_network = pairs;
-  config.base_seed = args.seed;
-  config.threads = threads;
-  config.schemes = SweepConfig::paper_schemes();
-  config.deployment_template.radio_range = args.range;
-  auto points = run_sweep(config);
-
+/// Prints the standard mini-sweep table for paper-scheme points.
+void print_sweep_table(const std::vector<SweepPoint>& points) {
   Table table({"nodes", "GF avg", "LGF avg", "SLGF avg", "SLGF2 avg",
                "SLGF2 max", "SLGF2 deliv"});
   for (const auto& point : points) {
@@ -193,21 +189,222 @@ int cmd_sweep(int argc, const char* const* argv) {
                    Table::fmt(s2.delivery_ratio())});
   }
   std::fputs(table.render().c_str(), stdout);
+}
+
+/// Parses "--shard i/m"; returns false (with a message) when malformed.
+/// Both numbers must consume their whole token ("0x/2y" is an error, not
+/// shard 0/2).
+bool parse_shard_spec(const std::string& spec, int& index, int& count) {
+  if (spec.empty()) {
+    index = 0;
+    count = 1;
+    return true;
+  }
+  auto parse_full = [](std::string_view token, int& out) {
+    auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                     out);
+    return ec == std::errc() && ptr == token.data() + token.size();
+  };
+  std::size_t slash = spec.find('/');
+  if (slash == std::string::npos ||
+      !parse_full(std::string_view(spec).substr(0, slash), index) ||
+      !parse_full(std::string_view(spec).substr(slash + 1), count)) {
+    std::fprintf(stderr, "--shard expects i/m (e.g. 0/4), got '%s'\n",
+                 spec.c_str());
+    return false;
+  }
+  if (count < 1 || index < 0 || index >= count) {
+    std::fprintf(stderr, "--shard index out of range: %s\n", spec.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  CommonArgs args;
+  int networks = 10, pairs = 10, threads = 0;
+  std::string shard_spec, json_path;
+  FlagSet flags("spr_cli sweep: mini paper sweep");
+  add_common(flags, args);
+  flags.add_int("networks", &networks, "networks per point");
+  flags.add_int("pairs", &pairs, "pairs per network");
+  flags.add_int("threads", &threads, "sweep threads (0=hardware, 1=serial)");
+  flags.add_string("shard", &shard_spec,
+                   "compute only shard i/m of the sweep's cells");
+  flags.add_string("json", &json_path,
+                   "write the per-cell aggregates as a shard JSON here");
+  if (!flags.parse(argc, argv)) return 1;
+  int shard_index = 0, shard_count = 1;
+  if (!parse_shard_spec(shard_spec, shard_index, shard_count)) return 1;
+  if (shard_count > 1 && json_path.empty()) {
+    std::fprintf(stderr, "--shard needs --json <path> to store the shard\n");
+    return 1;
+  }
+
+  SweepConfig config;
+  config.model = args.fa ? DeployModel::kForbiddenAreas : DeployModel::kIdeal;
+  config.networks_per_point = networks;
+  config.pairs_per_network = pairs;
+  config.base_seed = args.seed;
+  config.threads = threads;
+  config.schemes = SweepConfig::paper_schemes();
+  config.deployment_template.radio_range = args.range;
+
+  if (json_path.empty()) {
+    // Plain in-process sweep.
+    print_sweep_table(run_sweep(config));
+    return 0;
+  }
+
+  // Serialized path: compute this shard's cells and persist them in full
+  // (sample-retaining) form, so `spr_cli merge` can reproduce the sweep
+  // bit-identically from the shard files.
+  auto cells = run_sweep_shard(config, shard_index, shard_count);
+  std::size_t cell_count = cells.size();
+  SweepShard shard = make_shard(config, shard_index, shard_count,
+                                std::move(cells));
+  JsonWriter w;
+  to_json(w, shard);
+  if (!w.write_file(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  if (shard_count == 1) {
+    std::vector<std::string> labels;
+    for (const auto& spec : config.schemes)
+      labels.push_back(spec.display_label());
+    print_sweep_table(
+        merge_cell_results(config.node_counts, labels, shard.cells));
+  }
+  std::printf("wrote shard %d/%d (%zu cells) to %s\n", shard_index,
+              shard_count, cell_count, json_path.c_str());
   return 0;
+}
+
+int cmd_merge(int argc, const char* const* argv) {
+  std::string json_path;
+  FlagSet flags(
+      "spr_cli merge <shard.json>...: merge serialized sweep shards");
+  flags.add_string("json", &json_path, "also write the merged report here");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "usage: spr_cli merge [flags] <shard.json>...\n");
+    return 1;
+  }
+
+  std::vector<SweepShard> shards;
+  for (const std::string& path : flags.positional()) {
+    JsonValue document;
+    std::string error;
+    if (!JsonValue::parse_file(path, document, &error)) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+      return 1;
+    }
+    SweepShard shard;
+    if (!from_json(document, shard)) {
+      std::fprintf(stderr, "%s: not a spr sweep shard file\n", path.c_str());
+      return 1;
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  // Header identity, kept before the shards move into the merge.
+  const std::string model_tag = shards.front().model_tag;
+  const std::vector<std::string> scheme_labels = shards.front().scheme_labels;
+  const int networks_per_point = shards.front().networks_per_point;
+  const int pairs_per_network = shards.front().pairs_per_network;
+  const std::uint64_t base_seed = shards.front().base_seed;
+
+  std::vector<SweepPoint> points;
+  std::string error;
+  if (!merge_shards(std::move(shards), points, &error)) {
+    std::fprintf(stderr, "merge failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("merged %zu shard file(s): %s model, %d networks x %d pairs "
+              "per point, seed %llu\n",
+              flags.positional().size(), model_tag.c_str(),
+              networks_per_point, pairs_per_network,
+              static_cast<unsigned long long>(base_seed));
+  Table table({"nodes", "scheme", "avg hops", "max hops", "delivery"});
+  for (const auto& point : points) {
+    for (const auto& label : scheme_labels) {
+      const auto& agg = point.by_scheme.at(label);
+      table.add_row({std::to_string(point.node_count), label,
+                     Table::fmt(agg.hops.mean()),
+                     Table::fmt(agg.max_hops(), 0),
+                     Table::fmt(agg.delivery_ratio())});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  if (!json_path.empty()) {
+    SweepSection section;
+    if (!deploy_model_from_tag(model_tag, section.model)) {
+      section.model = DeployModel::kIdeal;
+    }
+    section.networks_per_point = networks_per_point;
+    section.pairs_per_network = pairs_per_network;
+    section.base_seed = base_seed;
+    section.points = points;
+    JsonWriter w;
+    w.begin_object();
+    w.key("scenario").value("merge");
+    w.key("shards").value(
+        static_cast<std::uint64_t>(flags.positional().size()));
+    w.key("models").begin_array();
+    sweep_section_to_json(w, section);
+    w.end_array();
+    w.end_object();
+    if (!w.write_file(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_validate(int argc, const char* const* argv) {
+  FlagSet flags(
+      "spr_cli validate <file.json>...: parse JSON artifacts with the "
+      "bundled reader (CI validity gate)");
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "usage: spr_cli validate <file.json>...\n");
+    return 1;
+  }
+  int failures = 0;
+  for (const std::string& path : flags.positional()) {
+    JsonValue document;
+    std::string error;
+    if (JsonValue::parse_file(path, document, &error)) {
+      std::printf("%s: valid JSON (%zu top-level members)\n", path.c_str(),
+                  document.size());
+    } else {
+      std::fprintf(stderr, "%s: INVALID — %s\n", path.c_str(), error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int cmd_scenario(int argc, const char* const* argv) {
   int networks = 0, pairs = 0, threads = 0;
   unsigned long long seed = 0;
   bool list = false;
-  std::string json_path;
+  std::string formats, json_path, csv_path, svg_path;
   FlagSet flags("spr_cli scenario <name>: run a registered scenario");
   flags.add_bool("list", &list, "list the registered scenarios");
   flags.add_int("networks", &networks, "networks per point (0=default)");
   flags.add_int("pairs", &pairs, "pairs per network (0=default)");
   flags.add_uint64("seed", &seed, "base seed (0=default)");
   flags.add_int("threads", &threads, "sweep threads (0=hardware, 1=serial)");
+  flags.add_string("format", &formats,
+                   "report sinks, comma-separated: console,json,csv,svg");
   flags.add_string("json", &json_path, "also write a JSON report here");
+  flags.add_string("csv", &csv_path, "also write CSV table exports here");
+  flags.add_string("svg", &svg_path, "also write an SVG sweep plot here");
   if (!flags.parse(argc, argv)) return 1;
 
   const auto& suite = ScenarioSuite::builtin();
@@ -224,7 +421,10 @@ int cmd_scenario(int argc, const char* const* argv) {
   opts.pairs = pairs;
   opts.seed = seed;
   opts.threads = threads;
+  opts.formats = formats;
   opts.json_path = json_path;
+  opts.csv_path = csv_path;
+  opts.svg_path = svg_path;
   return suite.run(flags.positional().front(), opts);
 }
 
@@ -264,7 +464,8 @@ int cmd_render(int argc, const char* const* argv) {
 
 void usage() {
   std::fputs(
-      "usage: spr_cli <info|label|route|sweep|scenario|render> [flags...]\n"
+      "usage: spr_cli <info|label|route|sweep|merge|validate|scenario|render>"
+      " [flags...]\n"
       "run 'spr_cli <command> --help' for per-command flags\n",
       stderr);
 }
@@ -284,6 +485,8 @@ int main(int argc, char** argv) {
   if (command == "label") return cmd_label(sub_argc, sub_argv);
   if (command == "route") return cmd_route(sub_argc, sub_argv);
   if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
+  if (command == "merge") return cmd_merge(sub_argc, sub_argv);
+  if (command == "validate") return cmd_validate(sub_argc, sub_argv);
   if (command == "scenario") return cmd_scenario(sub_argc, sub_argv);
   if (command == "render") return cmd_render(sub_argc, sub_argv);
   usage();
