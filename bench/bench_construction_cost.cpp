@@ -56,7 +56,7 @@ EngineStats naive_flood_cost(const UnitDiskGraph& g, const InterestArea& area) {
   stats.rounds = rounds + 1;  // one extra hello round
   stats.broadcasts = g.size() * stats.rounds;
   std::size_t receptions_per_round = 2 * g.edge_count();
-  stats.message_receptions = receptions_per_round * stats.rounds;
+  stats.receptions = receptions_per_round * stats.rounds;
   return stats;
 }
 
@@ -87,7 +87,7 @@ int main() {
             compute_safety_distributed(net.graph(), net.interest_area());
         rounds.add(static_cast<double>(result.stats.rounds));
         broadcasts.add(static_cast<double>(result.stats.broadcasts));
-        receptions.add(static_cast<double>(result.stats.message_receptions));
+        receptions.add(static_cast<double>(result.stats.receptions));
         auto naive = naive_flood_cost(net.graph(), net.interest_area());
         naive_broadcasts.add(static_cast<double>(naive.broadcasts));
       }

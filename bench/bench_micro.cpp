@@ -10,6 +10,7 @@
 #include "graph/graph_algos.h"
 #include "report/serialize.h"
 #include "safety/distributed.h"
+#include "sim/stream_sim.h"
 
 namespace {
 
@@ -164,6 +165,58 @@ void BM_CellResultJsonRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CellResultJsonRoundTrip);
+
+/// Heap vs arena for the sweep cell's scratch (util/arena.h): the same
+/// cell with SweepConfig::cell_arena off (Arg 0, the old heap path) and on
+/// (Arg 1) — the before/after datapoint for the ROADMAP's per-cell arena
+/// item. The delta isolates the pair buffer + oracle grouping allocations;
+/// the cell's dominant cost (network build + routing) is identical.
+void BM_SweepCellScratch(benchmark::State& state) {
+  SweepConfig config;
+  config.node_counts = {600};
+  config.networks_per_point = 1;
+  config.pairs_per_network = 20;
+  config.threads = 1;
+  config.schemes = SweepConfig::paper_schemes();
+  config.cell_arena = state.range(0) != 0;
+  for (auto _ : state) {
+    CellResult cell = run_sweep_cell(config, 600, 0);
+    benchmark::DoNotOptimize(cell.size());
+  }
+}
+BENCHMARK(BM_SweepCellScratch)->Arg(0)->Arg(1);
+
+/// One full streaming-delivery cell (sim/stream_sim.h): 4 schemes x 30
+/// packets with two mid-stream failure waves — the unit of work the
+/// streaming-delivery scenario fans out over its sweep pool.
+void BM_StreamSimCell(benchmark::State& state) {
+  NetworkConfig config;
+  config.deployment.node_count = 500;
+  config.deployment.model = DeployModel::kForbiddenAreas;
+  config.seed = 17;
+  for (auto _ : state) {
+    Network net = Network::create(config);
+    Rng rng(99);
+    StreamConfig sc;
+    sc.packets = 30;
+    auto pair = net.random_connected_interior_pair(rng);
+    if (pair.first == kInvalidNode) {
+      state.SkipWithError("no connected interior pair");
+      return;
+    }
+    sc.pairs.push_back(pair);
+    StreamWave wave;
+    wave.time = 5.0;
+    for (NodeId u = 0; u < net.graph().size(); u += 23) {
+      if (u != pair.first && u != pair.second) wave.casualties.push_back(u);
+    }
+    sc.waves.push_back(wave);
+    StreamSim sim(std::move(net), sc);
+    StreamStats stats = sim.run();
+    benchmark::DoNotOptimize(stats.events);
+  }
+}
+BENCHMARK(BM_StreamSimCell);
 
 }  // namespace
 

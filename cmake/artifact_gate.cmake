@@ -35,3 +35,32 @@ execute_process(
 if(NOT validate_result EQUAL 0)
   message(FATAL_ERROR "emitted JSON artifact failed to re-parse")
 endif()
+
+# Streaming-delivery: the discrete-event stream with mid-stream failure
+# waves. The scenario itself cross-checks each wave's incremental
+# relabeling against a from-scratch recompute (nonzero exit on mismatch),
+# so this gate also guards the safety layer's incremental path.
+set(stream_json "${OUT_DIR}/artifact-gate-stream.json")
+set(stream_csv "${OUT_DIR}/artifact-gate-stream.csv")
+
+execute_process(
+  COMMAND "${SPR_CLI}" run streaming-delivery --networks 1 --pairs 4
+          --format json,csv --json "${stream_json}" --csv "${stream_csv}"
+  RESULT_VARIABLE stream_result
+  OUTPUT_QUIET)
+if(NOT stream_result EQUAL 0)
+  message(FATAL_ERROR "streaming-delivery run failed (exit ${stream_result})")
+endif()
+
+foreach(artifact "${stream_json}" "${stream_csv}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "expected artifact missing: ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${SPR_CLI}" validate "${stream_json}"
+  RESULT_VARIABLE stream_validate)
+if(NOT stream_validate EQUAL 0)
+  message(FATAL_ERROR "streaming-delivery JSON artifact failed to re-parse")
+endif()

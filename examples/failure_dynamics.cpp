@@ -1,24 +1,25 @@
 /// \file failure_dynamics.cpp
 /// The paper's Section 1 lists dynamic hole causes: node failures, power
-/// exhaustion, jamming. This example kills a patch of nodes mid-operation,
-/// re-runs the *distributed* safety construction (Algorithm 2) on the
-/// degraded network, and shows (a) how the labeling reacts, (b) what the
-/// incremental reconstruction costs in rounds/messages, and (c) how each
-/// routing scheme copes before and after.
+/// exhaustion, jamming. This example streams packets across a routable
+/// pair while a disc of nodes dies *mid-stream* — rebased on the
+/// discrete-event StreamSim (sim/stream_sim.h), which replaces the old
+/// route-before/route-after snapshot comparison: the failure wave lands
+/// between the hops of in-flight packets, the safety labeling updates
+/// incrementally (Network::with_failures + update_safety_after_failures,
+/// cross-checked against a from-scratch recompute), and every scheme's
+/// packets re-plan on the degraded substrate.
 ///
 ///   ./failure_dynamics [--nodes=700] [--seed=3] [--blast=35]
+///                      [--packets=40] [--json=out.json]
 
 #include <cstdio>
 #include <vector>
 
 #include "core/network.h"
 #include "graph/graph_algos.h"
+#include "report/serialize.h"
 #include "report/sink.h"
-#include "routing/gf.h"
-#include "routing/lgf.h"
-#include "routing/slgf.h"
-#include "safety/distributed.h"
-#include "safety/incremental.h"
+#include "sim/stream_sim.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
@@ -27,11 +28,13 @@ int main(int argc, char** argv) {
   int nodes = 700;
   unsigned long long seed = 3;
   double blast = 35.0;
+  int packets = 40;
   std::string json_path;
-  FlagSet flags("failure_dynamics: labeling and routing under node failures");
+  FlagSet flags("failure_dynamics: streaming under a mid-stream node blast");
   flags.add_int("nodes", &nodes, "number of sensors");
   flags.add_uint64("seed", &seed, "deployment seed");
   flags.add_double("blast", &blast, "radius (m) of the failure patch");
+  flags.add_int("packets", &packets, "packets in the stream");
   flags.add_string("json", &json_path,
                    "also write a machine-readable report here");
   if (!flags.parse(argc, argv)) return 1;
@@ -39,129 +42,86 @@ int main(int argc, char** argv) {
   NetworkConfig config;
   config.deployment.node_count = nodes;
   config.seed = seed;
-  Network before = Network::create(config);
+  Network net = Network::create(config);
 
   // Choose a routable pair, then fail every node in a disc placed on the
   // midpoint of the straight line — the worst spot for this pair.
   Rng rng(seed ^ 0xdead);
-  auto [s, d] = before.random_connected_interior_pair(rng);
+  auto [s, d] = net.random_connected_interior_pair(rng);
   if (s == kInvalidNode) {
     std::printf("no routable pair\n");
     return 1;
   }
-  Vec2 mid = midpoint(before.graph().position(s), before.graph().position(d));
+  Vec2 mid = midpoint(net.graph().position(s), net.graph().position(d));
   std::vector<NodeId> casualties;
-  for (NodeId u = 0; u < before.graph().size(); ++u) {
+  for (NodeId u = 0; u < net.graph().size(); ++u) {
     if (u == s || u == d) continue;
-    if (distance(before.graph().position(u), mid) <= blast) {
+    if (distance(net.graph().position(u), mid) <= blast) {
       casualties.push_back(u);
     }
   }
-
-  Deployment degraded = before.deployment();
-  // Rebuild the network facade over the degraded graph: positions are kept,
-  // failed nodes lose their links.
-  UnitDiskGraph dead_graph = before.graph().with_failures(casualties);
-  std::vector<Vec2> alive_positions;
-  for (NodeId u = 0; u < dead_graph.size(); ++u) {
-    if (dead_graph.alive(u)) alive_positions.push_back(dead_graph.position(u));
-  }
-
   std::printf("failure patch: %.0fm disc at (%.0f,%.0f) kills %zu of %d "
-              "nodes\n\n",
-              blast, mid.x, mid.y, casualties.size(), nodes);
+              "nodes, half-way through a %d-packet stream %u -> %u\n\n",
+              blast, mid.x, mid.y, casualties.size(), nodes, packets, s, d);
 
-  // Distributed reconstruction cost on the degraded network, compared with
-  // the incremental updater (safety/incremental.h) that touches only the
-  // failure's neighborhood.
-  InterestArea degraded_area(dead_graph, dead_graph.range());
-  auto rebuilt = compute_safety_distributed(dead_graph, degraded_area);
-  std::printf("distributed relabeling after failure: %s\n",
-              rebuilt.stats.to_string().c_str());
-  SafetyInfo incremental = before.safety();
-  auto inc_stats = update_safety_after_failures(dead_graph, degraded_area,
-                                                casualties, incremental);
-  std::printf("incremental update: %zu seeds, %zu re-evaluations, %zu flips "
-              "(exactly matches full recompute: %s)\n",
-              inc_stats.seeds, inc_stats.reevaluations, inc_stats.flips,
-              incremental == rebuilt.info ? "yes" : "NO");
-  SafetyInfo before_info = before.safety();
-  std::size_t flips = 0;
-  for (NodeId u = 0; u < dead_graph.size(); ++u) {
-    if (!dead_graph.alive(u)) continue;
-    for (ZoneType t : kAllZoneTypes) {
-      if (before_info.is_safe(u, t) != rebuilt.info.is_safe(u, t)) ++flips;
+  // One wave at mid-stream; the halves before/after it show the impact.
+  StreamConfig sc;
+  sc.pairs.emplace_back(s, d);
+  sc.packets = packets;
+  sc.packet_interval = 1.0;
+  sc.hop_delay = 0.2;
+  sc.seed = seed;
+  sc.verify_relabeling = true;
+  StreamWave wave;
+  wave.time = static_cast<double>(packets) * sc.packet_interval * 0.5;
+  wave.casualties = casualties;
+  sc.waves.push_back(std::move(wave));
+
+  StreamSim sim(std::move(net), sc);
+  StreamStats stats = sim.run();
+
+  if (!stats.waves.empty()) {
+    const WaveRecord& record = stats.waves.front();
+    std::printf("incremental relabeling at t=%.1f: %zu seeds, %zu "
+                "re-evaluations, %zu flips (exactly matches full recompute: "
+                "%s)\n",
+                record.time, record.relabel.seeds,
+                record.relabel.reevaluations, record.relabel.flips,
+                record.verified && record.matches_full_recompute ? "yes"
+                                                                 : "NO");
+    std::printf("in-flight at the wave: %zu re-planned, %zu dropped with "
+                "their carrier\n\n",
+                record.packets_in_flight, record.packets_dropped);
+  }
+
+  std::printf("%-8s %9s %8s %10s %7s %9s %8s\n", "scheme", "delivered",
+              "deadend", "ttl/failed", "hops", "stretch", "replans");
+  for (const StreamSchemeStats& scheme : stats.schemes) {
+    std::printf("%-8s %4zu/%-4zu %8zu %7zu/%-2zu %7.1f %9.2f %8.2f\n",
+                scheme.label.c_str(), scheme.delivered, scheme.injected,
+                scheme.dead_end, scheme.ttl_expired, scheme.node_failed,
+                scheme.hops.empty() ? 0.0 : scheme.hops.mean(),
+                scheme.stretch_hops.empty() ? 0.0
+                                            : scheme.stretch_hops.mean(),
+                scheme.replans.empty() ? 0.0 : scheme.replans.mean());
+  }
+
+  if (!json_path.empty()) {
+    ScenarioReport report;
+    report.scenario = "failure-dynamics-example";
+    report.param("nodes", JsonValue::of(nodes));
+    report.param("casualties",
+                 JsonValue::of(static_cast<std::uint64_t>(casualties.size())));
+    report.param("blast_radius_m", JsonValue::of(blast));
+    report.param("stream", stream_stats_json(stats));
+    if (!JsonSink(json_path).emit(report)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
     }
   }
-  std::printf("safety statuses changed on %zu (node,type) pairs; unsafe "
-              "nodes %zu -> %zu\n\n",
-              flips, before_info.unsafe_node_count(),
-              rebuilt.info.unsafe_node_count());
 
-  ScenarioReport report;
-  report.scenario = "failure-dynamics-example";
-  report.param("nodes", JsonValue::of(nodes));
-  report.param("casualties",
-               JsonValue::of(static_cast<std::uint64_t>(casualties.size())));
-  report.param("incremental_seeds",
-               JsonValue::of(static_cast<std::uint64_t>(inc_stats.seeds)));
-  report.param("incremental_reevaluations",
-               JsonValue::of(static_cast<std::uint64_t>(inc_stats.reevaluations)));
-  report.param("status_flips", JsonValue::of(static_cast<std::uint64_t>(flips)));
-  report.param("matches_full_recompute",
-               JsonValue::of(incremental == rebuilt.info));
-  auto write_report = [&]() {
-    if (json_path.empty()) return true;
-    if (JsonSink(json_path).emit(report)) return true;
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return false;
-  };
-
-  // Route the same pair before and after.
-  if (!connected(dead_graph, s, d)) {
-    std::printf("the failure disconnected the pair; no routing possible\n");
-    report.param("pair_disconnected", JsonValue::of(true));
-    return write_report() ? 0 : 1;
-  }
-  JsonValue routes = JsonValue::array();
-  std::printf("%-8s %18s %22s\n", "scheme", "before (hops/len)",
-              "after (hops/len/status)");
-  InterestArea before_area(before.graph(), before.graph().range());
-  PlanarOverlay degraded_overlay(dead_graph, PlanarOverlay::Kind::kGabriel);
-  BoundHoleInfo degraded_boundhole(dead_graph);
-  for (Scheme scheme : {Scheme::kGf, Scheme::kLgf, Scheme::kSlgf, Scheme::kSlgf2}) {
-    auto router_before = before.make_router(scheme);
-    PathResult rb = router_before->route(s, d);
-    // Routers over the degraded substrate.
-    std::unique_ptr<Router> router_after;
-    switch (scheme) {
-      case Scheme::kGf:
-        router_after = std::make_unique<GfRouter>(
-            dead_graph, degraded_overlay, &degraded_boundhole,
-            GfRouter::Recovery::kBoundHole);
-        break;
-      case Scheme::kLgf:
-        router_after = std::make_unique<LgfRouter>(dead_graph);
-        break;
-      case Scheme::kSlgf:
-        router_after = std::make_unique<SlgfRouter>(dead_graph, rebuilt.info);
-        break;
-      default:
-        router_after = std::make_unique<Slgf2Router>(dead_graph, rebuilt.info);
-    }
-    PathResult ra = router_after->route(s, d);
-    std::printf("%-8s %10zu/%-7.0f %12zu/%-7.0f %s\n", scheme_name(scheme),
-                rb.hops(), rb.length, ra.hops(), ra.length,
-                ra.delivered() ? "delivered" : "FAILED");
-    JsonValue entry = JsonValue::object();
-    entry.set("scheme", JsonValue::of(scheme_name(scheme)));
-    entry.set("hops_before", JsonValue::of(static_cast<std::uint64_t>(rb.hops())));
-    entry.set("hops_after", JsonValue::of(static_cast<std::uint64_t>(ra.hops())));
-    entry.set("delivered_after", JsonValue::of(ra.delivered()));
-    routes.push(std::move(entry));
-  }
-  report.param("routes", std::move(routes));
-  std::printf("\nthe safety model adapts: the new hole is labeled unsafe and\n"
-              "SLGF2 detours around it without blind perimeter probing.\n");
-  return write_report() ? 0 : 1;
+  std::printf("\nthe safety model adapts mid-stream: the new hole is labeled\n"
+              "unsafe by the incremental update and SLGF2 detours around it\n"
+              "without blind perimeter probing.\n");
+  return 0;
 }

@@ -1,24 +1,25 @@
 /// \file streaming_delivery.cpp
 /// The paper's motivating workload (Section 1): a streaming service that
-/// delivers a large amount of data from one sensor to a sink. A
-/// straightforward path matters twice over there — it spends less energy in
-/// detours, and it interferes with fewer concurrent transmissions because
-/// fewer nodes relay the stream.
-///
-/// This example streams `--packets` packets over each scheme's path and
-/// reports: relays involved (interference footprint), total transmissions,
-/// per-node peak load, and a simple radio-energy estimate.
+/// delivers a large amount of data from one sensor to a sink. Rebased on
+/// the discrete-event StreamSim (sim/stream_sim.h): every packet moves hop
+/// by hop on a shared timeline, and — unlike the old static estimate that
+/// routed once and multiplied — failure waves can land *mid-stream*, with
+/// the safety labeling updated incrementally and in-flight packets
+/// re-planning from wherever they are.
 ///
 ///   ./streaming_delivery [--nodes=650] [--seed=7] [--packets=1000]
-///                        [--csv=out.csv]
+///                        [--fail=0.15] [--waves=2]
+///                        [--csv=out.csv] [--json=out.json]
 
+#include <algorithm>
 #include <cstdio>
 
 #include "core/network.h"
 #include "graph/graph_algos.h"
 #include "radio/energy.h"
-#include "radio/interference.h"
+#include "report/serialize.h"
 #include "report/sink.h"
+#include "sim/stream_sim.h"
 #include "stats/table.h"
 #include "util/flags.h"
 
@@ -32,12 +33,17 @@ int main(int argc, char** argv) {
   int nodes = 650;
   unsigned long long seed = 7;
   int packets = 1000;
-  std::string csv_path;
-  FlagSet flags("streaming_delivery: energy/interference of a data stream");
+  double fail = 0.15;
+  int waves = 2;
+  std::string csv_path, json_path;
+  FlagSet flags("streaming_delivery: a packet stream under mid-stream failures");
   flags.add_int("nodes", &nodes, "number of sensors");
   flags.add_uint64("seed", &seed, "deployment seed");
   flags.add_int("packets", &packets, "packets in the stream");
+  flags.add_double("fail", &fail, "fraction of nodes failing mid-stream");
+  flags.add_int("waves", &waves, "failure waves the failures split into");
   flags.add_string("csv", &csv_path, "also export the comparison as CSV");
+  flags.add_string("json", &json_path, "also write the full stream stats here");
   if (!flags.parse(argc, argv)) return 1;
 
   NetworkConfig config;
@@ -66,59 +72,93 @@ int main(int argc, char** argv) {
   }
   auto optimal = dijkstra_path(net.graph(), source, sink);
   std::printf("stream: node %u -> sink %u, %d packets of 1kB; optimal path "
-              "%zu hops / %.1fm\n\n",
+              "%zu hops / %.1fm at injection\n",
               source, sink, packets, optimal.hops(), optimal.length);
 
+  // The stream's world: `fail` of the nodes dies across `waves` waves
+  // spread over the injection span, never the endpoints themselves.
+  StreamConfig sc;
+  sc.pairs.emplace_back(source, sink);
+  sc.packets = packets;
+  sc.packet_interval = 0.5;
+  sc.hop_delay = 0.1;
+  sc.seed = seed;
+  sc.verify_relabeling = true;
+  Rng fail_rng(seed ^ 0x99);
+  sc.waves = spread_failure_waves(
+      net.graph(), sc.pairs, fail, waves,
+      static_cast<double>(packets) * sc.packet_interval, fail_rng);
+  std::size_t total_casualties = 0;
+  for (const StreamWave& wave : sc.waves) {
+    total_casualties += wave.casualties.size();
+  }
+  if (total_casualties > 0) {
+    std::printf("failures: %zu nodes die across %zu waves mid-stream\n\n",
+                total_casualties, sc.waves.size());
+  } else {
+    std::printf("failures: none (static stream)\n\n");
+  }
+
+  StreamSim sim(std::move(net), sc);
+  StreamStats stats = sim.run();
+
   EnergyModel model;
-  PathResult optimal_as_path;
-  optimal_as_path.status = RouteStatus::kDelivered;
-  optimal_as_path.path = optimal.path;
-  double optimal_stream_j = stream_energy(
-      net.graph(), optimal_as_path, model, kPacketBits,
-      static_cast<std::size_t>(packets));
-
-  std::printf("%-8s %6s %9s %8s %12s %11s %11s %9s\n", "scheme", "hops",
-              "length_m", "relays", "transmissions", "energy_mJ",
-              "vs_optimal", "blocked");
-  Table csv_table({"scheme", "hops", "length_m", "relays", "transmissions",
-                   "energy_mJ", "vs_optimal", "blocked"});
-  for (Scheme scheme : {Scheme::kGf, Scheme::kLgf, Scheme::kSlgf, Scheme::kSlgf2}) {
-    auto router = net.make_router(scheme);
-    PathResult r = router->route(source, sink);
-    if (!r.delivered()) {
-      std::printf("%-8s FAILED to deliver\n", scheme_name(scheme));
-      continue;
-    }
-    // The whole stream follows the same path (static network): per-packet
-    // cost scales linearly. "blocked" is the interference footprint — nodes
-    // that cannot receive other traffic while the stream transmits.
-    PathEnergy pe = path_energy(net.graph(), r, model, kPacketBits);
-    double stream_j = pe.total_j * packets;
-    auto footprint = interference_footprint(net.graph(), r);
-    std::printf("%-8s %6zu %9.1f %8zu %13zu %11.2f %10.2fx %9zu\n",
-                scheme_name(scheme), r.hops(), r.length, pe.relays,
-                r.hops() * static_cast<std::size_t>(packets),
-                stream_j * 1000.0, stream_j / optimal_stream_j,
-                footprint.blocked_nodes);
-    csv_table.add_row({scheme_name(scheme), std::to_string(r.hops()),
-                       Table::fmt(r.length, 1), std::to_string(pe.relays),
-                       std::to_string(r.hops() *
-                                      static_cast<std::size_t>(packets)),
-                       Table::fmt(stream_j * 1000.0, 2),
-                       Table::fmt(stream_j / optimal_stream_j, 2),
-                       std::to_string(footprint.blocked_nodes)});
+  std::printf("%-8s %9s %7s %9s %9s %9s %8s %11s\n", "scheme", "delivered",
+              "hops", "length_m", "stretch", "latency_s", "replans",
+              "energy_mJ*");
+  Table csv_table({"scheme", "injected", "delivered", "hops", "length_m",
+                   "stretch", "latency_s", "replans", "energy_mJ"});
+  for (const StreamSchemeStats& s : stats.schemes) {
+    double hops = s.hops.empty() ? 0.0 : s.hops.mean();
+    double length = s.length.empty() ? 0.0 : s.length.mean();
+    double stretch = s.stretch_hops.empty() ? 0.0 : s.stretch_hops.mean();
+    double latency = s.latency.empty() ? 0.0 : s.latency.mean();
+    double replans = s.replans.empty() ? 0.0 : s.replans.mean();
+    // First-order estimate from the stream totals, assuming uniform hop
+    // length within each delivered packet's walk (*: estimate, not a
+    // per-hop account — the paths are not retained across the stream).
+    double mean_hop_m = hops > 0.0 ? length / hops : 0.0;
+    double per_packet_j = hops * model.hop_energy(mean_hop_m, kPacketBits);
+    double stream_mj = per_packet_j * static_cast<double>(s.delivered) * 1e3;
+    std::printf("%-8s %4zu/%-4zu %7.1f %9.1f %9.2f %9.2f %8.2f %11.2f\n",
+                s.label.c_str(), s.delivered, s.injected, hops, length,
+                stretch, latency, replans, stream_mj);
+    csv_table.add_row({s.label, std::to_string(s.injected),
+                       std::to_string(s.delivered), Table::fmt(hops, 1),
+                       Table::fmt(length, 1), Table::fmt(stretch, 2),
+                       Table::fmt(latency, 2), Table::fmt(replans, 2),
+                       Table::fmt(stream_mj, 2)});
   }
-  if (!csv_path.empty()) {
-    ScenarioReport report;
-    report.scenario = "streaming-delivery";
-    report.add_table(std::move(csv_table));
-    if (!CsvSink(csv_path).emit(report)) {
-      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
-      return 1;
-    }
+  for (const WaveRecord& record : stats.waves) {
+    std::printf("wave t=%.1f: %zu casualties, %zu in-flight re-planned, %zu "
+                "dropped; relabel %zu flips (%s from-scratch recompute)\n",
+                record.time, record.casualties, record.packets_in_flight,
+                record.packets_dropped, record.relabel.flips,
+                record.verified && record.matches_full_recompute
+                    ? "matches"
+                    : "DIFFERS FROM");
   }
 
-  std::printf("\nfewer relays -> smaller interference footprint for other\n"
-              "transmissions; straighter paths -> lower energy per stream.\n");
+  // Structured exports go through the shared report machinery: one
+  // ScenarioReport, rendered by whichever sinks were requested.
+  ScenarioReport report;
+  report.scenario = "streaming-delivery-example";
+  report.param("nodes", JsonValue::of(nodes));
+  report.param("source", JsonValue::of(static_cast<std::uint64_t>(source)));
+  report.param("sink", JsonValue::of(static_cast<std::uint64_t>(sink)));
+  report.param("stream", stream_stats_json(stats));
+  report.add_table(std::move(csv_table));
+  if (!csv_path.empty() && !CsvSink(csv_path).emit(report)) {
+    std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  if (!json_path.empty() && !JsonSink(json_path).emit(report)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  std::printf("\nsafety-aware schemes keep delivering after the waves: the\n"
+              "labels update incrementally and in-flight packets re-plan\n"
+              "around the new holes instead of probing them blind.\n");
   return 0;
 }

@@ -39,11 +39,41 @@ Network::Network(Deployment deployment, double edge_band, TaskPool* build_pool)
     : deployment_(std::move(deployment)),
       build_pool_(build_pool),
       lazy_(std::make_unique<LazyState>()) {
-  double band = edge_band < 0.0 ? deployment_.radio_range : edge_band;
+  band_ = edge_band < 0.0 ? deployment_.radio_range : edge_band;
   graph_ = std::make_unique<UnitDiskGraph>(deployment_.positions,
                                            deployment_.radio_range,
                                            deployment_.field, build_pool_);
-  interest_area_ = std::make_unique<InterestArea>(*graph_, band);
+  interest_area_ = std::make_unique<InterestArea>(*graph_, band_);
+}
+
+Network::Network(DerivedTag, const Network& base, UnitDiskGraph graph)
+    : deployment_(base.deployment_),
+      build_pool_(base.build_pool_),
+      band_(base.band_),
+      lazy_(std::make_unique<LazyState>()) {
+  graph_ = std::make_unique<UnitDiskGraph>(std::move(graph));
+  interest_area_ = std::make_unique<InterestArea>(*graph_, band_);
+}
+
+Network Network::with_failures(const std::vector<NodeId>& failed,
+                               IncrementalStats* stats) const {
+  Network degraded(DerivedTag{}, *this, graph_->with_failures(failed, build_pool_));
+  if (stats != nullptr) *stats = IncrementalStats{};
+  if (has_safety()) {
+    // Continue the old fixpoint instead of recomputing it: failures only
+    // remove safe-neighbor support (monotone 1 -> 0), so the incremental
+    // worklist seeded from the failed nodes' neighborhoods reaches exactly
+    // the labeling compute_safety would produce on the degraded graph.
+    auto info = std::make_unique<SafetyInfo>(*lazy_->safety);
+    IncrementalStats update = update_safety_after_failures(
+        *degraded.graph_, *degraded.interest_area_, failed, *info);
+    if (stats != nullptr) *stats = update;
+    std::call_once(degraded.lazy_->safety_once, [&] {
+      degraded.lazy_->safety = std::move(info);
+      degraded.lazy_->safety_built.store(true, std::memory_order_release);
+    });
+  }
+  return degraded;
 }
 
 const SafetyInfo& Network::safety() const {

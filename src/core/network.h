@@ -36,6 +36,7 @@
 #include "routing/boundhole.h"
 #include "routing/router.h"
 #include "routing/slgf2.h"
+#include "safety/incremental.h"
 #include "safety/labeling.h"
 
 namespace spr {
@@ -91,6 +92,11 @@ class Network {
   const UnitDiskGraph& graph() const noexcept { return *graph_; }
   const InterestArea& interest_area() const noexcept { return *interest_area_; }
 
+  /// The resolved edge-node band (meters) this network was built with —
+  /// what a caller rebuilding a sibling snapshot (e.g. a mobility re-pin)
+  /// passes as `edge_band` to reproduce the same interest area.
+  double edge_band() const noexcept { return band_; }
+
   /// Lazy, memoized, thread-safe: built on first call, then cached.
   const SafetyInfo& safety() const;
   const PlanarOverlay& overlay() const;
@@ -112,6 +118,22 @@ class Network {
   std::unique_ptr<Router> make_router(Scheme scheme,
                                       Slgf2Options slgf2_options = {}) const;
 
+  /// A degraded copy of this network: `failed` nodes marked dead (positions
+  /// kept, edges removed — UnitDiskGraph::with_failures, sharing the
+  /// spatial grid) and the interest area recomputed over the degraded
+  /// graph. If this network's safety labeling has been built, the copy's
+  /// labeling is derived from it by the *incremental* updater
+  /// (update_safety_after_failures) instead of a from-scratch
+  /// compute_safety — identical statuses and anchors (tests enforce
+  /// equality with the from-scratch fixpoint) while touching only the
+  /// failures' neighborhood; `stats`, when non-null, receives what the
+  /// update touched (zeroed when the labeling was never built and so stays
+  /// lazy). Failure waves chain: calling with_failures on an
+  /// already-degraded network applies the next wave the same way. The
+  /// planar overlay and BOUNDHOLE structures stay lazy in the copy.
+  Network with_failures(const std::vector<NodeId>& failed,
+                        IncrementalStats* stats = nullptr) const;
+
   /// Uniformly random interior source/destination pair, s != d.
   std::pair<NodeId, NodeId> random_interior_pair(Rng& rng) const;
 
@@ -122,6 +144,11 @@ class Network {
       Rng& rng, int max_tries = 64) const;
 
  private:
+  /// Tag-dispatched constructor behind with_failures: adopts a pre-built
+  /// (degraded) graph instead of building one from the deployment.
+  struct DerivedTag {};
+  Network(DerivedTag, const Network& base, UnitDiskGraph graph);
+
   /// Heap-allocated so Network stays movable (std::once_flag is not).
   /// The `*_built` flags let has_*() observe without racing the builders.
   struct LazyState {
@@ -136,6 +163,7 @@ class Network {
 
   Deployment deployment_;
   TaskPool* build_pool_ = nullptr;  ///< non-owning; see NetworkConfig
+  double band_ = 0.0;               ///< resolved edge band (meters)
   std::unique_ptr<UnitDiskGraph> graph_;
   std::unique_ptr<InterestArea> interest_area_;
   std::unique_ptr<LazyState> lazy_;

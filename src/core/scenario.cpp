@@ -9,6 +9,7 @@
 #include "graph/graph_algos.h"
 #include "mobility/waypoint.h"
 #include "report/serialize.h"
+#include "sim/stream_sim.h"
 #include "routing/gf.h"
 #include "routing/lgf.h"
 #include "routing/slgf.h"
@@ -448,6 +449,302 @@ int run_mobile_stream(const ScenarioOptions& opts, ScenarioReport& report) {
   return 0;
 }
 
+/// Accumulates one stream's per-scheme totals into a running aggregate
+/// (same label, Summary::merge in call order — deterministic).
+void merge_stream_scheme(StreamSchemeStats& into,
+                         const StreamSchemeStats& from) {
+  into.injected += from.injected;
+  into.delivered += from.delivered;
+  into.dead_end += from.dead_end;
+  into.ttl_expired += from.ttl_expired;
+  into.node_failed += from.node_failed;
+  into.hops.merge(from.hops);
+  into.length.merge(from.length);
+  into.stretch_hops.merge(from.stretch_hops);
+  into.latency.merge(from.latency);
+  into.replans.merge(from.replans);
+  into.local_minima.merge(from.local_minima);
+}
+
+/// Streaming delivery: long-lived packet streams over StreamSim with
+/// failure waves landing *between the hops* of in-flight packets. Sweeps
+/// the failure fraction (share of nodes that die over the stream's
+/// lifetime); SLGF/SLGF2 keep routing on incrementally relabeled safety
+/// information after every wave, and each wave's incremental update is
+/// cross-checked against a from-scratch compute_safety.
+///
+/// The report is a pure function of (options, seeds): no wall-clock or
+/// thread-count values are recorded, so the JSON/CSV artifacts are
+/// byte-identical across reruns and across SPR_THREADS (tests enforce
+/// this).
+int run_streaming_delivery(const ScenarioOptions& opts,
+                           ScenarioReport& report) {
+  const int networks = opts.networks > 0 ? opts.networks : 3;
+  const int packets = opts.pairs > 0 ? opts.pairs : 40;
+  const std::uint64_t base_seed = opts.seed != 0 ? opts.seed : 2009;
+  const int nodes = 600;
+  const std::vector<double> fractions = {0.0, 0.05, 0.10, 0.20, 0.30};
+  const int waves_per_stream = 4;
+  const double packet_interval = 1.0;
+  const double hop_delay = 0.2;
+
+  report.textf("== Streaming delivery: %d-node FA networks, %d streams x %d "
+               "packets per failure fraction, %d mid-stream failure waves "
+               "==\n\n",
+               nodes, networks, packets, waves_per_stream);
+
+  struct StreamCell {
+    bool ok = false;         ///< produced traffic
+    bool relabel_ok = true;  ///< every wave matched the from-scratch fixpoint
+    StreamStats stats;
+  };
+  std::vector<StreamCell> cells(fractions.size() *
+                                static_cast<std::size_t>(networks));
+
+  auto run_one = [&](std::size_t ci) {
+    const std::size_t fi = ci / static_cast<std::size_t>(networks);
+    const double fraction = fractions[fi];
+    StreamCell& cell = cells[ci];
+
+    NetworkConfig nc;
+    nc.deployment.node_count = nodes;
+    nc.deployment.model = DeployModel::kForbiddenAreas;
+    nc.seed = base_seed ^ ((ci + 1) * 0x9E3779B97F4A7C15ULL);
+    Network net = Network::create(nc);
+
+    Rng rng(nc.seed ^ 0x57bea);
+    StreamConfig sc;
+    sc.packets = packets;
+    sc.packet_interval = packet_interval;
+    sc.hop_delay = hop_delay;
+    sc.seed = nc.seed;
+    sc.verify_relabeling = true;
+    // A handful of long-lived source/sink pairs, cycled over the stream.
+    for (int t = 0; t < 4; ++t) {
+      auto pair = net.random_connected_interior_pair(rng);
+      if (pair.first != kInvalidNode) sc.pairs.push_back(pair);
+    }
+    if (sc.pairs.empty()) return;  // cell stays !ok (counted below)
+
+    // The failure schedule: `fraction` of the nodes dies across
+    // `waves_per_stream` waves spread over the stream's injection span,
+    // never touching the stream endpoints.
+    sc.waves = spread_failure_waves(
+        net.graph(), sc.pairs, fraction, waves_per_stream,
+        static_cast<double>(packets) * packet_interval, rng);
+
+    StreamSim sim(std::move(net), std::move(sc));
+    cell.stats = sim.run();
+    cell.ok = true;
+    for (const WaveRecord& record : cell.stats.waves) {
+      if (record.verified && !record.matches_full_recompute) {
+        cell.relabel_ok = false;
+      }
+    }
+  };
+
+  if (opts.threads == 1) {
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) run_one(ci);
+  } else {
+    TaskPool pool(opts.threads);
+    pool.parallel_for(cells.size(), run_one);
+  }
+
+  // Per-fraction reduction in cell order — deterministic regardless of
+  // which worker ran which cell.
+  const auto scheme_specs = SweepConfig::paper_schemes();
+  std::vector<std::vector<StreamSchemeStats>> merged(fractions.size());
+  std::vector<std::size_t> wave_flips(fractions.size(), 0);
+  std::vector<std::size_t> wave_reevals(fractions.size(), 0);
+  std::vector<std::size_t> wave_casualties(fractions.size(), 0);
+  std::size_t skipped_cells = 0;
+  bool relabel_ok = true;
+  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+    merged[fi].resize(scheme_specs.size());
+    for (std::size_t k = 0; k < scheme_specs.size(); ++k) {
+      merged[fi][k].label = scheme_specs[k].display_label();
+    }
+    for (int ni = 0; ni < networks; ++ni) {
+      const StreamCell& cell =
+          cells[fi * static_cast<std::size_t>(networks) +
+                static_cast<std::size_t>(ni)];
+      if (!cell.ok) {
+        ++skipped_cells;
+        continue;
+      }
+      relabel_ok &= cell.relabel_ok;
+      for (std::size_t k = 0; k < cell.stats.schemes.size() &&
+                              k < merged[fi].size();
+           ++k) {
+        merge_stream_scheme(merged[fi][k], cell.stats.schemes[k]);
+      }
+      for (const WaveRecord& record : cell.stats.waves) {
+        wave_flips[fi] += record.relabel.flips;
+        wave_reevals[fi] += record.relabel.reevaluations;
+        wave_casualties[fi] += record.casualties;
+      }
+    }
+  }
+  if (skipped_cells == cells.size()) {
+    report.textf("no routable stream endpoints in any cell\n");
+    report.aborted = true;
+    return 1;
+  }
+
+  // Console table: one row per failure fraction.
+  std::vector<std::string> header{"fail%"};
+  for (const auto& spec : scheme_specs) {
+    header.push_back(spec.display_label() + " deliv");
+  }
+  header.push_back("SLGF2 hops");
+  header.push_back("SLGF2 stretch");
+  header.push_back("relabel flips");
+  Table table(std::move(header));
+  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+    std::vector<std::string> row{Table::fmt(100.0 * fractions[fi], 0)};
+    for (std::size_t k = 0; k < merged[fi].size(); ++k) {
+      row.push_back(Table::fmt(merged[fi][k].delivery_ratio()));
+    }
+    const StreamSchemeStats& slgf2 = merged[fi].back();
+    row.push_back(Table::fmt(slgf2.hops.empty() ? 0.0 : slgf2.hops.mean()));
+    row.push_back(Table::fmt(
+        slgf2.stretch_hops.empty() ? 0.0 : slgf2.stretch_hops.mean()));
+    row.push_back(std::to_string(wave_flips[fi]));
+    table.add_row(std::move(row));
+  }
+  report.add_table(std::move(table));
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "incremental relabeling matched a from-scratch "
+                "compute_safety at every wave: %s",
+                relabel_ok ? "yes" : "NO");
+  report.note(buf);
+  std::snprintf(buf, sizeof(buf),
+                "sweep section x axis is the failure percentage (every "
+                "network has %d nodes)",
+                nodes);
+  report.note(buf);
+  if (skipped_cells > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "%zu of %zu stream cells had no routable endpoints and "
+                  "were skipped",
+                  skipped_cells, cells.size());
+    report.note(buf);
+  }
+
+  // Plot curves: per-scheme series over the failure fraction.
+  struct CurveSpec {
+    const char* title;
+    const char* y_label;
+    std::function<double(const StreamSchemeStats&)> metric;
+  };
+  const CurveSpec curve_specs[] = {
+      {"streaming-delivery — delivery ratio", "delivery ratio",
+       [](const StreamSchemeStats& s) { return s.delivery_ratio(); }},
+      {"streaming-delivery — avg hops (delivered)", "hops",
+       [](const StreamSchemeStats& s) {
+         return s.hops.empty() ? 0.0 : s.hops.mean();
+       }},
+      {"streaming-delivery — hop stretch vs injection-time optimum",
+       "stretch",
+       [](const StreamSchemeStats& s) {
+         return s.stretch_hops.empty() ? 0.0 : s.stretch_hops.mean();
+       }},
+  };
+  for (const CurveSpec& spec : curve_specs) {
+    ReportCurve curve;
+    curve.title = spec.title;
+    curve.x_label = "failed %";
+    curve.y_label = spec.y_label;
+    for (std::size_t k = 0; k < scheme_specs.size(); ++k) {
+      ReportSeries series;
+      series.label = scheme_specs[k].display_label();
+      for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+        series.points.emplace_back(100.0 * fractions[fi],
+                                   spec.metric(merged[fi][k]));
+      }
+      curve.series.push_back(std::move(series));
+    }
+    report.curves.push_back(std::move(curve));
+  }
+
+  // Sweep section so the JSON report carries the standard "models" shape:
+  // one point per failure percent, per-scheme RouteAggregates built from
+  // the stream totals. The point key doubles as the x axis, so here
+  // "nodes" carries the failure *percentage*, not a node count — the
+  // sweep_section_x_axis param and a console note flag the
+  // reinterpretation for consumers of the shared shape.
+  // wall_seconds/threads stay 0 by design — the report must be
+  // byte-identical across reruns and thread counts.
+  SweepSection section;
+  section.model = DeployModel::kForbiddenAreas;
+  section.networks_per_point = networks;
+  section.pairs_per_network = packets;
+  section.base_seed = base_seed;
+  section.threads = 0;
+  section.wall_seconds = 0.0;
+  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+    SweepPoint point;
+    point.node_count = static_cast<int>(100.0 * fractions[fi] + 0.5);
+    for (const StreamSchemeStats& s : merged[fi]) {
+      RouteAggregate agg;
+      agg.requested = s.injected;
+      agg.attempted = s.injected;
+      agg.delivered = s.delivered;
+      agg.hops = s.hops;
+      agg.length = s.length;
+      agg.stretch_hops = s.stretch_hops;
+      point.by_scheme.emplace(s.label, std::move(agg));
+    }
+    section.points.push_back(std::move(point));
+  }
+  report.sweeps.push_back(std::move(section));
+
+  // Machine-readable params: config identity plus the full per-cell
+  // stream stats through the typed serializer (report/serialize.h).
+  report.param("nodes", JsonValue::of(nodes));
+  report.param("networks_per_fraction", JsonValue::of(networks));
+  report.param("packets_per_stream", JsonValue::of(packets));
+  report.param("waves_per_stream", JsonValue::of(waves_per_stream));
+  report.param("base_seed", JsonValue::of(base_seed));
+  report.param("sweep_section_x_axis", JsonValue::of("failure_percent"));
+  report.param("relabel_matches_full_recompute", JsonValue::of(relabel_ok));
+  JsonValue fractions_json = JsonValue::array();
+  for (double f : fractions) fractions_json.push(JsonValue::of(f));
+  report.param("failure_fractions", std::move(fractions_json));
+  // Per-fraction incremental-relabeling cost (summed over waves/streams),
+  // aligned with failure_fractions.
+  JsonValue casualties_json = JsonValue::array();
+  JsonValue flips_json = JsonValue::array();
+  JsonValue reevals_json = JsonValue::array();
+  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+    casualties_json.push(
+        JsonValue::of(static_cast<std::uint64_t>(wave_casualties[fi])));
+    flips_json.push(JsonValue::of(static_cast<std::uint64_t>(wave_flips[fi])));
+    reevals_json.push(
+        JsonValue::of(static_cast<std::uint64_t>(wave_reevals[fi])));
+  }
+  report.param("wave_casualties", std::move(casualties_json));
+  report.param("relabel_flips", std::move(flips_json));
+  report.param("relabel_reevaluations", std::move(reevals_json));
+  JsonValue streams = JsonValue::array();
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    if (!cells[ci].ok) continue;
+    JsonValue entry = JsonValue::object();
+    entry.set("fraction",
+              JsonValue::of(
+                  fractions[ci / static_cast<std::size_t>(networks)]));
+    entry.set("net",
+              JsonValue::of(static_cast<int>(
+                  ci % static_cast<std::size_t>(networks))));
+    entry.set("stats", stream_stats_json(cells[ci].stats));
+    streams.push(std::move(entry));
+  }
+  report.param("streams", std::move(streams));
+
+  return relabel_ok ? 0 : 1;
+}
+
 /// Parallel-sweep scaling: the same sweep serial and parallel, verifying
 /// bit-identical aggregates and reporting the wall-clock ratio plus the
 /// construction / oracle / routing breakdown and the per-source oracle
@@ -753,6 +1050,10 @@ ScenarioSuite& ScenarioSuite::builtin() {
     s.add({"mobile-stream",
            "SLGF2 stream across random-waypoint mobility epochs",
            run_mobile_stream});
+    s.add({"streaming-delivery",
+           "discrete-event packet streams with mid-stream failure waves and "
+           "incremental relabeling",
+           run_streaming_delivery});
     s.add({"sweep-scaling",
            "parallel vs serial sweep: wall-clock ratio + bit-identical check",
            run_sweep_scaling});

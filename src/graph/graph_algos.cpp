@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "util/arena.h"
+
 namespace spr {
 
 namespace {
@@ -103,27 +105,51 @@ ShortestPath ShortestPathTree::extract(NodeId target) const {
   return result;
 }
 
-OracleBatch::OracleBatch(const UnitDiskGraph& g,
-                         std::span<const std::pair<NodeId, NodeId>> pairs) {
-  hop_optimal_.resize(pairs.size());
-  length_optimal_.resize(pairs.size());
+namespace {
 
-  // Group pair indices by source, preserving first-appearance order so the
-  // searches run in a deterministic sequence.
-  std::vector<NodeId> sources;
-  std::vector<std::vector<std::size_t>> by_source;
-  std::vector<std::size_t> slot_of(g.size(), SIZE_MAX);
+/// OracleBatch's grouping + search body, shared by the heap- and
+/// arena-scratch constructors. Groups pair indices by source in CSR form
+/// (counts -> offsets -> fill; first-appearance slot order, pair order
+/// within a slot), then runs one BFS + one Dijkstra per distinct source.
+/// All four scratch vectors are passed in empty with the desired allocator.
+template <typename SizeVec, typename NodeVec>
+std::size_t build_oracles(const UnitDiskGraph& g,
+                          std::span<const std::pair<NodeId, NodeId>> pairs,
+                          SizeVec slot_of, SizeVec count, SizeVec grouped,
+                          NodeVec sources,
+                          std::vector<ShortestPath>& hop_optimal,
+                          std::vector<ShortestPath>& length_optimal) {
+  hop_optimal.resize(pairs.size());
+  length_optimal.resize(pairs.size());
+
+  slot_of.assign(g.size(), SIZE_MAX);
+  std::size_t valid = 0;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     NodeId s = pairs[i].first;
     if (s >= g.size()) continue;  // invalid source: optima stay empty
     if (slot_of[s] == SIZE_MAX) {
       slot_of[s] = sources.size();
       sources.push_back(s);
-      by_source.emplace_back();
+      count.push_back(0);
     }
-    by_source[slot_of[s]].push_back(i);
+    ++count[slot_of[s]];
+    ++valid;
   }
-  distinct_sources_ = sources.size();
+
+  // `count` becomes the slot's cursor into `grouped`; the running prefix
+  // sum in `begin` marks each slot's segment start.
+  grouped.resize(valid);
+  std::size_t begin = 0;
+  for (std::size_t si = 0; si < count.size(); ++si) {
+    std::size_t slot_count = count[si];
+    count[si] = begin;
+    begin += slot_count;
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    NodeId s = pairs[i].first;
+    if (s >= g.size()) continue;
+    grouped[count[slot_of[s]]++] = i;
+  }
 
   // One BFS + one Dijkstra per distinct source; the trees are transient —
   // only the per-pair extracted optima are kept (matching the memory
@@ -131,18 +157,46 @@ OracleBatch::OracleBatch(const UnitDiskGraph& g,
   // destination keeps the per-pair early exit via stop_at, so the batch is
   // never more work than the loop it replaced.
   for (std::size_t si = 0; si < sources.size(); ++si) {
-    const auto& indices = by_source[si];
-    NodeId stop_at =
-        indices.size() == 1 ? pairs[indices[0]].second : kInvalidNode;
+    std::size_t seg_begin = si == 0 ? 0 : count[si - 1];
+    std::size_t seg_end = count[si];
+    NodeId stop_at = seg_end - seg_begin == 1 ? pairs[grouped[seg_begin]].second
+                                              : kInvalidNode;
     ShortestPathTree hop_tree(g, sources[si], ShortestPathTree::Metric::kHops,
                               stop_at);
     ShortestPathTree len_tree(g, sources[si],
                               ShortestPathTree::Metric::kLength, stop_at);
-    for (std::size_t i : indices) {
-      hop_optimal_[i] = hop_tree.extract(pairs[i].second);
-      length_optimal_[i] = len_tree.extract(pairs[i].second);
+    for (std::size_t gi = seg_begin; gi < seg_end; ++gi) {
+      std::size_t i = grouped[gi];
+      hop_optimal[i] = hop_tree.extract(pairs[i].second);
+      length_optimal[i] = len_tree.extract(pairs[i].second);
     }
   }
+  return sources.size();
+}
+
+}  // namespace
+
+OracleBatch::OracleBatch(const UnitDiskGraph& g,
+                         std::span<const std::pair<NodeId, NodeId>> pairs)
+    : OracleBatch(g, pairs, nullptr) {}
+
+OracleBatch::OracleBatch(const UnitDiskGraph& g,
+                         std::span<const std::pair<NodeId, NodeId>> pairs,
+                         Arena* scratch) {
+  if (scratch == nullptr) {
+    distinct_sources_ = build_oracles(g, pairs, std::vector<std::size_t>{},
+                                      std::vector<std::size_t>{},
+                                      std::vector<std::size_t>{},
+                                      std::vector<NodeId>{}, hop_optimal_,
+                                      length_optimal_);
+    return;
+  }
+  ArenaAllocator<std::size_t> salloc(*scratch);
+  ArenaAllocator<NodeId> nalloc(*scratch);
+  distinct_sources_ = build_oracles(
+      g, pairs, ArenaVector<std::size_t>(salloc),
+      ArenaVector<std::size_t>(salloc), ArenaVector<std::size_t>(salloc),
+      ArenaVector<NodeId>(nalloc), hop_optimal_, length_optimal_);
 }
 
 ShortestPath bfs_path(const UnitDiskGraph& g, NodeId source, NodeId target) {

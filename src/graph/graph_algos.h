@@ -85,6 +85,8 @@ class ShortestPathTree {
   std::vector<NodeId> parent_;
 };
 
+class Arena;
+
 /// The shared-frontier oracle for a batch of (source, destination) pairs:
 /// groups the span by source and runs one BFS tree and one Dijkstra tree
 /// per *distinct* source, then extracts the per-pair optima. Replaces the
@@ -93,6 +95,14 @@ class OracleBatch {
  public:
   OracleBatch(const UnitDiskGraph& g,
               std::span<const std::pair<NodeId, NodeId>> pairs);
+
+  /// As above, with the transient grouping scratch (slot map, CSR group
+  /// arrays) bump-allocated from `scratch` instead of the general heap —
+  /// the sweep cells pass their per-cell arena (util/arena.h). Results are
+  /// identical; null falls back to heap scratch.
+  OracleBatch(const UnitDiskGraph& g,
+              std::span<const std::pair<NodeId, NodeId>> pairs,
+              Arena* scratch);
 
   std::size_t size() const noexcept { return hop_optimal_.size(); }
   std::size_t distinct_sources() const noexcept { return distinct_sources_; }

@@ -230,6 +230,203 @@ bool from_json(const JsonValue& v, SweepPoint& out) {
   return true;
 }
 
+// --------------------------------------------------------- stream results
+
+JsonValue stream_stats_json(const StreamStats& stats) {
+  auto uint_of = [](std::size_t n) {
+    return JsonValue::of(static_cast<std::uint64_t>(n));
+  };
+  JsonValue root = JsonValue::object();
+  root.set("virtual_time", JsonValue::of(stats.virtual_time));
+  root.set("events", uint_of(stats.events));
+  root.set("repins", uint_of(stats.repins));
+  JsonValue waves = JsonValue::array();
+  for (const WaveRecord& record : stats.waves) {
+    JsonValue wave = JsonValue::object();
+    wave.set("time", JsonValue::of(record.time));
+    wave.set("casualties", uint_of(record.casualties));
+    wave.set("packets_in_flight", uint_of(record.packets_in_flight));
+    wave.set("packets_dropped", uint_of(record.packets_dropped));
+    wave.set("relabel_seeds", uint_of(record.relabel.seeds));
+    wave.set("relabel_reevaluations", uint_of(record.relabel.reevaluations));
+    wave.set("relabel_flips", uint_of(record.relabel.flips));
+    if (record.verified) {
+      wave.set("matches_full_recompute",
+               JsonValue::of(record.matches_full_recompute));
+    }
+    waves.push(std::move(wave));
+  }
+  root.set("waves", std::move(waves));
+  JsonValue schemes = JsonValue::object();
+  for (const StreamSchemeStats& s : stats.schemes) {
+    JsonValue scheme = JsonValue::object();
+    scheme.set("injected", uint_of(s.injected));
+    scheme.set("delivered", uint_of(s.delivered));
+    scheme.set("dead_end", uint_of(s.dead_end));
+    scheme.set("ttl_expired", uint_of(s.ttl_expired));
+    scheme.set("node_failed", uint_of(s.node_failed));
+    scheme.set("delivery_ratio", JsonValue::of(s.delivery_ratio()));
+    scheme.set("hops", summary_stats(s.hops));
+    scheme.set("length", summary_stats(s.length));
+    scheme.set("stretch_hops", summary_stats(s.stretch_hops));
+    scheme.set("latency", summary_stats(s.latency));
+    scheme.set("replans", summary_stats(s.replans));
+    scheme.set("local_minima", summary_stats(s.local_minima));
+    schemes.set(s.label, std::move(scheme));
+  }
+  root.set("schemes", std::move(schemes));
+  return root;
+}
+
+void stream_stats_to_json(JsonWriter& w, const StreamStats& stats) {
+  stream_stats_json(stats).write(w);
+}
+
+void to_json(JsonWriter& w, const IncrementalStats& stats) {
+  w.begin_object();
+  w.key("seeds").value(static_cast<std::uint64_t>(stats.seeds));
+  w.key("reevaluations").value(static_cast<std::uint64_t>(stats.reevaluations));
+  w.key("flips").value(static_cast<std::uint64_t>(stats.flips));
+  w.key("anchor_recomputes")
+      .value(static_cast<std::uint64_t>(stats.anchor_recomputes));
+  w.end_object();
+}
+
+bool from_json(const JsonValue& v, IncrementalStats& out) {
+  if (!v.is_object()) return false;
+  IncrementalStats stats;
+  if (!read_size(v, "seeds", stats.seeds) ||
+      !read_size(v, "reevaluations", stats.reevaluations) ||
+      !read_size(v, "flips", stats.flips) ||
+      !read_size(v, "anchor_recomputes", stats.anchor_recomputes)) {
+    return false;
+  }
+  out = stats;
+  return true;
+}
+
+void to_json(JsonWriter& w, const WaveRecord& record) {
+  w.begin_object();
+  w.key("time").value(record.time);
+  w.key("casualties").value(static_cast<std::uint64_t>(record.casualties));
+  w.key("packets_in_flight")
+      .value(static_cast<std::uint64_t>(record.packets_in_flight));
+  w.key("packets_dropped")
+      .value(static_cast<std::uint64_t>(record.packets_dropped));
+  w.key("relabel");
+  to_json(w, record.relabel);
+  w.key("verified").value(record.verified);
+  w.key("matches_full_recompute").value(record.matches_full_recompute);
+  w.end_object();
+}
+
+bool from_json(const JsonValue& v, WaveRecord& out) {
+  if (!v.is_object()) return false;
+  WaveRecord record;
+  const JsonValue* verified = v.find("verified");
+  const JsonValue* matches = v.find("matches_full_recompute");
+  if (!read_double(v, "time", record.time) ||
+      !read_size(v, "casualties", record.casualties) ||
+      !read_size(v, "packets_in_flight", record.packets_in_flight) ||
+      !read_size(v, "packets_dropped", record.packets_dropped) ||
+      !from_json(v.get("relabel"), record.relabel) || verified == nullptr ||
+      !verified->is_bool() || matches == nullptr || !matches->is_bool()) {
+    return false;
+  }
+  record.verified = verified->as_bool();
+  record.matches_full_recompute = matches->as_bool();
+  out = std::move(record);
+  return true;
+}
+
+void to_json(JsonWriter& w, const StreamSchemeStats& stats) {
+  w.begin_object();
+  w.key("label").value(stats.label);
+  w.key("injected").value(static_cast<std::uint64_t>(stats.injected));
+  w.key("delivered").value(static_cast<std::uint64_t>(stats.delivered));
+  w.key("dead_end").value(static_cast<std::uint64_t>(stats.dead_end));
+  w.key("ttl_expired").value(static_cast<std::uint64_t>(stats.ttl_expired));
+  w.key("node_failed").value(static_cast<std::uint64_t>(stats.node_failed));
+  w.key("hops");
+  to_json(w, stats.hops);
+  w.key("length");
+  to_json(w, stats.length);
+  w.key("stretch_hops");
+  to_json(w, stats.stretch_hops);
+  w.key("latency");
+  to_json(w, stats.latency);
+  w.key("replans");
+  to_json(w, stats.replans);
+  w.key("local_minima");
+  to_json(w, stats.local_minima);
+  w.end_object();
+}
+
+bool from_json(const JsonValue& v, StreamSchemeStats& out) {
+  if (!v.is_object()) return false;
+  StreamSchemeStats stats;
+  const JsonValue* label = v.find("label");
+  if (label == nullptr || !label->is_string()) return false;
+  stats.label = label->as_string();
+  if (!read_size(v, "injected", stats.injected) ||
+      !read_size(v, "delivered", stats.delivered) ||
+      !read_size(v, "dead_end", stats.dead_end) ||
+      !read_size(v, "ttl_expired", stats.ttl_expired) ||
+      !read_size(v, "node_failed", stats.node_failed) ||
+      !read_summary(v, "hops", stats.hops) ||
+      !read_summary(v, "length", stats.length) ||
+      !read_summary(v, "stretch_hops", stats.stretch_hops) ||
+      !read_summary(v, "latency", stats.latency) ||
+      !read_summary(v, "replans", stats.replans) ||
+      !read_summary(v, "local_minima", stats.local_minima)) {
+    return false;
+  }
+  out = std::move(stats);
+  return true;
+}
+
+void to_json(JsonWriter& w, const StreamStats& stats) {
+  w.begin_object();
+  w.key("virtual_time").value(stats.virtual_time);
+  w.key("events").value(static_cast<std::uint64_t>(stats.events));
+  w.key("repins").value(static_cast<std::uint64_t>(stats.repins));
+  w.key("waves").begin_array();
+  for (const WaveRecord& record : stats.waves) to_json(w, record);
+  w.end_array();
+  w.key("schemes").begin_array();
+  for (const StreamSchemeStats& s : stats.schemes) to_json(w, s);
+  w.end_array();
+  w.end_object();
+}
+
+bool from_json(const JsonValue& v, StreamStats& out) {
+  if (!v.is_object()) return false;
+  StreamStats stats;
+  if (!read_double(v, "virtual_time", stats.virtual_time) ||
+      !read_size(v, "events", stats.events) ||
+      !read_size(v, "repins", stats.repins)) {
+    return false;
+  }
+  const JsonValue* waves = v.find("waves");
+  const JsonValue* schemes = v.find("schemes");
+  if (waves == nullptr || !waves->is_array() || schemes == nullptr ||
+      !schemes->is_array()) {
+    return false;
+  }
+  for (const JsonValue& item : waves->items()) {
+    WaveRecord record;
+    if (!from_json(item, record)) return false;
+    stats.waves.push_back(std::move(record));
+  }
+  for (const JsonValue& item : schemes->items()) {
+    StreamSchemeStats s;
+    if (!from_json(item, s)) return false;
+    stats.schemes.push_back(std::move(s));
+  }
+  out = std::move(stats);
+  return true;
+}
+
 void to_json(JsonWriter& w, const SweepTimings& t) { timings_to_json(w, t); }
 
 bool from_json(const JsonValue& v, SweepTimings& out) {

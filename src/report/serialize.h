@@ -22,6 +22,7 @@
 
 #include "core/experiment.h"
 #include "report/report.h"
+#include "sim/stream_sim.h"
 #include "stats/summary.h"
 #include "util/json.h"
 
@@ -55,6 +56,29 @@ bool from_json(const JsonValue& v, CellResult& out);
 
 void to_json(JsonWriter& w, const SweepTimings& t);
 bool from_json(const JsonValue& v, SweepTimings& out);
+
+// --------------------------------------------------------- stream results
+/// Stats form of one StreamSim run (the streaming-delivery scenario's
+/// report shape): per-scheme delivery/hops/stretch/latency summaries plus
+/// the per-wave incremental-relabeling records. The JsonValue form is the
+/// same document as a DOM — what report params and the example exports
+/// embed directly.
+JsonValue stream_stats_json(const StreamStats& stats);
+void stream_stats_to_json(JsonWriter& w, const StreamStats& stats);
+
+/// Full (sample-retaining) forms: a deserialized StreamStats reconstructs
+/// every Summary accumulator bit-identically, like the sweep cell forms.
+void to_json(JsonWriter& w, const IncrementalStats& stats);
+bool from_json(const JsonValue& v, IncrementalStats& out);
+
+void to_json(JsonWriter& w, const WaveRecord& record);
+bool from_json(const JsonValue& v, WaveRecord& out);
+
+void to_json(JsonWriter& w, const StreamSchemeStats& stats);
+bool from_json(const JsonValue& v, StreamSchemeStats& out);
+
+void to_json(JsonWriter& w, const StreamStats& stats);
+bool from_json(const JsonValue& v, StreamStats& out);
 
 // ------------------------------------------------------------ shard files
 /// A serialized sweep shard: the sweep's identity (enough to check that two

@@ -1,40 +1,91 @@
 #include "routing/router.h"
 
+#include <algorithm>
+
 namespace spr {
+
+RouteStepper::RouteStepper(const Router& router, NodeId s, NodeId d,
+                           std::unique_ptr<PacketHeader> owned,
+                           PacketHeader* header, std::size_t ttl,
+                           std::size_t reserve_hint)
+    : router_(router),
+      owned_header_(std::move(owned)),
+      header_(header),
+      u_(s),
+      d_(d),
+      ttl_remaining_(ttl),
+      in_flight_(true) {
+  if (s >= router.g_.size() || d >= router.g_.size()) {
+    // Invalid endpoints: an empty dead-end result, exactly route()'s `{}`.
+    finish(RouteStatus::kDeadEnd);
+    u_ = kInvalidNode;
+    return;
+  }
+  if (reserve_hint > 0) {
+    result_.path.reserve(reserve_hint + 1);
+    result_.hop_phases.reserve(reserve_hint);
+  }
+  result_.path.push_back(s);
+  if (s == d) {
+    finish(RouteStatus::kDelivered);
+    return;
+  }
+  if (ttl_remaining_ == 0) finish(RouteStatus::kTtlExpired);
+}
+
+bool RouteStepper::step() {
+  if (!in_flight_) return false;
+  Router::Decision decision = router_.select_successor(u_, d_, *header_);
+  if (decision.hit_local_minimum) ++result_.local_minima;
+  if (decision.next == kInvalidNode) {
+    finish(RouteStatus::kDeadEnd);
+    return false;
+  }
+  const UnitDiskGraph& g = router_.g_;
+  result_.length += distance(g.position(u_), g.position(decision.next));
+  result_.path.push_back(decision.next);
+  result_.hop_phases.push_back(decision.phase);
+  u_ = decision.next;
+  if (u_ == d_) {
+    finish(RouteStatus::kDelivered);
+    return false;
+  }
+  if (--ttl_remaining_ == 0) {
+    finish(RouteStatus::kTtlExpired);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// TTL = ttl_factor * n hops; generous so that only genuine livelock or
+/// disconnection trips it.
+std::size_t default_ttl(const UnitDiskGraph& g, const RouteOptions& options) {
+  return options.ttl_factor * std::max<std::size_t>(g.size(), 1);
+}
+
+}  // namespace
+
+std::unique_ptr<RouteStepper> Router::make_stepper(NodeId s, NodeId d,
+                                                   const RouteOptions& options,
+                                                   std::size_t ttl_limit) const {
+  std::size_t ttl = ttl_limit != 0 ? ttl_limit : default_ttl(g_, options);
+  std::unique_ptr<PacketHeader> header;
+  if (s < g_.size() && d < g_.size() && s != d) header = make_header(s, d);
+  PacketHeader* raw = header.get();
+  return std::unique_ptr<RouteStepper>(
+      new RouteStepper(*this, s, d, std::move(header), raw, ttl, 0));
+}
 
 PathResult Router::drive(NodeId s, NodeId d, const RouteOptions& options,
                          PacketHeader& header,
                          std::size_t reserve_hint) const {
-  PathResult result;
-  if (reserve_hint > 0) {
-    result.path.reserve(reserve_hint + 1);
-    result.hop_phases.reserve(reserve_hint);
+  RouteStepper stepper(*this, s, d, nullptr, &header, default_ttl(g_, options),
+                       reserve_hint);
+  while (stepper.step()) {
   }
-  result.path.push_back(s);
-  if (s == d) {
-    result.status = RouteStatus::kDelivered;
-    return result;
-  }
-  const std::size_t ttl = options.ttl_factor * std::max<std::size_t>(g_.size(), 1);
-  NodeId u = s;
-  for (std::size_t hop = 0; hop < ttl; ++hop) {
-    Decision decision = select_successor(u, d, header);
-    if (decision.hit_local_minimum) ++result.local_minima;
-    if (decision.next == kInvalidNode) {
-      result.status = RouteStatus::kDeadEnd;
-      return result;
-    }
-    result.length += distance(g_.position(u), g_.position(decision.next));
-    result.path.push_back(decision.next);
-    result.hop_phases.push_back(decision.phase);
-    u = decision.next;
-    if (u == d) {
-      result.status = RouteStatus::kDelivered;
-      return result;
-    }
-  }
-  result.status = RouteStatus::kTtlExpired;
-  return result;
+  return stepper.take_result();
 }
 
 PathResult Router::route(NodeId s, NodeId d, const RouteOptions& options) const {

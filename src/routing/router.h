@@ -1,11 +1,18 @@
 #pragma once
 
 /// \file router.h
-/// The router interface and the shared hop-by-hop walk driver. Every scheme
-/// in the paper is expressed as a *successor selection* at the current node
-/// using only local knowledge (N(u), positions of u/d, and whatever state
-/// the packet header carries); the driver owns TTL, path recording and
-/// phase accounting.
+/// The router interface and the shared hop-by-hop walk machinery. Every
+/// scheme in the paper is expressed as a *successor selection* at the
+/// current node using only local knowledge (N(u), positions of u/d, and
+/// whatever state the packet header carries); the walk itself — TTL, path
+/// recording, phase accounting — lives in RouteStepper, a public state
+/// machine that advances one hop per `step()` call.
+///
+/// `route` is a thin driver that steps a stepper to completion;
+/// discrete-event simulators (sim/stream_sim.h) instead keep steppers for
+/// many in-flight packets and interleave their hops on one timeline,
+/// observing topology changes between hops. Both produce bit-identical
+/// results for an unchanged topology (tests enforce this per scheme).
 ///
 /// Batching: `route_batch` routes a span of (s, d) pairs and is always
 /// equivalent to looping `route`. The default implementation is exactly
@@ -25,6 +32,8 @@
 
 namespace spr {
 
+class RouteStepper;
+
 /// Mutable per-packet header state threaded through successor selections.
 /// Routers downcast to their own header type.
 class PacketHeader {
@@ -39,10 +48,10 @@ class Router {
 
   virtual std::string_view name() const noexcept = 0;
 
-  /// Routes one packet from s to d. The default implementation drives
-  /// `make_header` / `select_successor` under the TTL in `options`.
-  /// Out-of-range endpoints (e.g. a kInvalidNode pair from a failed
-  /// connected-pair draw) yield an empty kDeadEnd result, never UB.
+  /// Routes one packet from s to d: steps a RouteStepper to completion
+  /// under the TTL in `options`. Out-of-range endpoints (e.g. a
+  /// kInvalidNode pair from a failed connected-pair draw) yield an empty
+  /// kDeadEnd result, never UB.
   virtual PathResult route(NodeId s, NodeId d,
                            const RouteOptions& options = {}) const;
 
@@ -52,6 +61,20 @@ class Router {
   virtual std::vector<PathResult> route_batch(
       std::span<const std::pair<NodeId, NodeId>> pairs,
       const RouteOptions& options = {}) const;
+
+  /// An in-flight packet from s toward d, advanced one hop per
+  /// RouteStepper::step() call. The stepper owns its header; the router
+  /// (and the structures it references) must outlive it. `ttl_limit`
+  /// overrides the options-derived hop budget when nonzero — simulators
+  /// re-planning a packet mid-flight pass its remaining budget so the
+  /// re-plan never extends the packet's life.
+  ///
+  /// Stepping the returned stepper to exhaustion yields exactly
+  /// `route(s, d, options)` (for equal TTL): same path, same phases, same
+  /// floating-point length.
+  std::unique_ptr<RouteStepper> make_stepper(NodeId s, NodeId d,
+                                             const RouteOptions& options = {},
+                                             std::size_t ttl_limit = 0) const;
 
  protected:
   explicit Router(const UnitDiskGraph& g) : g_(g) {}
@@ -76,9 +99,10 @@ class Router {
   /// falls back to a fresh header). The default supports no reset.
   virtual bool reset_header(PacketHeader& header, NodeId s, NodeId d) const;
 
-  /// The hop loop behind `route`, driving an externally owned and already
-  /// initialized header. `reserve_hint` pre-sizes the path/phase buffers
-  /// (pass the previous packet's hop count in batch loops; 0 = no reserve).
+  /// The hop loop behind `route`: steps a stepper over an externally owned
+  /// and already initialized header to completion. `reserve_hint`
+  /// pre-sizes the path/phase buffers (pass the previous packet's hop
+  /// count in batch loops; 0 = no reserve).
   PathResult drive(NodeId s, NodeId d, const RouteOptions& options,
                    PacketHeader& header, std::size_t reserve_hint = 0) const;
 
@@ -91,7 +115,68 @@ class Router {
   const UnitDiskGraph& graph() const noexcept { return g_; }
 
  private:
+  friend class RouteStepper;
   const UnitDiskGraph& g_;
+};
+
+/// The hop-by-hop walk of one packet, factored out of the old atomic
+/// `Router::route` TTL loop. Holds the scheme header and the partial
+/// PathResult; each `step()` makes exactly one successor decision and
+/// appends the hop (or finishes the packet). Obtain one via
+/// `Router::make_stepper`; `Router::route` itself is `while (step());`.
+///
+/// The stepper borrows the router — it must not outlive it (nor the graph
+/// and safety/overlay structures the router references). It never observes
+/// the topology except through the router, so a simulator that swaps the
+/// substrate between hops re-plans by building a fresh stepper at the
+/// packet's current node with its remaining TTL.
+class RouteStepper {
+ public:
+  /// One hop: a successor decision, path/phase/length accounting, and the
+  /// delivered / dead-end / TTL-expired transitions. No-op once finished.
+  /// Returns true while the packet is still in flight after the step.
+  bool step();
+
+  /// True until the packet delivers or fails.
+  bool in_flight() const noexcept { return in_flight_; }
+
+  /// The node currently holding the packet.
+  NodeId current() const noexcept { return u_; }
+  NodeId destination() const noexcept { return d_; }
+
+  /// Hops the packet may still take before kTtlExpired.
+  std::size_t ttl_remaining() const noexcept { return ttl_remaining_; }
+
+  /// The walk so far. While in flight, `status` is not meaningful (the
+  /// packet has not finished); path/phases/length are the partial walk.
+  const PathResult& result() const noexcept { return result_; }
+
+  /// Moves the (final) result out; the stepper is spent afterwards.
+  PathResult take_result() noexcept { return std::move(result_); }
+
+ private:
+  friend class Router;
+
+  /// `owned` may be null when `header` points at an externally owned
+  /// header (the batch driver) or when the packet finished on
+  /// construction (s == d, invalid endpoints, zero TTL).
+  RouteStepper(const Router& router, NodeId s, NodeId d,
+               std::unique_ptr<PacketHeader> owned, PacketHeader* header,
+               std::size_t ttl, std::size_t reserve_hint);
+
+  void finish(RouteStatus status) noexcept {
+    result_.status = status;
+    in_flight_ = false;
+  }
+
+  const Router& router_;
+  std::unique_ptr<PacketHeader> owned_header_;
+  PacketHeader* header_;
+  NodeId u_;
+  NodeId d_;
+  std::size_t ttl_remaining_;
+  bool in_flight_;
+  PathResult result_;
 };
 
 }  // namespace spr

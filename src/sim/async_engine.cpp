@@ -6,8 +6,8 @@ namespace spr {
 
 std::string AsyncEngineStats::to_string() const {
   std::ostringstream out;
-  out << "activations=" << activations << " broadcasts=" << broadcasts
-      << " receptions=" << receptions << " t=" << virtual_time;
+  out << "activations=" << activations << " " << counters_string()
+      << " t=" << virtual_time;
   return out.str();
 }
 

@@ -7,29 +7,28 @@
 /// setting: every broadcast is delivered per-link after an independent
 /// random delay, and nodes are activated per message, in delivery order.
 ///
-/// Used to validate that the safety-information construction converges to
-/// the same fixpoint without round synchronization (tests) and by the
-/// failure-dynamics example.
+/// The event queue, virtual clock and FIFO-link delay model live in the
+/// shared discrete-event core (sim/event_queue.h); this engine is a thin
+/// protocol driver over them. Used to validate that the safety-information
+/// construction converges to the same fixpoint without round
+/// synchronization (tests) and by the failure-dynamics example.
 
 #include <cstddef>
 #include <functional>
 #include <optional>
-#include <queue>
-#include <unordered_map>
 #include <string>
-#include <vector>
 
 #include "deploy/rng.h"
 #include "graph/unit_disk.h"
+#include "sim/event_queue.h"
 
 namespace spr {
 
-/// Totals reported by an asynchronous run.
-struct AsyncEngineStats {
-  std::size_t activations = 0;   ///< process invocations
-  std::size_t broadcasts = 0;    ///< broadcast operations
-  std::size_t receptions = 0;    ///< per-link deliveries
-  double virtual_time = 0.0;     ///< timestamp of the last event
+/// Totals reported by an asynchronous run. Broadcast/reception counters
+/// live in the shared SimStats base.
+struct AsyncEngineStats : SimStats {
+  std::size_t activations = 0;  ///< process invocations
+  double virtual_time = 0.0;    ///< timestamp of the last event
 
   std::string to_string() const;
 };
@@ -46,13 +45,8 @@ class AsyncEngine {
   /// Node behaviour: invoked once at time 0 with no message (inbox empty)
   /// and once per delivered message afterwards. Returning a payload
   /// broadcasts it to all neighbors, each with an independent delay drawn
-  /// uniformly from [min_delay, max_delay).
-  ///
-  /// Links are FIFO: two messages sent over the same (sender, receiver)
-  /// link are delivered in send order (a later send is scheduled no earlier
-  /// than the link's previously scheduled delivery). Without this, a stale
-  /// state broadcast could overwrite a newer one in a receiver's cache and
-  /// protocols relying on last-writer-wins caches would not converge.
+  /// uniformly from [min_delay, max_delay); links are FIFO (see
+  /// FifoLinkDelays).
   using Process = std::function<std::optional<Payload>(
       NodeId self, double now, std::optional<Incoming> message)>;
 
@@ -62,35 +56,20 @@ class AsyncEngine {
 
   /// Runs until the event queue drains or `max_events` deliveries.
   AsyncEngineStats run(const Process& process, std::size_t max_events) {
-    AsyncEngineStats stats;
-    // Min-heap on delivery time; sequence number breaks ties FIFO so runs
-    // are deterministic for a given Rng.
-    struct Event {
-      double time;
-      std::uint64_t seq;
+    struct Delivery {
       NodeId target;
       Incoming message;
     };
-    auto later = [](const Event& a, const Event& b) {
-      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
-    };
-    std::priority_queue<Event, std::vector<Event>, decltype(later)> queue(later);
-    std::uint64_t seq = 0;
-
-    // FIFO enforcement: last scheduled delivery time per directed link.
-    std::unordered_map<std::uint64_t, double> link_clock;
-    auto link_key = [n = graph_.size()](NodeId from, NodeId to) {
-      return static_cast<std::uint64_t>(from) * n + to;
-    };
+    AsyncEngineStats stats;
+    EventQueue<Delivery> queue;
+    SimClock clock;
+    FifoLinkDelays links(graph_.size(), min_delay_, max_delay_);
 
     auto broadcast = [&](NodeId from, double now, const Payload& payload) {
       ++stats.broadcasts;
       for (NodeId v : graph_.neighbors(from)) {
-        double delay = rng_.uniform(min_delay_, max_delay_);
-        double& clock = link_clock[link_key(from, v)];
-        double when = std::max(now + delay, clock + 1e-9);
-        clock = when;
-        queue.push(Event{when, seq++, v, Incoming{from, payload}});
+        queue.push(links.schedule(from, v, now, rng_),
+                   Delivery{v, Incoming{from, payload}});
       }
     };
 
@@ -103,14 +82,15 @@ class AsyncEngine {
 
     std::size_t events = 0;
     while (!queue.empty() && events++ < max_events) {
-      Event event = queue.top();
-      queue.pop();
+      auto timed = queue.pop();
       ++stats.receptions;
-      stats.virtual_time = event.time;
-      if (!graph_.alive(event.target)) continue;
+      clock.advance_to(timed.time);
+      stats.virtual_time = clock.now();
+      if (!graph_.alive(timed.event.target)) continue;
       ++stats.activations;
-      if (auto out = process(event.target, event.time, event.message)) {
-        broadcast(event.target, event.time, *out);
+      if (auto out = process(timed.event.target, timed.time,
+                             timed.event.message)) {
+        broadcast(timed.event.target, timed.time, *out);
       }
     }
     return stats;

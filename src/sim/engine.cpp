@@ -1,14 +1,9 @@
 #include "sim/engine.h"
 
-#include <sstream>
-
 namespace spr {
 
 std::string EngineStats::to_string() const {
-  std::ostringstream out;
-  out << "rounds=" << rounds << " broadcasts=" << broadcasts
-      << " receptions=" << message_receptions;
-  return out.str();
+  return "rounds=" + std::to_string(rounds) + " " + counters_string();
 }
 
 }  // namespace spr

@@ -9,6 +9,14 @@
 /// broadcast of its own. The engine runs until quiescence (a round in which
 /// nothing was sent) or a round cap, and accounts messages and rounds —
 /// the construction-cost experiment reads these counters.
+///
+/// Rounds sit on the shared discrete-event core (sim/event_queue.h): a
+/// broadcast in round r pushes one delivery event per neighbor at virtual
+/// time r+1, and the engine drains the queue up to the current round into
+/// the inboxes before activating the nodes. The queue's FIFO tie-breaking
+/// preserves the classic inbox order (senders in node-id order, neighbors
+/// in sorted order), so the rebase is observationally identical to the
+/// hand-rolled double-buffered inbox loop it replaced.
 
 #include <cstddef>
 #include <functional>
@@ -18,14 +26,14 @@
 
 #include "graph/node.h"
 #include "graph/unit_disk.h"
+#include "sim/event_queue.h"
 
 namespace spr {
 
-/// Totals reported by a run.
-struct EngineStats {
-  std::size_t rounds = 0;            ///< rounds executed (including the quiescent one)
-  std::size_t broadcasts = 0;        ///< broadcast operations performed
-  std::size_t message_receptions = 0;///< per-link deliveries (= sum of sender degrees)
+/// Totals reported by a run. Broadcast/reception counters live in the
+/// shared SimStats base.
+struct EngineStats : SimStats {
+  std::size_t rounds = 0;  ///< rounds executed (including the quiescent one)
 
   /// Renders "rounds=R broadcasts=B receptions=M" for logs.
   std::string to_string() const;
@@ -54,11 +62,25 @@ class RoundEngine {
   /// alive node each round (round 0 has empty inboxes, letting nodes send
   /// their initial broadcasts).
   EngineStats run(const Process& process, std::size_t max_rounds) {
+    struct Delivery {
+      NodeId target;
+      Incoming message;
+    };
     const std::size_t n = graph_.size();
-    std::vector<std::vector<Incoming>> inbox(n), next_inbox(n);
+    std::vector<std::vector<Incoming>> inbox(n);
+    EventQueue<Delivery> queue;
+    SimClock clock;
     EngineStats stats;
     for (std::size_t round = 0; round < max_rounds; ++round) {
       ++stats.rounds;
+      // Deliver everything scheduled for this round (sent last round).
+      // Round times are small exact integers, so the comparison is exact.
+      while (!queue.empty() &&
+             queue.top().time <= static_cast<double>(round)) {
+        auto timed = queue.pop();
+        clock.advance_to(timed.time);
+        inbox[timed.event.target].push_back(std::move(timed.event.message));
+      }
       bool any_sent = false;
       for (NodeId u = 0; u < n; ++u) {
         if (!graph_.alive(u)) continue;
@@ -67,15 +89,16 @@ class RoundEngine {
           any_sent = true;
           ++stats.broadcasts;
           for (NodeId v : graph_.neighbors(u)) {
-            next_inbox[v].push_back(Incoming{u, *out});
-            ++stats.message_receptions;
+            queue.push(static_cast<double>(round + 1),
+                       Delivery{v, Incoming{u, *out}});
+            // Counted at send (= sum of sender degrees), matching the
+            // engine's historical accounting even when the round cap
+            // leaves the final sends undelivered.
+            ++stats.receptions;
           }
         }
       }
-      for (NodeId u = 0; u < n; ++u) {
-        inbox[u] = std::move(next_inbox[u]);
-        next_inbox[u].clear();
-      }
+      for (auto& box : inbox) box.clear();
       if (!any_sent) break;  // quiescent: nothing in flight
     }
     return stats;

@@ -1,0 +1,13 @@
+#include "sim/event_queue.h"
+
+#include <sstream>
+
+namespace spr {
+
+std::string SimStats::counters_string() const {
+  std::ostringstream out;
+  out << "broadcasts=" << broadcasts << " receptions=" << receptions;
+  return out.str();
+}
+
+}  // namespace spr

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file event_queue.h
+/// The shared discrete-event core: a deterministic timed event queue, a
+/// virtual clock, and the FIFO per-link delay model. Extracted from
+/// AsyncEngine (which previously kept all three private) so every
+/// simulator in the library — the round engine, the asynchronous
+/// message-passing engine, and the streaming-delivery simulator
+/// (sim/stream_sim.h) — schedules on one timeline abstraction with one
+/// tie-breaking rule.
+///
+/// Determinism: events are totally ordered by (time, insertion sequence),
+/// so two events at the same instant pop in the order they were pushed.
+/// Runs that push the same events in the same order are bit-identical,
+/// which is what the engines' fixpoint tests and the streaming scenario's
+/// reproducibility guarantee rest on.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "deploy/rng.h"
+#include "graph/node.h"
+
+namespace spr {
+
+/// Virtual simulation clock. Advances monotonically as events are
+/// consumed; never runs backwards even if asked to.
+class SimClock {
+ public:
+  double now() const noexcept { return now_; }
+
+  /// Moves the clock forward to `t` (no-op when `t` is in the past —
+  /// events are popped in time order, so this only guards against
+  /// same-instant jitter).
+  void advance_to(double t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() noexcept { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Min-heap of timed events carrying payloads of type `Event`. Ties on
+/// time break by insertion sequence (FIFO), making the pop order total and
+/// deterministic for a given push sequence.
+template <typename Event>
+class EventQueue {
+ public:
+  struct Timed {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    Event event;
+  };
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  void push(double time, Event event) {
+    heap_.push_back(Timed{time, next_seq_++, std::move(event)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// The earliest event (undefined when empty).
+  const Timed& top() const noexcept { return heap_.front(); }
+
+  /// Removes and returns the earliest event (undefined when empty).
+  Timed pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Timed timed = std::move(heap_.back());
+    heap_.pop_back();
+    return timed;
+  }
+
+ private:
+  /// Strict-weak "fires later" order; the heap keeps the earliest on top.
+  struct Later {
+    bool operator()(const Timed& a, const Timed& b) const noexcept {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  std::vector<Timed> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// FIFO per-directed-link delay model: each transmission draws an
+/// independent delay uniformly from [min_delay, max_delay), and two
+/// messages sent over the same (sender, receiver) link are delivered in
+/// send order (a later send is scheduled no earlier than the link's
+/// previously scheduled delivery). Without the FIFO clamp, a stale state
+/// broadcast could overwrite a newer one in a receiver's cache and
+/// protocols relying on last-writer-wins caches would not converge.
+class FifoLinkDelays {
+ public:
+  FifoLinkDelays(std::size_t node_count, double min_delay, double max_delay)
+      : node_count_(node_count), min_delay_(min_delay), max_delay_(max_delay) {}
+
+  /// The delivery time of a message sent from `from` to `to` at `now`.
+  /// Draws one uniform from `rng`, so calling order defines the run.
+  double schedule(NodeId from, NodeId to, double now, Rng& rng) {
+    double delay = rng.uniform(min_delay_, max_delay_);
+    double& clock = link_clock_[link_key(from, to)];
+    double when = std::max(now + delay, clock + 1e-9);
+    clock = when;
+    return when;
+  }
+
+ private:
+  std::uint64_t link_key(NodeId from, NodeId to) const noexcept {
+    return static_cast<std::uint64_t>(from) * node_count_ + to;
+  }
+
+  std::size_t node_count_;
+  double min_delay_;
+  double max_delay_;
+  /// Last scheduled delivery time per directed link.
+  std::unordered_map<std::uint64_t, double> link_clock_;
+};
+
+/// Message-traffic counters shared by every engine on the event core.
+struct SimStats {
+  std::size_t broadcasts = 0;  ///< broadcast operations performed
+  std::size_t receptions = 0;  ///< per-link deliveries
+
+ protected:
+  /// "broadcasts=B receptions=R" — the shared tail of the engine stat
+  /// lines (EngineStats / AsyncEngineStats prepend their own counters).
+  std::string counters_string() const;
+};
+
+}  // namespace spr

@@ -1,0 +1,411 @@
+#include "sim/stream_sim.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/graph_algos.h"
+#include "sim/event_queue.h"
+
+namespace spr {
+
+namespace {
+
+StreamOutcome outcome_of(RouteStatus status) noexcept {
+  switch (status) {
+    case RouteStatus::kDelivered: return StreamOutcome::kDelivered;
+    case RouteStatus::kTtlExpired: return StreamOutcome::kTtlExpired;
+    case RouteStatus::kDeadEnd: return StreamOutcome::kDeadEnd;
+  }
+  return StreamOutcome::kDeadEnd;
+}
+
+WaypointConfig pin_field(WaypointConfig wc, const Rect& field) {
+  wc.field = field;  // the waypoint process roams exactly the deployed field
+  return wc;
+}
+
+constexpr std::size_t kNoOracle = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+std::vector<StreamWave> spread_failure_waves(
+    const UnitDiskGraph& g,
+    std::span<const std::pair<NodeId, NodeId>> endpoints, double fraction,
+    int waves, double span, Rng& rng) {
+  std::vector<StreamWave> out;
+  std::size_t total = static_cast<std::size_t>(
+      std::max(0.0, fraction) * static_cast<double>(g.size()) + 0.5);
+  if (total == 0 || waves <= 0) return out;
+  std::vector<NodeId> candidates;
+  candidates.reserve(g.size());
+  for (NodeId u = 0; u < g.size(); ++u) {
+    bool endpoint = false;
+    for (const auto& [s, d] : endpoints) endpoint |= (u == s || u == d);
+    if (!endpoint) candidates.push_back(u);
+  }
+  total = std::min(total, candidates.size());
+  for (int w = 0; w < waves; ++w) {
+    StreamWave wave;
+    wave.time =
+        span * static_cast<double>(w + 1) / static_cast<double>(waves + 1);
+    std::size_t share =
+        total / static_cast<std::size_t>(waves) +
+        (static_cast<std::size_t>(w) < total % static_cast<std::size_t>(waves)
+             ? 1
+             : 0);
+    for (std::size_t c = 0; c < share && !candidates.empty(); ++c) {
+      std::size_t pick = rng.next_below(candidates.size());
+      wave.casualties.push_back(candidates[pick]);
+      candidates[pick] = candidates.back();
+      candidates.pop_back();
+    }
+    out.push_back(std::move(wave));
+  }
+  return out;
+}
+
+/// One scheme's copy of one packet.
+struct StreamSim::Flight {
+  StreamOutcome outcome = StreamOutcome::kInFlight;
+  std::unique_ptr<RouteStepper> stepper;  ///< null once finished
+  std::size_t hops = 0;          ///< across re-planned segments
+  double length = 0.0;           ///< across re-planned segments, meters
+  std::size_t local_minima = 0;  ///< across re-planned segments
+  std::size_t replans = 0;       ///< steppers rebuilt mid-flight
+  double finish_time = 0.0;
+};
+
+/// One injected packet: shared endpoints + oracle, one Flight per scheme.
+struct StreamSim::Packet {
+  double inject_time = 0.0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::size_t oracle_hops = 0;  ///< BFS optimum at injection; 0 = unreachable
+  bool injected = false;
+  std::vector<Flight> flights;
+};
+
+StreamSim::StreamSim(Network initial, StreamConfig config)
+    : net_(std::move(initial)),
+      config_(std::move(config)),
+      mobility_(net_.deployment().positions,
+                pin_field(config_.waypoint, net_.deployment().field),
+                Rng(config_.seed ^ 0x5712)) {
+  if (config_.schemes.empty()) config_.schemes = SweepConfig::paper_schemes();
+  if (config_.packets < 0) config_.packets = 0;
+  // No endpoints means no traffic: clamp the packet count so the mobility
+  // re-pin loop (which keeps firing while injections remain) terminates.
+  if (config_.pairs.empty()) config_.packets = 0;
+  // Force every structure the scheme set needs now, so the first failure
+  // wave continues an already-built safety fixpoint incrementally instead
+  // of triggering a from-scratch build mid-stream.
+  unsigned needs = Network::kNeedsNone;
+  for (const auto& spec : config_.schemes) {
+    needs |= Network::needs_for(spec.scheme);
+  }
+  net_.force(needs);
+  rebuild_routers();
+  packets_.resize(static_cast<std::size_t>(config_.packets));
+  for (std::size_t p = 0; p < packets_.size(); ++p) {
+    Packet& packet = packets_[p];
+    packet.flights.resize(config_.schemes.size());
+    if (!config_.pairs.empty()) {
+      const auto& pair = config_.pairs[p % config_.pairs.size()];
+      packet.src = pair.first;
+      packet.dst = pair.second;
+    }
+  }
+}
+
+StreamSim::~StreamSim() = default;
+
+void StreamSim::rebuild_routers() {
+  routers_.clear();
+  routers_.reserve(config_.schemes.size());
+  for (const auto& spec : config_.schemes) {
+    routers_.push_back(net_.make_router(spec.scheme, spec.slgf2_options));
+  }
+}
+
+void StreamSim::harvest(Flight& flight) {
+  PathResult segment = flight.stepper->take_result();
+  flight.hops += segment.hops();
+  flight.length += segment.length;
+  flight.local_minima += segment.local_minima;
+}
+
+void StreamSim::finalize(Flight& flight, StreamOutcome outcome, double now) {
+  flight.stepper.reset();
+  flight.outcome = outcome;
+  flight.finish_time = now;
+}
+
+void StreamSim::replan_flights(double now, WaveRecord* record) {
+  for (auto& packet : packets_) {
+    if (!packet.injected) continue;
+    for (std::size_t k = 0; k < packet.flights.size(); ++k) {
+      Flight& flight = packet.flights[k];
+      if (flight.outcome != StreamOutcome::kInFlight ||
+          flight.stepper == nullptr) {
+        continue;
+      }
+      // The header state is gone with the old substrate; the packet
+      // re-plans from wherever it is, with whatever TTL it has left.
+      NodeId at = flight.stepper->current();
+      std::size_t budget = flight.stepper->ttl_remaining();
+      harvest(flight);
+      if (!net_.graph().alive(at)) {
+        if (record != nullptr) ++record->packets_dropped;
+        finalize(flight, StreamOutcome::kNodeFailed, now);
+        continue;
+      }
+      if (record != nullptr) ++record->packets_in_flight;
+      ++flight.replans;
+      flight.stepper = routers_[k]->make_stepper(at, packet.dst,
+                                                 config_.route_options, budget);
+      if (!flight.stepper->in_flight()) {
+        // Degenerate re-plan (already at the destination / spent budget).
+        RouteStatus status = flight.stepper->result().status;
+        harvest(flight);
+        finalize(flight, outcome_of(status), now);
+      }
+      // The flight's pending hop event keeps firing and will step the new
+      // stepper — no event surgery needed.
+    }
+  }
+}
+
+StreamStats StreamSim::run() {
+  if (ran_) return stats_;
+  ran_ = true;
+
+  struct Ev {
+    enum class Kind : unsigned char { kInject, kHop, kWave, kRepin };
+    Kind kind = Kind::kInject;
+    std::size_t index = 0;  ///< packet / flight / wave id (kind-dependent)
+  };
+  EventQueue<Ev> queue;
+  SimClock clock;
+
+  const std::size_t n_schemes = config_.schemes.size();
+  stats_.schemes.resize(n_schemes);
+  for (std::size_t k = 0; k < n_schemes; ++k) {
+    stats_.schemes[k].label = config_.schemes[k].display_label();
+  }
+
+  // Flight ids are packet-major so one hop event addresses one copy.
+  auto flight_id = [n_schemes](std::size_t p, std::size_t k) {
+    return p * n_schemes + k;
+  };
+
+  // Schedule the whole input timeline up front: injections, then the
+  // failure waves (in time order), then the first mobility re-pin.
+  // Same-instant ties resolve deterministically by push order: an
+  // injection due exactly at a wave's timestamp fires before it (pushed
+  // here, earlier), while a hop event due at that instant fires after it
+  // (hops are pushed mid-run, so they carry later sequence numbers) — the
+  // packet steps its re-planned stepper on the degraded substrate.
+  if (!config_.pairs.empty()) {
+    oracle_cache_.assign(config_.pairs.size(), kNoOracle);
+    for (std::size_t p = 0; p < packets_.size(); ++p) {
+      queue.push(static_cast<double>(p) * config_.packet_interval,
+                 Ev{Ev::Kind::kInject, p});
+    }
+  }
+  std::vector<std::size_t> wave_order(config_.waves.size());
+  std::iota(wave_order.begin(), wave_order.end(), std::size_t{0});
+  std::stable_sort(wave_order.begin(), wave_order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return config_.waves[a].time < config_.waves[b].time;
+                   });
+  for (std::size_t wi : wave_order) {
+    queue.push(config_.waves[wi].time, Ev{Ev::Kind::kWave, wi});
+  }
+  if (config_.mobility_interval > 0.0 && !packets_.empty()) {
+    queue.push(config_.mobility_interval, Ev{Ev::Kind::kRepin, 0});
+  }
+
+  std::size_t injected_count = 0;
+  auto any_in_flight = [this] {
+    for (const auto& packet : packets_) {
+      if (!packet.injected) continue;
+      for (const auto& flight : packet.flights) {
+        if (flight.outcome == StreamOutcome::kInFlight) return true;
+      }
+    }
+    return false;
+  };
+
+  while (!queue.empty()) {
+    auto timed = queue.pop();
+    clock.advance_to(timed.time);
+    const double now = clock.now();
+    ++stats_.events;
+
+    switch (timed.event.kind) {
+      case Ev::Kind::kInject: {
+        Packet& packet = packets_[timed.event.index];
+        packet.injected = true;
+        packet.inject_time = now;
+        ++injected_count;
+        // The hop-optimal baseline is pinned at injection time: stretch
+        // measures what the scheme paid relative to the network the packet
+        // was handed to, before any mid-flight wave degraded it. Packets
+        // cycle over few pairs, so the BFS is cached per pair until the
+        // next topology change.
+        if (packet.src < net_.graph().size() &&
+            packet.dst < net_.graph().size() &&
+            net_.graph().alive(packet.src)) {
+          std::size_t& cached =
+              oracle_cache_[timed.event.index % config_.pairs.size()];
+          if (cached == kNoOracle) {
+            cached = bfs_path(net_.graph(), packet.src, packet.dst).hops();
+          }
+          packet.oracle_hops = cached;
+        }
+        for (std::size_t k = 0; k < n_schemes; ++k) {
+          Flight& flight = packet.flights[k];
+          if (packet.src >= net_.graph().size() ||
+              !net_.graph().alive(packet.src)) {
+            finalize(flight, StreamOutcome::kNodeFailed, now);
+            continue;
+          }
+          flight.stepper = routers_[k]->make_stepper(packet.src, packet.dst,
+                                                     config_.route_options);
+          if (!flight.stepper->in_flight()) {
+            RouteStatus status = flight.stepper->result().status;
+            harvest(flight);
+            finalize(flight, outcome_of(status), now);
+            continue;
+          }
+          queue.push(now + config_.hop_delay,
+                     Ev{Ev::Kind::kHop, flight_id(timed.event.index, k)});
+        }
+        break;
+      }
+      case Ev::Kind::kHop: {
+        std::size_t p = timed.event.index / n_schemes;
+        std::size_t k = timed.event.index % n_schemes;
+        Flight& flight = packets_[p].flights[k];
+        // Stale events for copies dropped by a wave just evaporate.
+        if (flight.outcome != StreamOutcome::kInFlight ||
+            flight.stepper == nullptr) {
+          break;
+        }
+        if (flight.stepper->step()) {
+          queue.push(now + config_.hop_delay,
+                     Ev{Ev::Kind::kHop, timed.event.index});
+        } else {
+          RouteStatus status = flight.stepper->result().status;
+          harvest(flight);
+          finalize(flight, outcome_of(status), now);
+        }
+        break;
+      }
+      case Ev::Kind::kWave: {
+        const StreamWave& wave = config_.waves[timed.event.index];
+        std::vector<NodeId> casualties;
+        casualties.reserve(wave.casualties.size());
+        for (NodeId u : wave.casualties) {
+          if (u < net_.graph().size() && net_.graph().alive(u)) {
+            casualties.push_back(u);
+          }
+        }
+        WaveRecord record;
+        record.time = now;
+        record.casualties = casualties.size();
+        if (casualties.empty()) {
+          // Nothing actually died (already dead / out of range / an empty
+          // schedule slot): record the wave but leave the substrate and
+          // every in-flight header untouched — a no-op wave must not
+          // force phantom re-plans.
+          stats_.waves.push_back(std::move(record));
+          break;
+        }
+        dead_.insert(dead_.end(), casualties.begin(), casualties.end());
+        routers_.clear();  // routers reference the outgoing substrate
+        Network degraded = net_.with_failures(casualties, &record.relabel);
+        if (config_.verify_relabeling && degraded.has_safety()) {
+          SafetyInfo fresh =
+              compute_safety(degraded.graph(), degraded.interest_area());
+          record.verified = true;
+          record.matches_full_recompute = fresh == degraded.safety();
+        }
+        net_ = std::move(degraded);
+        std::fill(oracle_cache_.begin(), oracle_cache_.end(), kNoOracle);
+        rebuild_routers();
+        replan_flights(now, &record);
+        stats_.waves.push_back(std::move(record));
+        break;
+      }
+      case Ev::Kind::kRepin: {
+        // Positions changed: the whole snapshot re-constitutes (there is
+        // no incremental path for motion — safety can grow again), exactly
+        // the paper's periodic reconstruction regime. Nodes killed by
+        // earlier failure waves stay dead — the rebuilt snapshot re-marks
+        // them — and the interest-area band carries over.
+        mobility_.advance(config_.mobility_dt);
+        routers_.clear();
+        Deployment moved = net_.deployment();
+        moved.positions = mobility_.positions();
+        double band = net_.edge_band();
+        Network rebuilt(std::move(moved), band);
+        net_ = dead_.empty() ? std::move(rebuilt)
+                             : rebuilt.with_failures(dead_);
+        std::fill(oracle_cache_.begin(), oracle_cache_.end(), kNoOracle);
+        unsigned needs = Network::kNeedsNone;
+        for (const auto& spec : config_.schemes) {
+          needs |= Network::needs_for(spec.scheme);
+        }
+        net_.force(needs);
+        rebuild_routers();
+        replan_flights(now, nullptr);
+        ++stats_.repins;
+        if (injected_count < packets_.size() || any_in_flight()) {
+          queue.push(now + config_.mobility_interval, Ev{Ev::Kind::kRepin, 0});
+        }
+        break;
+      }
+    }
+  }
+
+  stats_.virtual_time = clock.now();
+
+  // Per-scheme totals, accumulated in packet order — a deterministic
+  // reduction independent of how the event timeline interleaved.
+  for (const auto& packet : packets_) {
+    if (!packet.injected) continue;
+    for (std::size_t k = 0; k < n_schemes; ++k) {
+      const Flight& flight = packet.flights[k];
+      StreamSchemeStats& s = stats_.schemes[k];
+      ++s.injected;
+      s.replans.add(static_cast<double>(flight.replans));
+      s.local_minima.add(static_cast<double>(flight.local_minima));
+      switch (flight.outcome) {
+        case StreamOutcome::kDelivered:
+          ++s.delivered;
+          s.hops.add(static_cast<double>(flight.hops));
+          s.length.add(flight.length);
+          if (packet.oracle_hops > 0) {
+            s.stretch_hops.add(static_cast<double>(flight.hops) /
+                               static_cast<double>(packet.oracle_hops));
+          }
+          s.latency.add(flight.finish_time - packet.inject_time);
+          break;
+        case StreamOutcome::kTtlExpired:
+          ++s.ttl_expired;
+          break;
+        case StreamOutcome::kNodeFailed:
+          ++s.node_failed;
+          break;
+        case StreamOutcome::kDeadEnd:
+        case StreamOutcome::kInFlight:  // unreachable: the queue drained
+          ++s.dead_end;
+          break;
+      }
+    }
+  }
+  return stats_;
+}
+
+}  // namespace spr

@@ -1,0 +1,195 @@
+#pragma once
+
+/// \file stream_sim.h
+/// StreamSim: discrete-event streaming delivery over a changing network.
+/// The paper motivates safety-based routing with *dynamic* holes — node
+/// failures, power exhaustion, jamming — yet an atomic `Router::route`
+/// call can only ever see a frozen snapshot. StreamSim puts packet
+/// injections, per-hop packet movement, and world changes on one shared
+/// timeline (sim/event_queue.h), so failures land *between the hops* of
+/// in-flight packets:
+///
+///  * injection events — packet i enters at its source at
+///    `i * packet_interval`, one in-flight copy per scheme (the comparison
+///    is paired, as everywhere else in the library);
+///  * hop events — one in-flight copy advances one hop
+///    (RouteStepper::step) per `hop_delay` of transmission time;
+///  * failure waves — a batch of nodes dies (Network::with_failures): the
+///    safety labeling continues *incrementally* from the previous fixpoint
+///    (update_safety_after_failures; IncrementalStats recorded per wave),
+///    and SLGF/SLGF2 route the rest of the stream on the updated labels;
+///  * mobility re-pins (optional) — every node moves under a
+///    random-waypoint process and the whole snapshot re-constitutes
+///    (nodes killed by earlier waves stay dead), the paper's
+///    "position-dependent information needs to re-constitute" regime.
+///
+/// Semantics at a topology change: the packet header travels with the
+/// packet, but the substrate under it changed — each in-flight copy
+/// *re-plans*: a fresh RouteStepper from its current node toward the same
+/// destination over the new network, carrying its remaining TTL budget (a
+/// re-plan never extends a packet's life). A copy whose current carrier
+/// died in the wave is dropped (kNodeFailed). Hops, path length and local
+/// minima accumulate across the re-planned segments.
+///
+/// Determinism: the simulation is single-threaded and draws randomness
+/// only from its own seeded streams, so a run is a pure function of
+/// (initial network, StreamConfig) — byte-identical reports across reruns
+/// and across sweep thread counts (tests enforce this).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/network.h"
+#include "mobility/waypoint.h"
+#include "routing/packet.h"
+#include "safety/incremental.h"
+#include "stats/summary.h"
+
+namespace spr {
+
+/// Why one scheme's copy of a packet ended.
+enum class StreamOutcome : unsigned char {
+  kInFlight,    ///< still moving (only observable mid-run)
+  kDelivered,   ///< reached its destination
+  kDeadEnd,     ///< no eligible successor (RouteStatus::kDeadEnd)
+  kTtlExpired,  ///< hop budget exhausted across all segments
+  kNodeFailed,  ///< its carrier node died in a failure wave
+};
+
+/// One scheduled failure wave: `casualties` die at virtual time `time`.
+/// Nodes already dead (or out of range) are ignored.
+struct StreamWave {
+  double time = 0.0;
+  std::vector<NodeId> casualties;
+};
+
+/// Builds a failure schedule: `fraction` of the graph's nodes die across
+/// `waves` waves evenly spaced over (0, span), drawn without replacement
+/// from `rng`; the stream endpoints in `endpoints` are never chosen. The
+/// shared schedule builder behind the streaming-delivery scenario and the
+/// streaming_delivery example.
+std::vector<StreamWave> spread_failure_waves(
+    const UnitDiskGraph& g,
+    std::span<const std::pair<NodeId, NodeId>> endpoints, double fraction,
+    int waves, double span, Rng& rng);
+
+/// What one wave did to the labeling and to the in-flight packets.
+struct WaveRecord {
+  double time = 0.0;
+  std::size_t casualties = 0;         ///< alive nodes actually killed
+  std::size_t packets_in_flight = 0;  ///< copies re-planned over the new net
+  std::size_t packets_dropped = 0;    ///< copies whose carrier died
+  IncrementalStats relabel;           ///< incremental safety update cost
+  /// Filled when StreamConfig::verify_relabeling is set: whether the
+  /// incrementally updated labeling equals a from-scratch compute_safety
+  /// on the degraded graph (statuses and anchors).
+  bool verified = false;
+  bool matches_full_recompute = false;
+};
+
+/// Per-scheme totals of one stream run.
+struct StreamSchemeStats {
+  std::string label;
+  std::size_t injected = 0;
+  std::size_t delivered = 0;
+  std::size_t dead_end = 0;
+  std::size_t ttl_expired = 0;
+  std::size_t node_failed = 0;
+  Summary hops;          ///< delivered copies, across re-planned segments
+  Summary length;        ///< delivered copies, meters
+  Summary stretch_hops;  ///< hops / BFS optimum at injection time
+  Summary latency;       ///< delivered copies, virtual seconds
+  Summary replans;       ///< per finished copy: mid-flight re-plans
+  Summary local_minima;  ///< per finished copy, across re-planned segments
+
+  double delivery_ratio() const noexcept {
+    return injected == 0
+               ? 0.0
+               : static_cast<double>(delivered) / static_cast<double>(injected);
+  }
+};
+
+/// The full result of one stream run.
+struct StreamStats {
+  double virtual_time = 0.0;  ///< timestamp of the last event
+  std::size_t events = 0;     ///< events processed
+  std::size_t repins = 0;     ///< mobility re-pins performed
+  std::vector<WaveRecord> waves;
+  std::vector<StreamSchemeStats> schemes;  ///< in StreamConfig::schemes order
+};
+
+/// Parameters of a stream run.
+struct StreamConfig {
+  /// Schemes to race over the same packets; empty = the paper's four.
+  std::vector<SchemeSpec> schemes;
+  /// (source, sink) endpoints; packet i uses pairs[i % pairs.size()].
+  /// Must be non-empty.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  int packets = 50;              ///< injections
+  double packet_interval = 1.0;  ///< virtual seconds between injections
+  double hop_delay = 0.25;       ///< virtual seconds per hop
+  RouteOptions route_options{};
+  /// Failure waves, in any order (scheduled by their `time`).
+  std::vector<StreamWave> waves;
+  /// When > 0, a waypoint re-pin fires every `mobility_interval` virtual
+  /// seconds (while traffic remains): every node moves `mobility_dt`
+  /// seconds under `waypoint`, and the snapshot rebuilds from scratch.
+  double mobility_interval = 0.0;
+  double mobility_dt = 20.0;
+  WaypointConfig waypoint{};
+  std::uint64_t seed = 1;  ///< waypoint process seed
+  /// Cross-check each wave's incremental relabeling against a from-scratch
+  /// compute_safety on the degraded graph (WaveRecord::verified).
+  bool verify_relabeling = false;
+};
+
+/// The simulator. Owns the network (the substrate is replaced as waves and
+/// re-pins land) and every in-flight packet copy.
+class StreamSim {
+ public:
+  /// `initial` is consumed; structures any scheme needs are forced up
+  /// front so wave relabeling continues from a built fixpoint.
+  StreamSim(Network initial, StreamConfig config);
+  ~StreamSim();
+
+  StreamSim(const StreamSim&) = delete;
+  StreamSim& operator=(const StreamSim&) = delete;
+
+  /// Runs the whole stream to completion and returns the totals. Call
+  /// once per StreamSim.
+  StreamStats run();
+
+  /// The current substrate (post-run: the final degraded/re-pinned one).
+  const Network& network() const noexcept { return net_; }
+
+ private:
+  struct Flight;
+  struct Packet;
+
+  void rebuild_routers();
+  void harvest(Flight& flight);
+  void finalize(Flight& flight, StreamOutcome outcome, double now);
+  void replan_flights(double now, WaveRecord* record);
+
+  Network net_;
+  StreamConfig config_;
+  std::vector<std::unique_ptr<Router>> routers_;  ///< one per scheme
+  std::vector<Packet> packets_;
+  WaypointModel mobility_;
+  std::vector<NodeId> dead_;  ///< union of wave casualties so far: re-pins
+                              ///< must not resurrect them
+  /// Per-pair BFS optimum for the current topology epoch (packets cycle
+  /// over few pairs; the graph only changes at waves/re-pins, which
+  /// invalidate this).
+  std::vector<std::size_t> oracle_cache_;
+  StreamStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace spr

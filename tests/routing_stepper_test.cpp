@@ -1,0 +1,112 @@
+#include "routing/router.h"
+
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+const Scheme kAllSchemes[] = {Scheme::kGf, Scheme::kGfFace, Scheme::kLgf,
+                              Scheme::kSlgf, Scheme::kSlgf2};
+
+/// Stepping a stepper to exhaustion must reproduce route() exactly —
+/// nodes, phases, float-exact length, status, local-minimum count.
+TEST(RouteStepper, StepToCompletionEqualsRoutePerScheme) {
+  for (std::uint64_t seed : test::property_seeds()) {
+    Network net = test::random_network(500, seed, DeployModel::kForbiddenAreas);
+    Rng rng(seed ^ 0xabc);
+    for (Scheme scheme : kAllSchemes) {
+      auto router = net.make_router(scheme);
+      for (int trial = 0; trial < 8; ++trial) {
+        auto [s, d] = net.random_connected_interior_pair(rng);
+        if (s == kInvalidNode) continue;
+        PathResult atomic = router->route(s, d);
+        auto stepper = router->make_stepper(s, d);
+        while (stepper->step()) {
+        }
+        PathResult stepped = stepper->take_result();
+        EXPECT_EQ(stepped.status, atomic.status);
+        EXPECT_EQ(stepped.path, atomic.path);
+        EXPECT_EQ(stepped.hop_phases, atomic.hop_phases);
+        EXPECT_EQ(stepped.length, atomic.length);  // bit-exact
+        EXPECT_EQ(stepped.local_minima, atomic.local_minima);
+      }
+    }
+  }
+}
+
+TEST(RouteStepper, PartialWalkIsObservableBetweenSteps) {
+  Network net = test::random_network(400, 7);
+  Rng rng(3);
+  auto [s, d] = net.random_connected_interior_pair(rng);
+  ASSERT_NE(s, kInvalidNode);
+  auto router = net.make_router(Scheme::kSlgf2);
+  auto stepper = router->make_stepper(s, d);
+  ASSERT_TRUE(stepper->in_flight());
+  EXPECT_EQ(stepper->current(), s);
+  EXPECT_EQ(stepper->destination(), d);
+  ASSERT_EQ(stepper->result().path.size(), 1u);
+  std::size_t hops = 0;
+  while (stepper->step()) {
+    ++hops;
+    // The partial result grows hop by hop; the head is always `s`.
+    EXPECT_EQ(stepper->result().path.size(), hops + 1);
+    EXPECT_EQ(stepper->result().path.front(), s);
+    EXPECT_EQ(stepper->result().path.back(), stepper->current());
+  }
+}
+
+TEST(RouteStepper, TtlLimitCapsTheWalk) {
+  Network net = test::random_network(400, 9);
+  Rng rng(5);
+  auto [s, d] = net.random_connected_interior_pair(rng);
+  ASSERT_NE(s, kInvalidNode);
+  auto router = net.make_router(Scheme::kLgf);
+  PathResult full = router->route(s, d);
+  ASSERT_TRUE(full.delivered());
+  if (full.hops() < 2) GTEST_SKIP() << "pair too close for a cap test";
+  auto stepper = router->make_stepper(s, d, {}, full.hops() - 1);
+  while (stepper->step()) {
+  }
+  PathResult capped = stepper->take_result();
+  EXPECT_EQ(capped.status, RouteStatus::kTtlExpired);
+  EXPECT_EQ(capped.hops(), full.hops() - 1);
+}
+
+TEST(RouteStepper, RemainingTtlResumesWithoutExtendingLife) {
+  // A walk split at hop k and resumed with the remaining budget must spend
+  // exactly the same total budget as the unsplit walk.
+  Network net = test::random_network(400, 11);
+  Rng rng(8);
+  auto [s, d] = net.random_connected_interior_pair(rng);
+  ASSERT_NE(s, kInvalidNode);
+  auto router = net.make_router(Scheme::kLgf);
+  auto first = router->make_stepper(s, d);
+  std::size_t initial_budget = first->ttl_remaining();
+  ASSERT_TRUE(first->step());
+  EXPECT_EQ(first->ttl_remaining(), initial_budget - 1);
+  NodeId at = first->current();
+  auto resumed = router->make_stepper(at, d, {}, first->ttl_remaining());
+  EXPECT_EQ(resumed->ttl_remaining(), initial_budget - 1);
+}
+
+TEST(RouteStepper, DegenerateEndpointsFinishOnConstruction) {
+  Network net = test::random_network(400, 13);
+  auto router = net.make_router(Scheme::kGf);
+  // s == d: delivered with the single-node path, no steps taken.
+  auto same = router->make_stepper(5, 5);
+  EXPECT_FALSE(same->in_flight());
+  EXPECT_EQ(same->result().status, RouteStatus::kDelivered);
+  EXPECT_EQ(same->result().path, std::vector<NodeId>{5});
+  EXPECT_FALSE(same->step());
+  // Invalid endpoints: the empty dead-end result route() returns.
+  auto invalid = router->make_stepper(kInvalidNode, 5);
+  EXPECT_FALSE(invalid->in_flight());
+  EXPECT_EQ(invalid->result().status, RouteStatus::kDeadEnd);
+  EXPECT_TRUE(invalid->result().path.empty());
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/network.h"
+#include "safety/incremental.h"
+#include "safety/labeling.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+/// Draws `count` distinct alive nodes (excluding `keep`), deterministic.
+std::vector<NodeId> draw_casualties(const UnitDiskGraph& g, Rng& rng,
+                                    std::size_t count,
+                                    const std::vector<NodeId>& keep) {
+  std::vector<NodeId> candidates;
+  for (NodeId u = 0; u < g.size(); ++u) {
+    if (!g.alive(u)) continue;
+    bool kept = false;
+    for (NodeId k : keep) kept |= (k == u);
+    if (!kept) candidates.push_back(u);
+  }
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < count && !candidates.empty(); ++i) {
+    std::size_t pick = rng.next_below(candidates.size());
+    out.push_back(candidates[pick]);
+    candidates[pick] = candidates.back();
+    candidates.pop_back();
+  }
+  return out;
+}
+
+/// N successive failure waves applied wave-by-wave through
+/// Network::with_failures must equal one compute_safety from scratch on
+/// the final degraded graph — statuses AND anchors (SafetyInfo equality
+/// covers both) — at *every* intermediate stage, not just the last.
+TEST(StagedFailures, WaveByWaveEqualsFromScratchAtEveryStage) {
+  for (std::uint64_t seed : test::property_seeds()) {
+    Network net = test::random_network(500, seed, DeployModel::kForbiddenAreas);
+    net.force(Network::kNeedsSafety);  // the fixpoint the waves continue
+    Rng rng(seed ^ 0xfa11);
+    const int waves = 4;
+    for (int w = 0; w < waves; ++w) {
+      std::vector<NodeId> casualties = draw_casualties(net.graph(), rng, 18, {});
+      IncrementalStats stats;
+      Network degraded = net.with_failures(casualties, &stats);
+      ASSERT_TRUE(degraded.has_safety());  // derived, not rebuilt lazily
+      if (!casualties.empty()) {
+        EXPECT_GT(stats.seeds, 0u) << "wave " << w << " seeded nothing";
+      }
+      SafetyInfo from_scratch =
+          compute_safety(degraded.graph(), degraded.interest_area());
+      EXPECT_EQ(degraded.safety(), from_scratch)
+          << "wave " << w << " of seed " << seed
+          << ": incremental fixpoint diverged from compute_safety";
+      net = std::move(degraded);
+    }
+  }
+}
+
+/// The chain of waves also equals a single batched failure of the union.
+TEST(StagedFailures, ChainEqualsOneShotUnion) {
+  Network net = test::random_network(500, 21, DeployModel::kForbiddenAreas);
+  net.force(Network::kNeedsSafety);
+  Rng rng(77);
+  std::vector<NodeId> all;
+  Network staged = test::random_network(500, 21, DeployModel::kForbiddenAreas);
+  staged.force(Network::kNeedsSafety);
+  for (int w = 0; w < 3; ++w) {
+    std::vector<NodeId> casualties =
+        draw_casualties(staged.graph(), rng, 25, {});
+    all.insert(all.end(), casualties.begin(), casualties.end());
+    staged = staged.with_failures(casualties);
+  }
+  Network one_shot = net.with_failures(all);
+  EXPECT_EQ(staged.safety(), one_shot.safety());
+  EXPECT_EQ(staged.graph().edge_count(), one_shot.graph().edge_count());
+}
+
+/// Without a built labeling, with_failures leaves safety lazy (and the
+/// lazily built labeling is the degraded graph's own fixpoint).
+TEST(StagedFailures, LazySafetyStaysLazyAndCorrect) {
+  Network net = test::random_network(450, 33, DeployModel::kForbiddenAreas);
+  ASSERT_FALSE(net.has_safety());
+  Rng rng(5);
+  std::vector<NodeId> casualties = draw_casualties(net.graph(), rng, 30, {});
+  IncrementalStats stats;
+  stats.seeds = 999;  // must be zeroed: nothing incremental happened
+  Network degraded = net.with_failures(casualties, &stats);
+  EXPECT_FALSE(degraded.has_safety());
+  EXPECT_EQ(stats.seeds, 0u);
+  SafetyInfo from_scratch =
+      compute_safety(degraded.graph(), degraded.interest_area());
+  EXPECT_EQ(degraded.safety(), from_scratch);
+}
+
+/// Dead inputs are tolerated: re-killing dead nodes and out-of-range ids
+/// neither crashes nor changes the fixpoint.
+TEST(StagedFailures, RepeatedAndInvalidCasualtiesAreHarmless) {
+  Network net = test::random_network(450, 41, DeployModel::kForbiddenAreas);
+  net.force(Network::kNeedsSafety);
+  Rng rng(6);
+  std::vector<NodeId> casualties = draw_casualties(net.graph(), rng, 20, {});
+  Network degraded = net.with_failures(casualties);
+  // Re-kill the same set, plus nonsense ids.
+  std::vector<NodeId> again = casualties;
+  again.push_back(static_cast<NodeId>(net.graph().size() + 7));
+  Network twice = degraded.with_failures(again);
+  SafetyInfo from_scratch =
+      compute_safety(twice.graph(), twice.interest_area());
+  EXPECT_EQ(twice.safety(), from_scratch);
+  EXPECT_EQ(twice.safety(), degraded.safety());
+}
+
+}  // namespace
+}  // namespace spr

@@ -18,7 +18,7 @@ TEST(Engine, QuiescesWhenNothingSent) {
       100);
   EXPECT_EQ(stats.rounds, 1u);  // one silent round then stop
   EXPECT_EQ(stats.broadcasts, 0u);
-  EXPECT_EQ(stats.message_receptions, 0u);
+  EXPECT_EQ(stats.receptions, 0u);
 }
 
 TEST(Engine, BroadcastReachesNeighborsNextRound) {
@@ -36,7 +36,7 @@ TEST(Engine, BroadcastReachesNeighborsNextRound) {
       },
       100);
   EXPECT_EQ(stats.broadcasts, 1u);
-  EXPECT_EQ(stats.message_receptions, 1u);  // only node 1 in range
+  EXPECT_EQ(stats.receptions, 1u);  // only node 1 in range
   ASSERT_EQ(heard[1].size(), 1u);
   EXPECT_EQ(heard[1][0], (std::pair<std::size_t, int>{1, 42}));
   EXPECT_TRUE(heard[2].empty());
@@ -97,14 +97,14 @@ TEST(Engine, DeadNodesNeitherSendNorReceive) {
   EXPECT_EQ(calls_to_dead, 0);
   // 0 and 2 broadcast but are not in range of each other (node 1 dead).
   EXPECT_EQ(stats.broadcasts, 2u);
-  EXPECT_EQ(stats.message_receptions, 0u);
+  EXPECT_EQ(stats.receptions, 0u);
 }
 
 TEST(Engine, StatsToString) {
   EngineStats stats;
   stats.rounds = 3;
   stats.broadcasts = 5;
-  stats.message_receptions = 12;
+  stats.receptions = 12;
   EXPECT_EQ(stats.to_string(), "rounds=3 broadcasts=5 receptions=12");
 }
 

@@ -1,0 +1,101 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/async_engine.h"
+#include "sim/engine.h"
+
+namespace spr {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> queue;
+  queue.push(3.0, 3);
+  queue.push(1.0, 1);
+  queue.push(2.0, 2);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.pop().event, 1);
+  EXPECT_EQ(queue.pop().event, 2);
+  EXPECT_EQ(queue.pop().event, 3);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, TiesBreakFifoByInsertionOrder) {
+  EventQueue<int> queue;
+  for (int i = 0; i < 100; ++i) queue.push(1.0, i);
+  for (int i = 0; i < 100; ++i) {
+    auto timed = queue.pop();
+    EXPECT_EQ(timed.event, i);
+    EXPECT_EQ(timed.seq, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsTotalOrder) {
+  EventQueue<std::string> queue;
+  queue.push(5.0, "e");
+  queue.push(1.0, "a");
+  EXPECT_EQ(queue.pop().event, "a");
+  queue.push(2.0, "b");
+  queue.push(5.0, "d");  // same instant as "e" but pushed later
+  EXPECT_EQ(queue.pop().event, "b");
+  EXPECT_EQ(queue.top().event, "e");
+  EXPECT_EQ(queue.pop().event, "e");
+  EXPECT_EQ(queue.pop().event, "d");
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance_to(2.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.5);
+  clock.advance_to(1.0);  // never backwards
+  EXPECT_DOUBLE_EQ(clock.now(), 2.5);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(FifoLinkDelays, DelaysWithinRangeAndFifoPerLink) {
+  Rng rng(11);
+  FifoLinkDelays links(4, 0.5, 1.5);
+  double last = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    double when = links.schedule(0, 1, 0.0, rng);
+    // FIFO: every later send on the same link delivers strictly later.
+    EXPECT_GT(when, last);
+    last = when;
+  }
+  // An unrelated link is not clamped by link (0,1)'s history.
+  double other = links.schedule(2, 3, 0.0, rng);
+  EXPECT_GE(other, 0.5);
+  EXPECT_LT(other, 1.5);
+}
+
+TEST(FifoLinkDelays, FirstDeliveryRespectsDrawnDelay) {
+  Rng rng(12);
+  FifoLinkDelays links(2, 1.0, 2.0);
+  double when = links.schedule(0, 1, 10.0, rng);
+  EXPECT_GE(when, 11.0);
+  EXPECT_LT(when, 12.0);
+}
+
+TEST(SimStatsFormatting, SharedCountersRenderIdentically) {
+  EngineStats round;
+  round.rounds = 3;
+  round.broadcasts = 5;
+  round.receptions = 12;
+  EXPECT_EQ(round.to_string(), "rounds=3 broadcasts=5 receptions=12");
+
+  AsyncEngineStats async_stats;
+  async_stats.activations = 2;
+  async_stats.broadcasts = 5;
+  async_stats.receptions = 12;
+  async_stats.virtual_time = 1.5;
+  EXPECT_EQ(async_stats.to_string(),
+            "activations=2 broadcasts=5 receptions=12 t=1.5");
+}
+
+}  // namespace
+}  // namespace spr

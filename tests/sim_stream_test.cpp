@@ -1,0 +1,271 @@
+#include "sim/stream_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "graph/graph_algos.h"
+#include "report/serialize.h"
+#include "report/sink.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+std::pair<NodeId, NodeId> far_pair(const Network& net, std::uint64_t seed) {
+  Rng rng(seed);
+  NodeId s = kInvalidNode, d = kInvalidNode;
+  double best = -1.0;
+  for (int trial = 0; trial < 16; ++trial) {
+    auto pair = net.random_connected_interior_pair(rng);
+    if (pair.first == kInvalidNode) continue;
+    double dist =
+        distance(net.graph().position(pair.first), net.graph().position(pair.second));
+    if (dist > best) {
+      best = dist;
+      s = pair.first;
+      d = pair.second;
+    }
+  }
+  return {s, d};
+}
+
+std::string stream_json(const StreamStats& stats) {
+  JsonWriter w;
+  to_json(w, stats);
+  return w.str();
+}
+
+/// With no world events, the stream is the atomic route repeated: per
+/// scheme, every packet walks route(s, d) exactly — same hops, length, and
+/// an exact per-hop latency.
+TEST(StreamSim, StaticStreamMatchesAtomicRoutePerScheme) {
+  Network reference = test::random_network(500, 15, DeployModel::kForbiddenAreas);
+  auto [s, d] = far_pair(reference, 0x15);
+  ASSERT_NE(s, kInvalidNode);
+
+  StreamConfig config;
+  config.pairs.emplace_back(s, d);
+  config.packets = 8;
+  config.packet_interval = 1.0;
+  config.hop_delay = 0.25;
+  StreamSim sim(test::random_network(500, 15, DeployModel::kForbiddenAreas),
+                config);
+  StreamStats stats = sim.run();
+
+  auto specs = SweepConfig::paper_schemes();
+  ASSERT_EQ(stats.schemes.size(), specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    const StreamSchemeStats& scheme = stats.schemes[k];
+    PathResult atomic = reference.make_router(specs[k].scheme)->route(s, d);
+    EXPECT_EQ(scheme.injected, 8u);
+    EXPECT_EQ(scheme.label, specs[k].display_label());
+    if (atomic.delivered()) {
+      EXPECT_EQ(scheme.delivered, 8u) << scheme.label;
+      EXPECT_DOUBLE_EQ(scheme.hops.mean(),
+                       static_cast<double>(atomic.hops()));
+      EXPECT_DOUBLE_EQ(scheme.hops.min(), scheme.hops.max());
+      EXPECT_DOUBLE_EQ(scheme.length.mean(), atomic.length);
+      // Hop-by-hop timing: h hops at 0.25 virtual seconds each.
+      EXPECT_DOUBLE_EQ(scheme.latency.mean(),
+                       0.25 * static_cast<double>(atomic.hops()));
+      EXPECT_DOUBLE_EQ(scheme.replans.max(), 0.0);
+    } else {
+      EXPECT_EQ(scheme.delivered, 0u) << scheme.label;
+    }
+  }
+  EXPECT_TRUE(stats.waves.empty());
+}
+
+/// A mid-stream blast: outcome counts stay consistent, the wave record
+/// carries the incremental relabeling, and the incremental fixpoint
+/// matches a from-scratch recompute.
+TEST(StreamSim, MidStreamWaveRelabelsIncrementallyAndConsistently) {
+  Network net = test::random_network(600, 4, DeployModel::kForbiddenAreas);
+  auto [s, d] = far_pair(net, 0x44);
+  ASSERT_NE(s, kInvalidNode);
+  Vec2 mid = midpoint(net.graph().position(s), net.graph().position(d));
+  StreamWave wave;
+  wave.time = 5.0;
+  for (NodeId u = 0; u < net.graph().size(); ++u) {
+    if (u == s || u == d) continue;
+    if (distance(net.graph().position(u), mid) <= 30.0) {
+      wave.casualties.push_back(u);
+    }
+  }
+  ASSERT_FALSE(wave.casualties.empty());
+
+  StreamConfig config;
+  config.pairs.emplace_back(s, d);
+  config.packets = 12;
+  config.packet_interval = 1.0;
+  config.hop_delay = 0.5;  // several packets are mid-flight at t=5
+  config.verify_relabeling = true;
+  config.waves.push_back(wave);
+  StreamSim sim(std::move(net), config);
+  StreamStats stats = sim.run();
+
+  ASSERT_EQ(stats.waves.size(), 1u);
+  const WaveRecord& record = stats.waves.front();
+  EXPECT_DOUBLE_EQ(record.time, 5.0);
+  EXPECT_EQ(record.casualties, wave.casualties.size());
+  EXPECT_TRUE(record.verified);
+  EXPECT_TRUE(record.matches_full_recompute);
+  EXPECT_GT(record.relabel.seeds, 0u);
+
+  for (const StreamSchemeStats& scheme : stats.schemes) {
+    EXPECT_EQ(scheme.injected, 12u);
+    EXPECT_EQ(scheme.delivered + scheme.dead_end + scheme.ttl_expired +
+                  scheme.node_failed,
+              scheme.injected)
+        << scheme.label;
+  }
+  // The post-run network is the degraded one.
+  EXPECT_FALSE(sim.network().graph().alive(wave.casualties.front()));
+}
+
+/// Same (network, config) twice => byte-identical full stream stats.
+TEST(StreamSim, RunIsAPureFunctionOfItsInputs) {
+  auto run_once = [] {
+    Network net = test::random_network(500, 23, DeployModel::kForbiddenAreas);
+    auto [s, d] = far_pair(net, 0x23);
+    StreamConfig config;
+    if (s != kInvalidNode) config.pairs.emplace_back(s, d);
+    config.packets = 10;
+    config.hop_delay = 0.5;
+    StreamWave wave;
+    wave.time = 3.0;
+    for (NodeId u = 0; u < net.graph().size(); u += 17) {
+      if (u != s && u != d) wave.casualties.push_back(u);
+    }
+    config.waves.push_back(std::move(wave));
+    config.mobility_interval = 6.0;  // exercise the re-pin path too
+    config.mobility_dt = 15.0;
+    StreamSim sim(std::move(net), config);
+    return stream_json(sim.run());
+  };
+  std::string first = run_once();
+  std::string second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+/// No endpoints means no traffic: the run terminates immediately even
+/// with mobility enabled (the re-pin loop must not wait for injections
+/// that can never happen).
+TEST(StreamSim, EmptyPairsTerminatesEvenWithMobility) {
+  StreamConfig config;
+  config.packets = 10;  // clamped: there is nothing to inject
+  config.mobility_interval = 1.0;
+  StreamSim sim(test::random_network(200, 3), config);
+  StreamStats stats = sim.run();
+  for (const StreamSchemeStats& scheme : stats.schemes) {
+    EXPECT_EQ(scheme.injected, 0u);
+  }
+  EXPECT_EQ(stats.repins, 0u);
+}
+
+/// A mobility re-pin rebuilds the snapshot but must not resurrect nodes
+/// killed by an earlier failure wave.
+TEST(StreamSim, RepinKeepsWaveCasualtiesDead) {
+  Network net = test::random_network(400, 27);
+  auto [s, d] = far_pair(net, 0x27);
+  ASSERT_NE(s, kInvalidNode);
+  StreamConfig config;
+  config.pairs.emplace_back(s, d);
+  config.packets = 12;
+  config.packet_interval = 1.0;
+  config.hop_delay = 0.4;
+  config.mobility_interval = 4.5;  // re-pins fire after the wave
+  config.mobility_dt = 10.0;
+  StreamWave wave;
+  wave.time = 2.0;
+  for (NodeId u = 0; u < 30; ++u) {
+    if (u != s && u != d) wave.casualties.push_back(u);
+  }
+  config.waves.push_back(wave);
+  StreamSim sim(std::move(net), config);
+  StreamStats stats = sim.run();
+  ASSERT_GT(stats.repins, 0u);
+  for (NodeId u : wave.casualties) {
+    EXPECT_FALSE(sim.network().graph().alive(u)) << "node " << u
+                                                 << " came back to life";
+  }
+}
+
+/// Mobility re-pins happen while traffic remains and stop afterwards (the
+/// event queue drains), and outcome accounting stays consistent.
+TEST(StreamSim, MobilityRepinsRebuildTheSnapshot) {
+  Network net = test::random_network(450, 31);
+  auto [s, d] = far_pair(net, 0x31);
+  ASSERT_NE(s, kInvalidNode);
+  StreamConfig config;
+  config.pairs.emplace_back(s, d);
+  config.packets = 10;
+  config.packet_interval = 1.0;
+  config.hop_delay = 0.4;
+  config.mobility_interval = 2.5;
+  config.mobility_dt = 10.0;
+  StreamSim sim(std::move(net), config);
+  StreamStats stats = sim.run();
+  EXPECT_GT(stats.repins, 0u);
+  for (const StreamSchemeStats& scheme : stats.schemes) {
+    EXPECT_EQ(scheme.injected, 10u);
+    EXPECT_EQ(scheme.delivered + scheme.dead_end + scheme.ttl_expired +
+                  scheme.node_failed,
+              scheme.injected);
+  }
+}
+
+/// Full-form StreamStats JSON round-trips bit-identically (samples and
+/// all), like the sweep cell forms.
+TEST(StreamSim, StreamStatsJsonRoundTrip) {
+  Network net = test::random_network(500, 8, DeployModel::kForbiddenAreas);
+  auto [s, d] = far_pair(net, 0x8);
+  ASSERT_NE(s, kInvalidNode);
+  StreamConfig config;
+  config.pairs.emplace_back(s, d);
+  config.packets = 6;
+  StreamWave wave;
+  wave.time = 2.0;
+  for (NodeId u = 0; u < 40; ++u) {
+    if (u != s && u != d) wave.casualties.push_back(u);
+  }
+  config.waves.push_back(std::move(wave));
+  config.verify_relabeling = true;
+  StreamSim sim(std::move(net), config);
+  StreamStats stats = sim.run();
+
+  std::string text = stream_json(stats);
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::parse(text, parsed));
+  StreamStats decoded;
+  ASSERT_TRUE(from_json(parsed, decoded));
+  EXPECT_EQ(stream_json(decoded), text);
+}
+
+/// The streaming-delivery scenario's JSON report is byte-identical across
+/// reruns and across thread counts (the acceptance criterion behind
+/// SPR_SEED determinism).
+TEST(StreamingDeliveryScenario, JsonReportIdenticalSerialVsThreaded) {
+  auto render = [](int threads) {
+    ScenarioOptions opts;
+    opts.networks = 1;
+    opts.pairs = 6;
+    opts.threads = threads;
+    const Scenario* scenario =
+        ScenarioSuite::builtin().find("streaming-delivery");
+    EXPECT_NE(scenario, nullptr);
+    ScenarioReport report;
+    report.scenario = scenario->name;
+    EXPECT_EQ(scenario->build(opts, report), 0);
+    return JsonSink::render(report);
+  };
+  std::string serial = render(1);
+  std::string threaded = render(4);
+  std::string threaded_again = render(4);
+  EXPECT_EQ(serial, threaded);
+  EXPECT_EQ(threaded, threaded_again);
+}
+
+}  // namespace
+}  // namespace spr

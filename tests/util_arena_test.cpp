@@ -1,0 +1,111 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/experiment.h"
+#include "graph/graph_algos.h"
+#include "report/serialize.h"
+#include "test_helpers.h"
+
+namespace spr {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndAligned) {
+  Arena arena(128);
+  char* a = static_cast<char*>(arena.allocate(10, 1));
+  char* b = static_cast<char*>(arena.allocate(10, 1));
+  EXPECT_NE(a, b);
+  std::memset(a, 0xAA, 10);
+  std::memset(b, 0xBB, 10);
+  EXPECT_EQ(static_cast<unsigned char>(a[9]), 0xAA);  // no overlap
+
+  void* d = arena.allocate(1, 1);
+  void* aligned = arena.allocate(8, 64);
+  EXPECT_NE(d, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(aligned) % 64, 0u);
+  EXPECT_GE(arena.bytes_allocated(), 29u);
+}
+
+TEST(Arena, GrowsBeyondTheFirstBlock) {
+  Arena arena(64);
+  // Far more than the first block; every allocation must still succeed
+  // and be writable.
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.allocate(100, 8);
+    std::memset(p, i, 100);
+  }
+  EXPECT_GE(arena.capacity(), 100u * 100u);
+}
+
+TEST(Arena, ResetKeepsTheHighWaterBlock) {
+  Arena arena(64);
+  for (int i = 0; i < 50; ++i) arena.allocate(200, 8);
+  std::size_t grown = arena.capacity();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  std::size_t kept = arena.capacity();
+  EXPECT_GT(kept, 0u);
+  EXPECT_LE(kept, grown);
+  // A second identical pass must fit the kept block: capacity is stable.
+  for (int i = 0; i < 50; ++i) arena.allocate(200, 8);
+  EXPECT_EQ(arena.capacity(), kept);
+}
+
+TEST(Arena, VectorGrowsThroughTheArena) {
+  Arena arena;
+  ArenaVector<int> v{ArenaAllocator<int>(arena)};
+  for (int i = 0; i < 10000; ++i) v.push_back(i);
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(v[i], i);
+  EXPECT_GE(arena.bytes_allocated(), 10000u * sizeof(int));
+}
+
+TEST(Arena, OracleBatchScratchVariantMatchesHeapVariant) {
+  Network net = test::random_network(450, 19);
+  Rng rng(2);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 12; ++i) {
+    auto pair = net.random_connected_interior_pair(rng);
+    if (pair.first != kInvalidNode) pairs.push_back(pair);
+  }
+  // Repeat sources so the grouping actually groups.
+  if (pairs.size() >= 2) pairs.push_back({pairs[0].first, pairs[1].second});
+  ASSERT_FALSE(pairs.empty());
+
+  OracleBatch heap(net.graph(), pairs);
+  Arena arena;
+  OracleBatch scratch(net.graph(), pairs, &arena);
+  ASSERT_EQ(heap.size(), scratch.size());
+  EXPECT_EQ(heap.distinct_sources(), scratch.distinct_sources());
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    EXPECT_EQ(heap.hop_optimal(i).path, scratch.hop_optimal(i).path);
+    EXPECT_EQ(heap.hop_optimal(i).length, scratch.hop_optimal(i).length);
+    EXPECT_EQ(heap.length_optimal(i).path, scratch.length_optimal(i).path);
+    EXPECT_EQ(heap.length_optimal(i).length, scratch.length_optimal(i).length);
+  }
+}
+
+TEST(Arena, SweepCellIdenticalWithAndWithoutArena) {
+  SweepConfig config;
+  config.node_counts = {450};
+  config.networks_per_point = 1;
+  config.pairs_per_network = 10;
+  config.threads = 1;
+  config.schemes = SweepConfig::paper_schemes();
+
+  config.cell_arena = true;
+  CellResult with_arena = run_sweep_cell(config, 450, 0);
+  config.cell_arena = false;
+  CellResult without_arena = run_sweep_cell(config, 450, 0);
+
+  JsonWriter a, b;
+  to_json(a, with_arena);
+  to_json(b, without_arena);
+  EXPECT_EQ(a.str(), b.str());  // bit-identical aggregates, samples and all
+}
+
+}  // namespace
+}  // namespace spr

@@ -10,6 +10,7 @@
 ///   spr_cli validate <file.json>...     parse JSON artifacts (CI gate)
 ///   spr_cli scenario [flags] <name>     run a registered scenario (--list);
 ///                                       --format console,json,csv,svg
+///                                       ("run" is an alias for "scenario")
 ///   spr_cli render   [flags] <out.svg>  render deployment + unsafe areas
 ///
 /// Common flags: --nodes, --seed, --fa, --range.
@@ -464,8 +465,9 @@ int cmd_render(int argc, const char* const* argv) {
 
 void usage() {
   std::fputs(
-      "usage: spr_cli <info|label|route|sweep|merge|validate|scenario|render>"
-      " [flags...]\n"
+      "usage: spr_cli <info|label|route|sweep|merge|validate|run|scenario|"
+      "render> [flags...]\n"
+      "('run' and 'scenario' are synonyms)\n"
       "run 'spr_cli <command> --help' for per-command flags\n",
       stderr);
 }
@@ -487,7 +489,9 @@ int main(int argc, char** argv) {
   if (command == "sweep") return cmd_sweep(sub_argc, sub_argv);
   if (command == "merge") return cmd_merge(sub_argc, sub_argv);
   if (command == "validate") return cmd_validate(sub_argc, sub_argv);
-  if (command == "scenario") return cmd_scenario(sub_argc, sub_argv);
+  if (command == "scenario" || command == "run") {
+    return cmd_scenario(sub_argc, sub_argv);
+  }
   if (command == "render") return cmd_render(sub_argc, sub_argv);
   usage();
   return 1;
