@@ -8,6 +8,7 @@
 #include "core/network.h"
 #include "deploy/deployment.h"
 #include "graph/graph_algos.h"
+#include "mobility/waypoint.h"
 #include "report/serialize.h"
 #include "safety/distributed.h"
 #include "sim/stream_sim.h"
@@ -185,6 +186,73 @@ void BM_SweepCellScratch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SweepCellScratch)->Arg(0)->Arg(1);
+
+/// One mobility re-pin epoch, full rebuild (Arg 0: fresh Network + forced
+/// safety, the pre-with_moves path) vs incremental (Arg 1:
+/// Network::with_moves — relocated grid, patched adjacency, bidirectional
+/// safety continuation). Both process the same waypoint trajectory; the
+/// delta is the ROADMAP's rebuild-vs-incremental re-pin datapoint.
+void BM_MobilityRepin(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  NetworkConfig config;
+  config.deployment.node_count = 600;
+  config.deployment.model = DeployModel::kForbiddenAreas;
+  config.seed = 42;
+  Network net = Network::create(config);
+  net.force(Network::kNeedsSafety);
+  WaypointConfig wc;
+  wc.field = net.deployment().field;
+  wc.max_speed_mps = 1.5;
+  WaypointModel model(net.deployment().positions, wc, Rng(42));
+  for (auto _ : state) {
+    model.advance(4.0);
+    if (incremental) {
+      net = net.with_moves(model.positions());
+    } else {
+      Deployment moved = net.deployment();
+      moved.positions = model.positions();
+      Network rebuilt(std::move(moved), net.edge_band());
+      rebuilt.force(Network::kNeedsSafety);
+      net = std::move(rebuilt);
+    }
+    benchmark::DoNotOptimize(net.safety().unsafe_node_count());
+  }
+}
+BENCHMARK(BM_MobilityRepin)->Arg(0)->Arg(1);
+
+/// The same rebuild-vs-incremental datapoint under *localized* motion (5%
+/// of the nodes drift per epoch, everyone else holds still) — the regime
+/// the incremental path targets: the grid relocation, adjacency patch and
+/// touched-node safety scan all skip the unmoved majority.
+void BM_LocalMotionRepin(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  NetworkConfig config;
+  config.deployment.node_count = 600;
+  config.deployment.model = DeployModel::kForbiddenAreas;
+  config.seed = 42;
+  Network net = Network::create(config);
+  net.force(Network::kNeedsSafety);
+  Rng rng(7);
+  for (auto _ : state) {
+    std::vector<Vec2> moved = net.graph().positions();
+    for (int k = 0; k < 30; ++k) {
+      NodeId u = static_cast<NodeId>(rng.next_below(moved.size()));
+      moved[u].x = std::clamp(moved[u].x + rng.uniform(-8.0, 8.0), 0.0, 200.0);
+      moved[u].y = std::clamp(moved[u].y + rng.uniform(-8.0, 8.0), 0.0, 200.0);
+    }
+    if (incremental) {
+      net = net.with_moves(moved);
+    } else {
+      Deployment d = net.deployment();
+      d.positions = std::move(moved);
+      Network rebuilt(std::move(d), net.edge_band());
+      rebuilt.force(Network::kNeedsSafety);
+      net = std::move(rebuilt);
+    }
+    benchmark::DoNotOptimize(net.safety().unsafe_node_count());
+  }
+}
+BENCHMARK(BM_LocalMotionRepin)->Arg(0)->Arg(1);
 
 /// One full streaming-delivery cell (sim/stream_sim.h): 4 schemes x 30
 /// packets with two mid-stream failure waves — the unit of work the

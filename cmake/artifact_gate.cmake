@@ -64,3 +64,32 @@ execute_process(
 if(NOT stream_validate EQUAL 0)
   message(FATAL_ERROR "streaming-delivery JSON artifact failed to re-parse")
 endif()
+
+# Mobility-rate: random-waypoint re-pins riding the *incremental* motion
+# path (Network::with_moves). The scenario cross-checks every re-pin's
+# bidirectional relabeling against a from-scratch compute_safety and exits
+# nonzero on divergence, so this gate also guards the motion updater.
+set(mobility_json "${OUT_DIR}/artifact-gate-mobility.json")
+set(mobility_csv "${OUT_DIR}/artifact-gate-mobility.csv")
+
+execute_process(
+  COMMAND "${SPR_CLI}" run mobility-rate --networks 1 --pairs 4
+          --format json,csv --json "${mobility_json}" --csv "${mobility_csv}"
+  RESULT_VARIABLE mobility_result
+  OUTPUT_QUIET)
+if(NOT mobility_result EQUAL 0)
+  message(FATAL_ERROR "mobility-rate run failed (exit ${mobility_result})")
+endif()
+
+foreach(artifact "${mobility_json}" "${mobility_csv}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "expected artifact missing: ${artifact}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${SPR_CLI}" validate "${mobility_json}"
+  RESULT_VARIABLE mobility_validate)
+if(NOT mobility_validate EQUAL 0)
+  message(FATAL_ERROR "mobility-rate JSON artifact failed to re-parse")
+endif()

@@ -52,6 +52,9 @@ Network::Network(DerivedTag, const Network& base, UnitDiskGraph graph)
       band_(base.band_),
       lazy_(std::make_unique<LazyState>()) {
   graph_ = std::make_unique<UnitDiskGraph>(std::move(graph));
+  // Moved siblings carry new coordinates; keep the deployment in sync (a
+  // no-op copy for failure siblings, whose positions are identical).
+  deployment_.positions = graph_->positions();
   interest_area_ = std::make_unique<InterestArea>(*graph_, band_);
 }
 
@@ -74,6 +77,29 @@ Network Network::with_failures(const std::vector<NodeId>& failed,
     });
   }
   return degraded;
+}
+
+Network Network::with_moves(const std::vector<Vec2>& positions,
+                            IncrementalStats* stats, EdgeDiff* diff) const {
+  Network moved(DerivedTag{}, *this,
+                graph_->with_moves(positions, diff, build_pool_));
+  if (stats != nullptr) *stats = IncrementalStats{};
+  if (has_safety()) {
+    // Continue the old fixpoint through the bidirectional updater instead
+    // of recomputing it: removals demote from the move frontier, additions
+    // promote by re-raising the touched unsafe clusters, and the demotion
+    // worklist closes onto exactly the labeling compute_safety would
+    // produce on the moved graph.
+    auto info = std::make_unique<SafetyInfo>(*lazy_->safety);
+    IncrementalStats update = update_safety_after_moves(
+        *graph_, *interest_area_, *moved.graph_, *moved.interest_area_, *info);
+    if (stats != nullptr) *stats = update;
+    std::call_once(moved.lazy_->safety_once, [&] {
+      moved.lazy_->safety = std::move(info);
+      moved.lazy_->safety_built.store(true, std::memory_order_release);
+    });
+  }
+  return moved;
 }
 
 const SafetyInfo& Network::safety() const {

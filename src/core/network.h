@@ -134,6 +134,25 @@ class Network {
   Network with_failures(const std::vector<NodeId>& failed,
                         IncrementalStats* stats = nullptr) const;
 
+  /// A moved copy of this network: the same node set at `positions`
+  /// (`positions.size()` must equal `graph().size()`), built incrementally —
+  /// the spatial grid is relocated and the adjacency patched from the edge
+  /// delta (`UnitDiskGraph::with_moves`) instead of rebuilt, prior
+  /// casualties stay dead, and the edge band carries over (the interest
+  /// area itself is re-derived: the hull moves with the nodes). If this
+  /// network's safety labeling has been built, the copy's labeling
+  /// *continues* from it through the bidirectional updater
+  /// (update_safety_after_moves): removals demote, additions promote, and
+  /// the result equals a from-scratch compute_safety on the moved graph —
+  /// statuses and anchors (tests enforce equality at every re-pin epoch).
+  /// `stats`, when non-null, receives what the update touched (zeroed when
+  /// the labeling was never built and so stays lazy); `diff`, when
+  /// non-null, receives the added/removed unit-disk edges. Moves and
+  /// failure waves chain in any order.
+  Network with_moves(const std::vector<Vec2>& positions,
+                     IncrementalStats* stats = nullptr,
+                     EdgeDiff* diff = nullptr) const;
+
   /// Uniformly random interior source/destination pair, s != d.
   std::pair<NodeId, NodeId> random_interior_pair(Rng& rng) const;
 

@@ -16,6 +16,7 @@
 #include "routing/slgf2.h"
 #include "safety/incremental.h"
 #include "stats/table.h"
+#include "util/suggest.h"
 #include "util/task_pool.h"
 
 namespace spr {
@@ -745,6 +746,302 @@ int run_streaming_delivery(const ScenarioOptions& opts,
   return relabel_ok ? 0 : 1;
 }
 
+/// Mobility rate: long-lived packet streams while every node follows a
+/// random-waypoint process, sweeping the re-pin interval x the maximum
+/// node speed. Every re-pin *continues* the snapshot incrementally
+/// (Network::with_moves: relocated spatial grid, adjacency patched from
+/// the edge delta, bidirectional safety update — removals demote,
+/// additions promote) and is cross-checked against a from-scratch
+/// compute_safety (StreamConfig::verify_relabeling).
+///
+/// The report is a pure function of (options, seeds): no wall-clock or
+/// thread-count values are recorded, so the JSON/CSV artifacts are
+/// byte-identical across reruns and across SPR_THREADS (tests enforce
+/// this).
+int run_mobility_rate(const ScenarioOptions& opts, ScenarioReport& report) {
+  const int networks = opts.networks > 0 ? opts.networks : 2;
+  const int packets = opts.pairs > 0 ? opts.pairs : 30;
+  const std::uint64_t base_seed = opts.seed != 0 ? opts.seed : 2009;
+  const int nodes = 500;
+  const std::vector<double> intervals = {4.0, 8.0};  // re-pin period, s
+  const std::vector<double> speeds = {0.5, 1.5, 3.0};  // max m/s
+  const double packet_interval = 1.0;
+  const double hop_delay = 0.2;
+
+  report.textf("== Mobility rate: %d-node FA networks, %d streams x %d "
+               "packets per cell, re-pin interval x speed sweep with "
+               "incremental relabeling ==\n\n",
+               nodes, networks, packets);
+
+  struct MobilityCell {
+    bool ok = false;         ///< produced traffic
+    bool relabel_ok = true;  ///< every re-pin matched the fresh fixpoint
+    StreamStats stats;
+  };
+  const std::size_t grid = intervals.size() * speeds.size();
+  std::vector<MobilityCell> cells(grid * static_cast<std::size_t>(networks));
+
+  auto run_one = [&](std::size_t ci) {
+    const std::size_t gi = ci / static_cast<std::size_t>(networks);
+    const double interval = intervals[gi / speeds.size()];
+    const double speed = speeds[gi % speeds.size()];
+    MobilityCell& cell = cells[ci];
+
+    NetworkConfig nc;
+    nc.deployment.node_count = nodes;
+    nc.deployment.model = DeployModel::kForbiddenAreas;
+    nc.seed = base_seed ^ ((ci + 1) * 0x9E3779B97F4A7C15ULL);
+    Network net = Network::create(nc);
+
+    Rng rng(nc.seed ^ 0x30b1);
+    StreamConfig sc;
+    sc.packets = packets;
+    sc.packet_interval = packet_interval;
+    sc.hop_delay = hop_delay;
+    sc.seed = nc.seed;
+    sc.verify_relabeling = true;
+    sc.mobility_interval = interval;
+    sc.mobility_dt = interval;  // virtual and waypoint time advance in step
+    sc.waypoint.max_speed_mps = speed;
+    sc.waypoint.min_speed_mps = speed * 0.25;
+    sc.waypoint.pause_s = 2.0;
+    for (int t = 0; t < 4; ++t) {
+      auto pair = net.random_connected_interior_pair(rng);
+      if (pair.first != kInvalidNode) sc.pairs.push_back(pair);
+    }
+    if (sc.pairs.empty()) return;  // cell stays !ok (counted below)
+
+    StreamSim sim(std::move(net), std::move(sc));
+    cell.stats = sim.run();
+    cell.ok = true;
+    for (const RepinRecord& record : cell.stats.repin_records) {
+      if (record.verified && !record.matches_full_recompute) {
+        cell.relabel_ok = false;
+      }
+    }
+  };
+
+  if (opts.threads == 1) {
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) run_one(ci);
+  } else {
+    TaskPool pool(opts.threads);
+    pool.parallel_for(cells.size(), run_one);
+  }
+
+  // Per-(interval, speed) reduction in cell order — deterministic
+  // regardless of which worker ran which cell.
+  const auto scheme_specs = SweepConfig::paper_schemes();
+  struct GridPoint {
+    std::vector<StreamSchemeStats> schemes;
+    std::size_t repins = 0;
+    std::size_t moved = 0;
+    std::size_t edges_added = 0;
+    std::size_t edges_removed = 0;
+    std::size_t promotions = 0;
+    std::size_t demotions = 0;
+    std::size_t reevaluations = 0;
+  };
+  std::vector<GridPoint> merged(grid);
+  std::size_t skipped_cells = 0;
+  bool relabel_ok = true;
+  for (std::size_t gi = 0; gi < grid; ++gi) {
+    merged[gi].schemes.resize(scheme_specs.size());
+    for (std::size_t k = 0; k < scheme_specs.size(); ++k) {
+      merged[gi].schemes[k].label = scheme_specs[k].display_label();
+    }
+    for (int ni = 0; ni < networks; ++ni) {
+      const MobilityCell& cell =
+          cells[gi * static_cast<std::size_t>(networks) +
+                static_cast<std::size_t>(ni)];
+      if (!cell.ok) {
+        ++skipped_cells;
+        continue;
+      }
+      relabel_ok &= cell.relabel_ok;
+      for (std::size_t k = 0; k < cell.stats.schemes.size() &&
+                              k < merged[gi].schemes.size();
+           ++k) {
+        merge_stream_scheme(merged[gi].schemes[k], cell.stats.schemes[k]);
+      }
+      merged[gi].repins += cell.stats.repins;
+      for (const RepinRecord& record : cell.stats.repin_records) {
+        merged[gi].moved += record.moved;
+        merged[gi].edges_added += record.edges_added;
+        merged[gi].edges_removed += record.edges_removed;
+        merged[gi].promotions += record.relabel.promotions;
+        merged[gi].demotions += record.relabel.flips;
+        merged[gi].reevaluations += record.relabel.reevaluations;
+      }
+    }
+  }
+  if (skipped_cells == cells.size()) {
+    report.textf("no routable stream endpoints in any cell\n");
+    report.aborted = true;
+    return 1;
+  }
+
+  // Console table: one row per (interval, speed) grid point.
+  std::vector<std::string> header{"repin s", "speed m/s"};
+  for (const auto& spec : scheme_specs) {
+    header.push_back(spec.display_label() + " deliv");
+  }
+  header.push_back("SLGF2 stretch");
+  header.push_back("repins");
+  header.push_back("promoted");
+  header.push_back("demoted");
+  Table table(std::move(header));
+  for (std::size_t gi = 0; gi < grid; ++gi) {
+    std::vector<std::string> row{
+        Table::fmt(intervals[gi / speeds.size()], 0),
+        Table::fmt(speeds[gi % speeds.size()], 1)};
+    for (const auto& s : merged[gi].schemes) {
+      row.push_back(Table::fmt(s.delivery_ratio()));
+    }
+    const StreamSchemeStats& slgf2 = merged[gi].schemes.back();
+    row.push_back(Table::fmt(
+        slgf2.stretch_hops.empty() ? 0.0 : slgf2.stretch_hops.mean()));
+    row.push_back(std::to_string(merged[gi].repins));
+    row.push_back(std::to_string(merged[gi].promotions));
+    row.push_back(std::to_string(merged[gi].demotions));
+    table.add_row(std::move(row));
+  }
+  report.add_table(std::move(table));
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "incremental with_moves relabeling matched a from-scratch "
+                "compute_safety at every re-pin: %s",
+                relabel_ok ? "yes" : "NO");
+  report.note(buf);
+  std::snprintf(buf, sizeof(buf),
+                "sweep section x axis is the max waypoint speed in 0.1 m/s "
+                "units (every network has %d nodes); one section per "
+                "re-pin interval, in interval order",
+                nodes);
+  report.note(buf);
+  if (skipped_cells > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "%zu of %zu stream cells had no routable endpoints and "
+                  "were skipped",
+                  skipped_cells, cells.size());
+    report.note(buf);
+  }
+
+  // Plot curves: per-scheme series over speed, one curve per interval.
+  struct CurveSpec {
+    const char* title;
+    const char* y_label;
+    std::function<double(const StreamSchemeStats&)> metric;
+  };
+  const CurveSpec curve_specs[] = {
+      {"delivery ratio", "delivery ratio",
+       [](const StreamSchemeStats& s) { return s.delivery_ratio(); }},
+      {"hop stretch vs injection-time optimum", "stretch",
+       [](const StreamSchemeStats& s) {
+         return s.stretch_hops.empty() ? 0.0 : s.stretch_hops.mean();
+       }},
+  };
+  for (const CurveSpec& spec : curve_specs) {
+    for (std::size_t ii = 0; ii < intervals.size(); ++ii) {
+      ReportCurve curve;
+      char title[120];
+      std::snprintf(title, sizeof(title), "mobility-rate — %s (repin %.0fs)",
+                    spec.title, intervals[ii]);
+      curve.title = title;
+      curve.x_label = "max speed (m/s)";
+      curve.y_label = spec.y_label;
+      for (std::size_t k = 0; k < scheme_specs.size(); ++k) {
+        ReportSeries series;
+        series.label = scheme_specs[k].display_label();
+        for (std::size_t si = 0; si < speeds.size(); ++si) {
+          series.points.emplace_back(
+              speeds[si], spec.metric(merged[ii * speeds.size() + si].schemes[k]));
+        }
+        curve.series.push_back(std::move(series));
+      }
+      report.curves.push_back(std::move(curve));
+    }
+  }
+
+  // Sweep sections (the standard "models" JSON shape): one per re-pin
+  // interval, one point per speed. The point key carries the speed in
+  // 0.1 m/s units — flagged by the sweep_section_x_axis param and a
+  // console note. wall_seconds/threads stay 0 by design: the report must
+  // be byte-identical across reruns and thread counts.
+  for (std::size_t ii = 0; ii < intervals.size(); ++ii) {
+    SweepSection section;
+    section.model = DeployModel::kForbiddenAreas;
+    section.networks_per_point = networks;
+    section.pairs_per_network = packets;
+    section.base_seed = base_seed;
+    section.threads = 0;
+    section.wall_seconds = 0.0;
+    for (std::size_t si = 0; si < speeds.size(); ++si) {
+      SweepPoint point;
+      point.node_count = static_cast<int>(10.0 * speeds[si] + 0.5);
+      for (const StreamSchemeStats& s :
+           merged[ii * speeds.size() + si].schemes) {
+        RouteAggregate agg;
+        agg.requested = s.injected;
+        agg.attempted = s.injected;
+        agg.delivered = s.delivered;
+        agg.hops = s.hops;
+        agg.length = s.length;
+        agg.stretch_hops = s.stretch_hops;
+        point.by_scheme.emplace(s.label, std::move(agg));
+      }
+      section.points.push_back(std::move(point));
+    }
+    report.sweeps.push_back(std::move(section));
+  }
+
+  // Machine-readable params: config identity, per-grid-point relabeling
+  // cost, and the full per-cell stream stats through the typed serializer.
+  report.param("nodes", JsonValue::of(nodes));
+  report.param("networks_per_cell", JsonValue::of(networks));
+  report.param("packets_per_stream", JsonValue::of(packets));
+  report.param("base_seed", JsonValue::of(base_seed));
+  report.param("sweep_section_x_axis", JsonValue::of("max_speed_mps_x10"));
+  report.param("relabel_matches_full_recompute", JsonValue::of(relabel_ok));
+  JsonValue intervals_json = JsonValue::array();
+  for (double v : intervals) intervals_json.push(JsonValue::of(v));
+  report.param("repin_intervals", std::move(intervals_json));
+  JsonValue speeds_json = JsonValue::array();
+  for (double v : speeds) speeds_json.push(JsonValue::of(v));
+  report.param("max_speeds", std::move(speeds_json));
+  auto size_array = [&](auto member) {
+    JsonValue out = JsonValue::array();
+    for (const GridPoint& point : merged) {
+      out.push(JsonValue::of(static_cast<std::uint64_t>(point.*member)));
+    }
+    return out;
+  };
+  report.param("repins", size_array(&GridPoint::repins));
+  report.param("moved_nodes", size_array(&GridPoint::moved));
+  report.param("edges_added", size_array(&GridPoint::edges_added));
+  report.param("edges_removed", size_array(&GridPoint::edges_removed));
+  report.param("relabel_promotions", size_array(&GridPoint::promotions));
+  report.param("relabel_demotions", size_array(&GridPoint::demotions));
+  report.param("relabel_reevaluations",
+               size_array(&GridPoint::reevaluations));
+  JsonValue streams = JsonValue::array();
+  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+    if (!cells[ci].ok) continue;
+    const std::size_t gi = ci / static_cast<std::size_t>(networks);
+    JsonValue entry = JsonValue::object();
+    entry.set("repin_interval",
+              JsonValue::of(intervals[gi / speeds.size()]));
+    entry.set("max_speed", JsonValue::of(speeds[gi % speeds.size()]));
+    entry.set("net",
+              JsonValue::of(static_cast<int>(
+                  ci % static_cast<std::size_t>(networks))));
+    entry.set("stats", stream_stats_json(cells[ci].stats));
+    streams.push(std::move(entry));
+  }
+  report.param("streams", std::move(streams));
+
+  return relabel_ok ? 0 : 1;
+}
+
 /// Parallel-sweep scaling: the same sweep serial and parallel, verifying
 /// bit-identical aggregates and reporting the wall-clock ratio plus the
 /// construction / oracle / routing breakdown and the per-source oracle
@@ -816,23 +1113,6 @@ int run_sweep_scaling(const ScenarioOptions& opts, ScenarioReport& report) {
   return identical ? 0 : 1;
 }
 
-/// Edit distance (Levenshtein) for the unknown-name suggestions.
-std::size_t edit_distance(std::string_view a, std::string_view b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diagonal = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      std::size_t previous = row[j];
-      std::size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
-      diagonal = previous;
-    }
-  }
-  return row[b.size()];
-}
-
 }  // namespace
 
 const char* model_name(DeployModel model) noexcept {
@@ -871,27 +1151,10 @@ const Scenario* ScenarioSuite::find(std::string_view name) const noexcept {
 
 std::vector<std::string> ScenarioSuite::suggestions(
     std::string_view name) const {
-  // Rank by: prefix match (best), then small edit distance relative to the
-  // query length.
-  std::vector<std::pair<std::size_t, std::string>> ranked;
-  for (const auto& s : scenarios_) {
-    std::size_t score;
-    if (!name.empty() &&
-        std::string_view(s.name).substr(0, name.size()) == name) {
-      score = 0;
-    } else {
-      std::size_t distance = edit_distance(name, s.name);
-      std::size_t budget = std::max<std::size_t>(2, name.size() / 3);
-      if (distance > budget) continue;
-      score = distance;
-    }
-    ranked.emplace_back(score, s.name);
-  }
-  std::stable_sort(ranked.begin(), ranked.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<std::string> out;
-  for (auto& [score, suggestion] : ranked) out.push_back(std::move(suggestion));
-  return out;
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) names.push_back(s.name);
+  return near_matches(name, names);
 }
 
 namespace {
@@ -1054,6 +1317,10 @@ ScenarioSuite& ScenarioSuite::builtin() {
            "discrete-event packet streams with mid-stream failure waves and "
            "incremental relabeling",
            run_streaming_delivery});
+    s.add({"mobility-rate",
+           "re-pin interval x speed sweep: incremental with_moves relabeling "
+           "under random-waypoint motion",
+           run_mobility_rate});
     s.add({"sweep-scaling",
            "parallel vs serial sweep: wall-clock ratio + bit-identical check",
            run_sweep_scaling});

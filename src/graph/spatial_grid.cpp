@@ -33,6 +33,86 @@ SpatialGrid::SpatialGrid(std::vector<Vec2> points, Rect bounds,
   }
 }
 
+void SpatialGrid::relocate(std::span<const NodeId> ids,
+                           std::span<const Vec2> new_positions) {
+  auto cell_index = [&](Vec2 p) {
+    return static_cast<size_t>(cell_row(p.y)) * static_cast<size_t>(cols_) +
+           static_cast<size_t>(cell_col(p.x));
+  };
+
+  // Per moved point: the cell it leaves and the cell it joins. Points that
+  // stay in their cell only need the coordinate update.
+  std::vector<std::pair<std::size_t, NodeId>> leavers, joiners;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    NodeId id = ids[i];
+    if (id >= points_.size()) continue;
+    std::size_t from = cell_index(points_[id]);
+    std::size_t to = cell_index(new_positions[i]);
+    points_[id] = new_positions[i];
+    if (from != to) {
+      leavers.emplace_back(from, id);
+      joiners.emplace_back(to, id);
+    }
+  }
+  if (leavers.empty()) return;
+  std::sort(leavers.begin(), leavers.end());
+  std::sort(joiners.begin(), joiners.end());
+
+  // One compaction pass over the cells: untouched cells block-copy, touched
+  // cells merge (old ids minus leavers) with their sorted joiners. Both
+  // inputs are ascending, so each cell stays sorted.
+  const std::size_t cell_count =
+      static_cast<size_t>(cols_) * static_cast<size_t>(rows_);
+  std::vector<std::size_t> new_offsets(cell_count + 1, 0);
+  std::vector<NodeId> new_ids(cell_ids_.size());
+  std::size_t li = 0, ji = 0, write = 0;
+  for (std::size_t c = 0; c < cell_count; ++c) {
+    new_offsets[c] = write;
+    std::span<const NodeId> old_ids{cell_ids_.data() + cell_offsets_[c],
+                                    cell_offsets_[c + 1] - cell_offsets_[c]};
+    bool touched = (li < leavers.size() && leavers[li].first == c) ||
+                   (ji < joiners.size() && joiners[ji].first == c);
+    if (!touched) {
+      std::copy(old_ids.begin(), old_ids.end(), new_ids.begin() + write);
+      write += old_ids.size();
+      continue;
+    }
+    std::size_t oi = 0;
+    while (oi < old_ids.size() || (ji < joiners.size() && joiners[ji].first == c)) {
+      // Next survivor from the old list (skipping this cell's leavers).
+      NodeId old_next = kInvalidNode;
+      while (oi < old_ids.size()) {
+        if (li < leavers.size() && leavers[li].first == c &&
+            leavers[li].second == old_ids[oi]) {
+          ++li;
+          ++oi;
+          continue;
+        }
+        old_next = old_ids[oi];
+        break;
+      }
+      NodeId join_next = (ji < joiners.size() && joiners[ji].first == c)
+                             ? joiners[ji].second
+                             : kInvalidNode;
+      if (old_next == kInvalidNode && join_next == kInvalidNode) break;
+      if (join_next == kInvalidNode ||
+          (old_next != kInvalidNode && old_next < join_next)) {
+        new_ids[write++] = old_next;
+        ++oi;
+      } else {
+        new_ids[write++] = join_next;
+        ++ji;
+      }
+    }
+    // Any leavers of this cell not consumed above (they sorted past the old
+    // scan) have been skipped already; advance over stragglers defensively.
+    while (li < leavers.size() && leavers[li].first == c) ++li;
+  }
+  new_offsets[cell_count] = write;
+  cell_offsets_ = std::move(new_offsets);
+  cell_ids_ = std::move(new_ids);
+}
+
 int SpatialGrid::cell_col(double x) const noexcept {
   int c = static_cast<int>((x - bounds_.lo().x) / cell_size_);
   return std::clamp(c, 0, cols_ - 1);

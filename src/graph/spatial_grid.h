@@ -37,6 +37,21 @@ class SpatialGrid {
   /// Ids of all points inside the axis-aligned rectangle.
   void query_rect(const Rect& r, std::vector<NodeId>& out) const;
 
+  /// Moves the points `ids[i] -> new_positions[i]` (parallel spans) to new
+  /// coordinates *without* re-bucketing the unmoved points: cells whose
+  /// membership did not change are block-copied, and only the moved points
+  /// pay the cell-index recomputation. Each cell's ids stay sorted
+  /// ascending, so the relocated grid is indistinguishable from one built
+  /// from scratch over the new point set (tests enforce query equality).
+  ///
+  /// The grid is shared across `UnitDiskGraph` snapshots via shared_ptr —
+  /// mutate only a freshly copied grid (UnitDiskGraph::with_moves does).
+  void relocate(std::span<const NodeId> ids,
+                std::span<const Vec2> new_positions);
+
+  /// The stored coordinate of one point.
+  Vec2 position(NodeId id) const noexcept { return points_[id]; }
+
   int cols() const noexcept { return cols_; }
   int rows() const noexcept { return rows_; }
   std::size_t point_count() const noexcept { return points_.size(); }

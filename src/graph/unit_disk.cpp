@@ -88,6 +88,211 @@ double UnitDiskGraph::average_degree() const noexcept {
          static_cast<double>(positions_.size());
 }
 
+UnitDiskGraph::UnitDiskGraph(PatchedTag, std::vector<Vec2> positions,
+                             double range, Rect bounds,
+                             std::shared_ptr<const SpatialGrid> grid,
+                             std::vector<bool> alive,
+                             std::vector<std::size_t> offsets,
+                             std::vector<NodeId> adjacency)
+    : positions_(std::move(positions)),
+      range_(range),
+      bounds_(bounds),
+      grid_(std::move(grid)),
+      alive_(std::move(alive)),
+      offsets_(std::move(offsets)),
+      adjacency_(std::move(adjacency)) {}
+
+UnitDiskGraph UnitDiskGraph::with_moves(const std::vector<Vec2>& new_positions,
+                                        EdgeDiff* diff,
+                                        TaskPool* build_pool) const {
+  const std::size_t n = positions_.size();
+  if (diff != nullptr) *diff = EdgeDiff{};
+
+  // Which nodes actually moved (exact coordinate comparison: the waypoint
+  // process hands back untouched doubles for paused nodes).
+  std::vector<NodeId> moved;
+  for (NodeId u = 0; u < n && u < new_positions.size(); ++u) {
+    if (!(new_positions[u] == positions_[u])) moved.push_back(u);
+  }
+  if (diff != nullptr) diff->moved_nodes = moved.size();
+  std::vector<Vec2> positions(new_positions);
+  positions.resize(n, Vec2{});
+  for (std::size_t i = new_positions.size(); i < n; ++i) {
+    positions[i] = positions_[i];
+  }
+
+  // Adaptive cutover: when most nodes moved (whole-field mobility epochs),
+  // every neighbor list re-queries anyway, so the grid-relocation and
+  // list-patching machinery is pure overhead — a from-scratch build is the
+  // optimal "patch". The result is bit-identical either way (tests assert
+  // both paths against fresh builds); only the edge delta still needs the
+  // tandem walk.
+  if (2 * moved.size() > n) {
+    UnitDiskGraph fresh(positions, range_, bounds_, alive_, nullptr,
+                        build_pool);
+    if (diff != nullptr) {
+      for (NodeId u = 0; u < n; ++u) {
+        auto old_list = neighbors(u);
+        auto new_list = fresh.neighbors(u);
+        std::size_t oi = 0, ni = 0;
+        while (oi < old_list.size() || ni < new_list.size()) {
+          NodeId vo = oi < old_list.size() ? old_list[oi] : kInvalidNode;
+          NodeId vn = ni < new_list.size() ? new_list[ni] : kInvalidNode;
+          if (vn == kInvalidNode || (vo != kInvalidNode && vo < vn)) {
+            if (vo > u) diff->removed.emplace_back(u, vo);
+            ++oi;
+          } else if (vo == kInvalidNode || vn < vo) {
+            if (vn > u) diff->added.emplace_back(u, vn);
+            ++ni;
+          } else {
+            ++oi;
+            ++ni;
+          }
+        }
+      }
+    }
+    return fresh;
+  }
+
+  // Relocate a private copy of the grid: unmoved points keep their buckets.
+  auto grid = std::make_shared<SpatialGrid>(*grid_);
+  {
+    std::vector<Vec2> moved_positions;
+    moved_positions.reserve(moved.size());
+    for (NodeId u : moved) moved_positions.push_back(positions[u]);
+    grid->relocate(moved, moved_positions);
+  }
+
+  if (moved.empty()) {
+    return UnitDiskGraph(PatchedTag{}, std::move(positions), range_, bounds_,
+                         std::move(grid), alive_, offsets_, adjacency_);
+  }
+
+  // Fresh neighbor lists for the moved nodes only (alive ones; dead nodes
+  // stay edgeless wherever they are).
+  std::vector<bool> is_moved(n, false);
+  for (NodeId u : moved) is_moved[u] = true;
+  std::vector<std::vector<NodeId>> moved_lists(moved.size());
+  parallel_for_blocked(
+      build_pool, moved.size(), 64,
+      [&](std::size_t range_begin, std::size_t range_end) {
+        std::vector<NodeId> scratch;
+        for (std::size_t i = range_begin; i < range_end; ++i) {
+          NodeId u = moved[i];
+          if (!alive_[u]) continue;
+          scratch.clear();
+          grid->query_radius(positions[u], range_, u, scratch);
+          auto& list = moved_lists[i];
+          for (NodeId v : scratch) {
+            if (alive_[v]) list.push_back(v);
+          }
+          std::sort(list.begin(), list.end());
+        }
+      });
+
+  // The edge delta, from a tandem walk of each moved node's old and new
+  // sorted lists. Edges between two moved endpoints show up in both walks;
+  // normalizing to (min, max) and deduping on the lower endpoint keeps one
+  // record. Unmoved partners collect per-node patch lists.
+  std::vector<std::pair<NodeId, NodeId>> drops, adds;  // (unmoved v, moved u)
+  auto record = [&](std::vector<std::pair<NodeId, NodeId>>* out, NodeId u,
+                    NodeId v, std::vector<std::pair<NodeId, NodeId>>& patch) {
+    if (!is_moved[v]) {
+      patch.emplace_back(v, u);
+    } else if (v < u) {
+      return;  // the walk from v records this moved-moved edge
+    }
+    if (out != nullptr) {
+      out->emplace_back(std::min(u, v), std::max(u, v));
+    }
+  };
+  EdgeDiff local_diff;
+  EdgeDiff* d = diff != nullptr ? diff : &local_diff;
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    NodeId u = moved[i];
+    auto old_list = neighbors(u);
+    const auto& new_list = moved_lists[i];
+    std::size_t oi = 0, ni = 0;
+    while (oi < old_list.size() || ni < new_list.size()) {
+      if (ni == new_list.size() ||
+          (oi < old_list.size() && old_list[oi] < new_list[ni])) {
+        record(&d->removed, u, old_list[oi], drops);
+        ++oi;
+      } else if (oi == old_list.size() || new_list[ni] < old_list[oi]) {
+        record(&d->added, u, new_list[ni], adds);
+        ++ni;
+      } else {
+        ++oi;
+        ++ni;
+      }
+    }
+  }
+  std::sort(d->added.begin(), d->added.end());
+  d->added.erase(std::unique(d->added.begin(), d->added.end()),
+                 d->added.end());
+  std::sort(d->removed.begin(), d->removed.end());
+  d->removed.erase(std::unique(d->removed.begin(), d->removed.end()),
+                   d->removed.end());
+  std::sort(drops.begin(), drops.end());
+  std::sort(adds.begin(), adds.end());
+
+  // Assemble the patched CSR in node-id order: moved nodes take their fresh
+  // lists, unmoved touched nodes merge (old minus drops) with adds, and
+  // untouched nodes block-copy their old span.
+  std::vector<std::size_t> offsets(n + 1, 0);
+  std::vector<NodeId> adjacency;
+  adjacency.reserve(adjacency_.size() + 2 * d->added.size());
+  std::size_t di = 0, ai = 0;
+  std::size_t moved_cursor = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    offsets[u] = adjacency.size();
+    if (is_moved[u]) {
+      const auto& list = moved_lists[moved_cursor++];
+      adjacency.insert(adjacency.end(), list.begin(), list.end());
+      continue;
+    }
+    auto old_list = neighbors(u);
+    bool touched = (di < drops.size() && drops[di].first == u) ||
+                   (ai < adds.size() && adds[ai].first == u);
+    if (!touched) {
+      adjacency.insert(adjacency.end(), old_list.begin(), old_list.end());
+      continue;
+    }
+    std::size_t oi = 0;
+    while (oi < old_list.size() || (ai < adds.size() && adds[ai].first == u)) {
+      NodeId old_next = kInvalidNode;
+      while (oi < old_list.size()) {
+        if (di < drops.size() && drops[di].first == u &&
+            drops[di].second == old_list[oi]) {
+          ++di;
+          ++oi;
+          continue;
+        }
+        old_next = old_list[oi];
+        break;
+      }
+      NodeId add_next = (ai < adds.size() && adds[ai].first == u)
+                            ? adds[ai].second
+                            : kInvalidNode;
+      if (old_next == kInvalidNode && add_next == kInvalidNode) break;
+      if (add_next == kInvalidNode ||
+          (old_next != kInvalidNode && old_next < add_next)) {
+        adjacency.push_back(old_next);
+        ++oi;
+      } else {
+        adjacency.push_back(add_next);
+        ++ai;
+      }
+    }
+    while (di < drops.size() && drops[di].first == u) ++di;
+  }
+  offsets[n] = adjacency.size();
+
+  return UnitDiskGraph(PatchedTag{}, std::move(positions), range_, bounds_,
+                       std::move(grid), alive_, std::move(offsets),
+                       std::move(adjacency));
+}
+
 UnitDiskGraph UnitDiskGraph::with_failures(const std::vector<NodeId>& failed,
                                            TaskPool* build_pool) const {
   std::vector<bool> alive = alive_;

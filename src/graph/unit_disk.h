@@ -19,6 +19,16 @@ namespace spr {
 class SpatialGrid;
 class TaskPool;
 
+/// The edge delta between a graph and a moved sibling: the unit-disk edges
+/// that appeared and disappeared when a subset of nodes changed position.
+/// Pairs are normalized (first < second) and sorted ascending, so the diff
+/// is deterministic regardless of which endpoint moved.
+struct EdgeDiff {
+  std::vector<std::pair<NodeId, NodeId>> added;
+  std::vector<std::pair<NodeId, NodeId>> removed;
+  std::size_t moved_nodes = 0;  ///< points whose coordinates changed
+};
+
 /// Immutable unit-disk graph over a fixed set of node positions.
 ///
 /// Neighbor lists are stored in CSR form and sorted by node id. The optional
@@ -69,6 +79,20 @@ class UnitDiskGraph {
   UnitDiskGraph with_failures(const std::vector<NodeId>& failed,
                               TaskPool* build_pool = nullptr) const;
 
+  /// A copy of this graph over moved node positions, built *incrementally*:
+  /// the spatial grid is copied and `SpatialGrid::relocate`d (unmoved points
+  /// never re-bucket), only moved nodes re-run their radius query, and the
+  /// neighbor lists of unmoved nodes are patched from the edge delta — the
+  /// resulting CSR is bit-identical to a from-scratch build over
+  /// `new_positions` (tests enforce offsets+adjacency equality). Aliveness
+  /// carries over: dead nodes move but stay edgeless. `new_positions` must
+  /// have exactly size() entries. `diff`, when non-null, receives the
+  /// added/removed edge sets (alive endpoints only). With a `build_pool` the
+  /// moved nodes' radius queries fan out (deterministic id-ordered merge).
+  UnitDiskGraph with_moves(const std::vector<Vec2>& new_positions,
+                           EdgeDiff* diff = nullptr,
+                           TaskPool* build_pool = nullptr) const;
+
   /// The spatial index the adjacency was built with; shared across
   /// `with_failures` copies.
   const SpatialGrid& grid() const noexcept { return *grid_; }
@@ -77,6 +101,13 @@ class UnitDiskGraph {
   UnitDiskGraph(std::vector<Vec2> positions, double range, Rect bounds,
                 const std::vector<bool>& alive,
                 std::shared_ptr<const SpatialGrid> grid, TaskPool* build_pool);
+
+  /// Adopts fully built CSR arrays (the with_moves patch path).
+  struct PatchedTag {};
+  UnitDiskGraph(PatchedTag, std::vector<Vec2> positions, double range,
+                Rect bounds, std::shared_ptr<const SpatialGrid> grid,
+                std::vector<bool> alive, std::vector<std::size_t> offsets,
+                std::vector<NodeId> adjacency);
 
   void build(const std::vector<bool>& alive, TaskPool* build_pool);
 

@@ -257,6 +257,26 @@ JsonValue stream_stats_json(const StreamStats& stats) {
     waves.push(std::move(wave));
   }
   root.set("waves", std::move(waves));
+  JsonValue repins = JsonValue::array();
+  for (const RepinRecord& record : stats.repin_records) {
+    JsonValue repin = JsonValue::object();
+    repin.set("time", JsonValue::of(record.time));
+    repin.set("moved", uint_of(record.moved));
+    repin.set("edges_added", uint_of(record.edges_added));
+    repin.set("edges_removed", uint_of(record.edges_removed));
+    repin.set("packets_in_flight", uint_of(record.packets_in_flight));
+    repin.set("packets_dropped", uint_of(record.packets_dropped));
+    repin.set("relabel_seeds", uint_of(record.relabel.seeds));
+    repin.set("relabel_reevaluations", uint_of(record.relabel.reevaluations));
+    repin.set("relabel_demotions", uint_of(record.relabel.flips));
+    repin.set("relabel_promotions", uint_of(record.relabel.promotions));
+    if (record.verified) {
+      repin.set("matches_full_recompute",
+                JsonValue::of(record.matches_full_recompute));
+    }
+    repins.push(std::move(repin));
+  }
+  root.set("repin_records", std::move(repins));
   JsonValue schemes = JsonValue::object();
   for (const StreamSchemeStats& s : stats.schemes) {
     JsonValue scheme = JsonValue::object();
@@ -287,6 +307,7 @@ void to_json(JsonWriter& w, const IncrementalStats& stats) {
   w.key("seeds").value(static_cast<std::uint64_t>(stats.seeds));
   w.key("reevaluations").value(static_cast<std::uint64_t>(stats.reevaluations));
   w.key("flips").value(static_cast<std::uint64_t>(stats.flips));
+  w.key("promotions").value(static_cast<std::uint64_t>(stats.promotions));
   w.key("anchor_recomputes")
       .value(static_cast<std::uint64_t>(stats.anchor_recomputes));
   w.end_object();
@@ -298,10 +319,50 @@ bool from_json(const JsonValue& v, IncrementalStats& out) {
   if (!read_size(v, "seeds", stats.seeds) ||
       !read_size(v, "reevaluations", stats.reevaluations) ||
       !read_size(v, "flips", stats.flips) ||
+      !read_size(v, "promotions", stats.promotions) ||
       !read_size(v, "anchor_recomputes", stats.anchor_recomputes)) {
     return false;
   }
   out = stats;
+  return true;
+}
+
+void to_json(JsonWriter& w, const RepinRecord& record) {
+  w.begin_object();
+  w.key("time").value(record.time);
+  w.key("moved").value(static_cast<std::uint64_t>(record.moved));
+  w.key("edges_added").value(static_cast<std::uint64_t>(record.edges_added));
+  w.key("edges_removed")
+      .value(static_cast<std::uint64_t>(record.edges_removed));
+  w.key("packets_in_flight")
+      .value(static_cast<std::uint64_t>(record.packets_in_flight));
+  w.key("packets_dropped")
+      .value(static_cast<std::uint64_t>(record.packets_dropped));
+  w.key("relabel");
+  to_json(w, record.relabel);
+  w.key("verified").value(record.verified);
+  w.key("matches_full_recompute").value(record.matches_full_recompute);
+  w.end_object();
+}
+
+bool from_json(const JsonValue& v, RepinRecord& out) {
+  if (!v.is_object()) return false;
+  RepinRecord record;
+  const JsonValue* verified = v.find("verified");
+  const JsonValue* matches = v.find("matches_full_recompute");
+  if (!read_double(v, "time", record.time) ||
+      !read_size(v, "moved", record.moved) ||
+      !read_size(v, "edges_added", record.edges_added) ||
+      !read_size(v, "edges_removed", record.edges_removed) ||
+      !read_size(v, "packets_in_flight", record.packets_in_flight) ||
+      !read_size(v, "packets_dropped", record.packets_dropped) ||
+      !from_json(v.get("relabel"), record.relabel) || verified == nullptr ||
+      !verified->is_bool() || matches == nullptr || !matches->is_bool()) {
+    return false;
+  }
+  record.verified = verified->as_bool();
+  record.matches_full_recompute = matches->as_bool();
+  out = std::move(record);
   return true;
 }
 
@@ -393,6 +454,9 @@ void to_json(JsonWriter& w, const StreamStats& stats) {
   w.key("waves").begin_array();
   for (const WaveRecord& record : stats.waves) to_json(w, record);
   w.end_array();
+  w.key("repin_records").begin_array();
+  for (const RepinRecord& record : stats.repin_records) to_json(w, record);
+  w.end_array();
   w.key("schemes").begin_array();
   for (const StreamSchemeStats& s : stats.schemes) to_json(w, s);
   w.end_array();
@@ -408,15 +472,21 @@ bool from_json(const JsonValue& v, StreamStats& out) {
     return false;
   }
   const JsonValue* waves = v.find("waves");
+  const JsonValue* repins = v.find("repin_records");
   const JsonValue* schemes = v.find("schemes");
-  if (waves == nullptr || !waves->is_array() || schemes == nullptr ||
-      !schemes->is_array()) {
+  if (waves == nullptr || !waves->is_array() || repins == nullptr ||
+      !repins->is_array() || schemes == nullptr || !schemes->is_array()) {
     return false;
   }
   for (const JsonValue& item : waves->items()) {
     WaveRecord record;
     if (!from_json(item, record)) return false;
     stats.waves.push_back(std::move(record));
+  }
+  for (const JsonValue& item : repins->items()) {
+    RepinRecord record;
+    if (!from_json(item, record)) return false;
+    stats.repin_records.push_back(std::move(record));
   }
   for (const JsonValue& item : schemes->items()) {
     StreamSchemeStats s;

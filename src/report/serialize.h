@@ -74,6 +74,9 @@ bool from_json(const JsonValue& v, IncrementalStats& out);
 void to_json(JsonWriter& w, const WaveRecord& record);
 bool from_json(const JsonValue& v, WaveRecord& out);
 
+void to_json(JsonWriter& w, const RepinRecord& record);
+bool from_json(const JsonValue& v, RepinRecord& out);
+
 void to_json(JsonWriter& w, const StreamSchemeStats& stats);
 bool from_json(const JsonValue& v, StreamSchemeStats& out);
 

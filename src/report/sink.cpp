@@ -5,6 +5,7 @@
 
 #include "report/serialize.h"
 #include "stats/table.h"
+#include "util/suggest.h"
 #include "util/svg.h"
 
 namespace spr {
@@ -259,8 +260,15 @@ bool parse_report_formats(std::string_view list,
       else if (token == "svg") format = ReportFormat::kSvg;
       else {
         if (error != nullptr) {
+          // Same "did you mean" machinery as unknown scenario names.
+          static const std::vector<std::string> kNames = {"console", "json",
+                                                          "csv", "svg"};
           *error = "unknown report format '" + std::string(token) +
                    "' (expected console, json, csv or svg)";
+          auto close = near_matches(token, kNames);
+          if (!close.empty()) {
+            *error += "; did you mean '" + close.front() + "'?";
+          }
         }
         return false;
       }

@@ -86,4 +86,198 @@ IncrementalStats update_safety_after_failures(const UnitDiskGraph& degraded,
   return stats;
 }
 
+IncrementalStats update_safety_after_moves(const UnitDiskGraph& before,
+                                           const InterestArea& area_before,
+                                           const UnitDiskGraph& after,
+                                           const InterestArea& area_after,
+                                           SafetyInfo& info) {
+  IncrementalStats stats;
+  const std::size_t n = after.size();
+
+  // Phase 1 — the move frontier, per (node, type). A pair's flip condition
+  // can only change when a node joined or left its quadrant: an edge
+  // appeared or disappeared, or a surviving neighbor's relative quadrant
+  // flipped (both endpoints' positions enter the test, so a tandem walk of
+  // the old and new sorted neighbor lists sees every case; quadrants
+  // partition the plane, so `zone_type` names the one quadrant affected).
+  // Losing a member can demote. Gaining one matters only when the gained
+  // member is *old-safe* in that type: a promotion chain in the new
+  // fixpoint ascends through old-unsafe nodes of one connected cluster
+  // and must terminate at a pair whose quadrant gained an old-safe
+  // supporter (an old-unsafe gain supports nothing by itself, and a
+  // promoted gain lies in the same cluster as its own terminal source) —
+  // so only those gains seed cluster resets. Edge-band churn is the other
+  // input: a pair that left the band loses its pin (demotable), one that
+  // entered it is pinned safe (a promotion source for its dependents).
+  std::vector<std::array<bool, 4>> demote_seed(n, {false, false, false, false});
+  std::vector<std::array<bool, 4>> promote_src(n, {false, false, false, false});
+
+  // Pre-pass: a node's flip inputs can only have changed if it moved, a
+  // neighbor (old or new) moved, or its adjacency changed — everyone else
+  // skips the delta walk entirely, so localized motion costs O(moved * deg)
+  // rather than O(E).
+  std::vector<bool> touched(n, false);
+  for (NodeId u = 0; u < n; ++u) {
+    if (before.position(u) == after.position(u)) continue;
+    touched[u] = true;
+    for (NodeId v : before.neighbors(u)) touched[v] = true;
+    for (NodeId v : after.neighbors(u)) touched[v] = true;
+  }
+
+  // The delta walk visits each undirected edge once (from its lower
+  // endpoint) and emits both directions from one set of position loads.
+  auto mark_demote = [&](NodeId u, ZoneType t) {
+    demote_seed[u][static_cast<size_t>(zone_index(t))] = true;
+  };
+  auto mark_promote = [&](NodeId u, NodeId gained, ZoneType t) {
+    // A gained member promotes only if it arrives old-safe (an unsafe gain
+    // supports nothing; a promoted gain shares its cluster's source).
+    if (info.is_safe(gained, t)) {
+      promote_src[u][static_cast<size_t>(zone_index(t))] = true;
+    }
+  };
+  auto quadrant_delta = [&](NodeId u) {
+    Vec2 pu_old = before.position(u);
+    Vec2 pu_new = after.position(u);
+    const bool u_moved = !(pu_old == pu_new);
+    auto old_list = before.neighbors(u);
+    auto new_list = after.neighbors(u);
+    std::size_t oi = 0, ni = 0;
+    while (oi < old_list.size() && old_list[oi] <= u) ++oi;
+    while (ni < new_list.size() && new_list[ni] <= u) ++ni;
+    while (oi < old_list.size() || ni < new_list.size()) {
+      NodeId vo = oi < old_list.size() ? old_list[oi] : kInvalidNode;
+      NodeId vn = ni < new_list.size() ? new_list[ni] : kInvalidNode;
+      if (vn == kInvalidNode || (vo != kInvalidNode && vo < vn)) {
+        // Edge (u, vo) vanished: each endpoint loses the other from the
+        // quadrant it occupied.
+        Vec2 pv_old = before.position(vo);
+        mark_demote(u, zone_type(pu_old, pv_old));
+        mark_demote(vo, zone_type(pv_old, pu_old));
+        ++oi;
+      } else if (vo == kInvalidNode || vn < vo) {
+        // Edge (u, vn) appeared: each endpoint gains the other.
+        Vec2 pv_new = after.position(vn);
+        ZoneType tu = zone_type(pu_new, pv_new);
+        mark_promote(u, vn, tu);
+        mark_promote(vn, u, zone_type(pv_new, pu_new));
+        ++ni;
+      } else {
+        // Surviving edge: quadrant membership may still have flipped.
+        Vec2 pv_old = before.position(vo);
+        Vec2 pv_new = after.position(vo);
+        if (u_moved || !(pv_old == pv_new)) {
+          ZoneType t_old = zone_type(pu_old, pv_old);
+          ZoneType t_new = zone_type(pu_new, pv_new);
+          if (t_old != t_new) {
+            mark_demote(u, t_old);
+            mark_promote(u, vo, t_new);
+          }
+          ZoneType r_old = zone_type(pv_old, pu_old);
+          ZoneType r_new = zone_type(pv_new, pu_new);
+          if (r_old != r_new) {
+            mark_demote(vo, r_old);
+            mark_promote(vo, u, r_new);
+          }
+        }
+        ++oi;
+        ++ni;
+      }
+    }
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    if (!after.alive(u)) continue;
+    if (touched[u]) quadrant_delta(u);
+    bool was_edge = area_before.is_edge_node(u);
+    bool is_edge = area_after.is_edge_node(u);
+    if (was_edge && !is_edge) {
+      demote_seed[u] = {true, true, true, true};
+    } else if (!was_edge && is_edge) {
+      // Newly pinned: the pin itself is applied below; dependents may gain
+      // support through the promotion cascade.
+      for (ZoneType t : kAllZoneTypes) {
+        if (!info.is_safe(u, t)) {
+          promote_src[u][static_cast<size_t>(zone_index(t))] = true;
+        }
+      }
+    }
+  }
+
+  // Phase 2 — promotion: re-raise to safe the connected type-t unsafe
+  // cluster (new-graph edges) of every unsafe promotion source. Any pair
+  // the new fixpoint promotes chains, through type-t support (which is
+  // acyclic — a supporter lies strictly inside the quadrant direction), to
+  // a source inside its own cluster, so the raised state is again an
+  // over-approximation of the new fixpoint and the demotion worklist below
+  // converges onto it exactly. Raised pairs shed their stale anchors (safe
+  // pairs carry none) and re-enter the worklist.
+  std::vector<std::array<bool, 4>> raised(n, {false, false, false, false});
+  std::vector<NodeId> cluster;
+  for (NodeId u = 0; u < n; ++u) {
+    for (ZoneType t : kAllZoneTypes) {
+      const auto ti = static_cast<size_t>(zone_index(t));
+      if (!promote_src[u][ti] || raised[u][ti]) continue;
+      if (!after.alive(u) || info.is_safe(u, t)) continue;
+      cluster.clear();
+      cluster.push_back(u);
+      raised[u][ti] = true;
+      for (std::size_t head = 0; head < cluster.size(); ++head) {
+        NodeId w = cluster[head];
+        for (NodeId v : after.neighbors(w)) {
+          if (raised[v][ti] || !after.alive(v) || info.is_safe(v, t)) continue;
+          raised[v][ti] = true;
+          cluster.push_back(v);
+        }
+      }
+      for (NodeId w : cluster) {
+        info.tuple(w).set_safe(t, true);
+        info.tuple(w).anchors_for(t) = ShapeAnchors{};
+        demote_seed[w][ti] = true;
+        ++stats.promotions;
+      }
+    }
+  }
+
+  // Phase 3 — demotion worklist on the new graph, exactly the failure
+  // updater's monotone continuation, seeded with every pair whose support
+  // shrank, lost its pin, or was optimistically raised.
+  std::deque<std::pair<NodeId, ZoneType>> worklist;
+  std::vector<std::array<bool, 4>> queued(n, {false, false, false, false});
+  auto enqueue = [&](NodeId u, ZoneType t) {
+    auto& flag = queued[u][static_cast<size_t>(zone_index(t))];
+    if (!flag) {
+      flag = true;
+      worklist.emplace_back(u, t);
+    }
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    if (!after.alive(u)) continue;
+    for (ZoneType t : kAllZoneTypes) {
+      if (demote_seed[u][static_cast<size_t>(zone_index(t))]) enqueue(u, t);
+    }
+  }
+  stats.seeds = worklist.size();
+
+  while (!worklist.empty()) {
+    auto [u, t] = worklist.front();
+    worklist.pop_front();
+    queued[u][static_cast<size_t>(zone_index(t))] = false;
+    if (!after.alive(u)) continue;
+    if (area_after.is_edge_node(u)) continue;  // pinned at (1,1,1,1)
+    if (!info.is_safe(u, t)) continue;
+    ++stats.reevaluations;
+    if (!must_flip(after, info, u, t)) continue;
+    info.tuple(u).set_safe(t, false);
+    ++stats.flips;
+    for (NodeId w : after.neighbors(u)) {
+      if (in_quadrant(after.position(w), after.position(u), t)) {
+        enqueue(w, t);
+      }
+    }
+  }
+
+  stats.anchor_recomputes = recompute_all_anchors(after, info);
+  return stats;
+}
+
 }  // namespace spr

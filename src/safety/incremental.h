@@ -14,13 +14,21 @@
 /// only the affected region — no global reconstruction (and no global
 /// message storm in the distributed analogue).
 ///
-/// Node *additions* are the opposite direction (safety can only grow) and
-/// require recomputation of the greatest fixpoint; `compute_safety` remains
-/// the tool for that.
+/// Node *motion* changes edges in both directions: removals can only demote
+/// (as under failures), while additions can *promote* — a node that gains a
+/// safe quadrant supporter may flip 0 -> 1, and that promotion can cascade.
+/// `update_safety_after_moves` handles both: promotions are seeded by
+/// optimistically re-raising the connected unsafe clusters touched by the
+/// move frontier back to safe (only the touched cluster is relabeled — the
+/// message-passing cluster-relabeling idea of the parallel Swendsen-Wang
+/// algorithms), which restores the over-approximation invariant; the
+/// standard demotion worklist then closes over exactly the affected region
+/// and lands on the same greatest fixpoint `compute_safety` computes.
 
 #include <vector>
 
 #include "deploy/interest_area.h"
+#include "graph/unit_disk.h"
 #include "safety/labeling.h"
 
 namespace spr {
@@ -29,7 +37,8 @@ namespace spr {
 struct IncrementalStats {
   std::size_t seeds = 0;            ///< (node,type) pairs initially enqueued
   std::size_t reevaluations = 0;    ///< flip-condition evaluations performed
-  std::size_t flips = 0;            ///< statuses that changed 1 -> 0
+  std::size_t flips = 0;            ///< demotions: statuses that went 1 -> 0
+  std::size_t promotions = 0;       ///< statuses that went 0 -> 1 (moves only)
   std::size_t anchor_recomputes = 0;///< nodes whose anchors were rebuilt
 };
 
@@ -45,5 +54,27 @@ IncrementalStats update_safety_after_failures(const UnitDiskGraph& degraded,
                                               const InterestArea& area,
                                               const std::vector<NodeId>& failed,
                                               SafetyInfo& info);
+
+/// Updates `info` (the fixpoint of `before` / `area_before`) to the exact
+/// fixpoint of `after` / `area_after`, where `after` is the same node set
+/// with some nodes moved (`UnitDiskGraph::with_moves` — same aliveness,
+/// edges added and removed). Bidirectional:
+///
+///  * every (node, type) whose quadrant gained a member — an added edge, a
+///    surviving edge whose relative quadrant flipped, or a node newly
+///    pinned as an edge node — is a *promotion source*: its connected
+///    type-t unsafe cluster (new-graph edges) is optimistically re-raised
+///    to safe, which provably covers every pair the new fixpoint promotes;
+///  * every pair that lost a quadrant member, left the edge-node band, or
+///    was optimistically raised seeds the standard demotion worklist,
+///    which closes downward onto the greatest fixpoint.
+///
+/// Postcondition: `info == compute_safety(after, area_after)`, statuses and
+/// anchors (tests assert full equality at every staged-mobility epoch).
+IncrementalStats update_safety_after_moves(const UnitDiskGraph& before,
+                                           const InterestArea& area_before,
+                                           const UnitDiskGraph& after,
+                                           const InterestArea& area_after,
+                                           SafetyInfo& info);
 
 }  // namespace spr

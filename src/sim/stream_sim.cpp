@@ -140,7 +140,8 @@ void StreamSim::finalize(Flight& flight, StreamOutcome outcome, double now) {
   flight.finish_time = now;
 }
 
-void StreamSim::replan_flights(double now, WaveRecord* record) {
+void StreamSim::replan_flights(double now, std::size_t* in_flight,
+                               std::size_t* dropped) {
   for (auto& packet : packets_) {
     if (!packet.injected) continue;
     for (std::size_t k = 0; k < packet.flights.size(); ++k) {
@@ -155,11 +156,11 @@ void StreamSim::replan_flights(double now, WaveRecord* record) {
       std::size_t budget = flight.stepper->ttl_remaining();
       harvest(flight);
       if (!net_.graph().alive(at)) {
-        if (record != nullptr) ++record->packets_dropped;
+        if (dropped != nullptr) ++*dropped;
         finalize(flight, StreamOutcome::kNodeFailed, now);
         continue;
       }
-      if (record != nullptr) ++record->packets_in_flight;
+      if (in_flight != nullptr) ++*in_flight;
       ++flight.replans;
       flight.stepper = routers_[k]->make_stepper(at, packet.dst,
                                                  config_.route_options, budget);
@@ -322,7 +323,6 @@ StreamStats StreamSim::run() {
           stats_.waves.push_back(std::move(record));
           break;
         }
-        dead_.insert(dead_.end(), casualties.begin(), casualties.end());
         routers_.clear();  // routers reference the outgoing substrate
         Network degraded = net_.with_failures(casualties, &record.relabel);
         if (config_.verify_relabeling && degraded.has_safety()) {
@@ -334,33 +334,44 @@ StreamStats StreamSim::run() {
         net_ = std::move(degraded);
         std::fill(oracle_cache_.begin(), oracle_cache_.end(), kNoOracle);
         rebuild_routers();
-        replan_flights(now, &record);
+        replan_flights(now, &record.packets_in_flight,
+                       &record.packets_dropped);
         stats_.waves.push_back(std::move(record));
         break;
       }
       case Ev::Kind::kRepin: {
-        // Positions changed: the whole snapshot re-constitutes (there is
-        // no incremental path for motion — safety can grow again), exactly
-        // the paper's periodic reconstruction regime. Nodes killed by
-        // earlier failure waves stay dead — the rebuilt snapshot re-marks
-        // them — and the interest-area band carries over.
+        // Positions changed: the snapshot *continues incrementally*
+        // (Network::with_moves) — the spatial grid relocates, the
+        // adjacency is patched from the edge delta, and the safety
+        // labeling continues bidirectionally from the previous fixpoint
+        // (update_safety_after_moves: removals demote, additions promote).
+        // The paper's periodic reconstruction regime collapsed into a
+        // local update wave. Nodes killed by earlier failure waves stay
+        // dead (aliveness carries over) and the interest-area band
+        // carries over.
         mobility_.advance(config_.mobility_dt);
         routers_.clear();
-        Deployment moved = net_.deployment();
-        moved.positions = mobility_.positions();
-        double band = net_.edge_band();
-        Network rebuilt(std::move(moved), band);
-        net_ = dead_.empty() ? std::move(rebuilt)
-                             : rebuilt.with_failures(dead_);
-        std::fill(oracle_cache_.begin(), oracle_cache_.end(), kNoOracle);
-        unsigned needs = Network::kNeedsNone;
-        for (const auto& spec : config_.schemes) {
-          needs |= Network::needs_for(spec.scheme);
+        RepinRecord record;
+        record.time = now;
+        EdgeDiff diff;
+        Network moved =
+            net_.with_moves(mobility_.positions(), &record.relabel, &diff);
+        record.moved = diff.moved_nodes;
+        record.edges_added = diff.added.size();
+        record.edges_removed = diff.removed.size();
+        if (config_.verify_relabeling && moved.has_safety()) {
+          SafetyInfo fresh =
+              compute_safety(moved.graph(), moved.interest_area());
+          record.verified = true;
+          record.matches_full_recompute = fresh == moved.safety();
         }
-        net_.force(needs);
+        net_ = std::move(moved);
+        std::fill(oracle_cache_.begin(), oracle_cache_.end(), kNoOracle);
         rebuild_routers();
-        replan_flights(now, nullptr);
+        replan_flights(now, &record.packets_in_flight,
+                       &record.packets_dropped);
         ++stats_.repins;
+        stats_.repin_records.push_back(std::move(record));
         if (injected_count < packets_.size() || any_in_flight()) {
           queue.push(now + config_.mobility_interval, Ev{Ev::Kind::kRepin, 0});
         }

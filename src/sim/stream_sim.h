@@ -19,9 +19,16 @@
 ///    (update_safety_after_failures; IncrementalStats recorded per wave),
 ///    and SLGF/SLGF2 route the rest of the stream on the updated labels;
 ///  * mobility re-pins (optional) — every node moves under a
-///    random-waypoint process and the whole snapshot re-constitutes
-///    (nodes killed by earlier waves stay dead), the paper's
-///    "position-dependent information needs to re-constitute" regime.
+///    random-waypoint process and the snapshot *continues incrementally*
+///    (Network::with_moves): the spatial grid relocates, the unit-disk
+///    adjacency is patched from the edge delta, and the safety labeling
+///    continues bidirectionally from the previous fixpoint
+///    (update_safety_after_moves — removals demote, additions promote).
+///    Nodes killed by earlier waves stay dead (aliveness carries over).
+///    The paper's "position-dependent information needs to re-constitute"
+///    regime, collapsed into a local update wave; each re-pin is recorded
+///    as a RepinRecord, optionally cross-checked against a from-scratch
+///    compute_safety (StreamConfig::verify_relabeling).
 ///
 /// Semantics at a topology change: the packet header travels with the
 /// packet, but the substrate under it changed — each in-flight copy
@@ -30,6 +37,15 @@
 /// re-plan never extends a packet's life). A copy whose current carrier
 /// died in the wave is dropped (kNodeFailed). Hops, path length and local
 /// minima accumulate across the re-planned segments.
+///
+/// Injection semantics are fully defined — never UB: a packet whose source
+/// is dead at injection time (killed by an earlier wave), or whose source
+/// id is out of range, is counted as a kNodeFailed drop for every scheme.
+/// Same-instant ties resolve by FIFO push order (sim/event_queue.h): an
+/// injection scheduled at exactly a wave's timestamp fires *before* the
+/// wave (both are pushed up front, injections first), sees the pre-wave
+/// substrate, and its copies are then immediately re-planned — or dropped,
+/// if the wave killed their carrier — by the wave itself.
 ///
 /// Determinism: the simulation is single-threaded and draws randomness
 /// only from its own seeded streams, so a run is a pure function of
@@ -93,6 +109,23 @@ struct WaveRecord {
   bool matches_full_recompute = false;
 };
 
+/// What one mobility re-pin did to the substrate, the labeling and the
+/// in-flight packets.
+struct RepinRecord {
+  double time = 0.0;
+  std::size_t moved = 0;          ///< nodes whose position changed
+  std::size_t edges_added = 0;    ///< unit-disk edges that appeared
+  std::size_t edges_removed = 0;  ///< unit-disk edges that vanished
+  std::size_t packets_in_flight = 0;  ///< copies re-planned over the new net
+  std::size_t packets_dropped = 0;    ///< copies whose carrier was gone
+  IncrementalStats relabel;  ///< bidirectional incremental update cost
+  /// Filled when StreamConfig::verify_relabeling is set: whether the
+  /// incrementally continued labeling equals a from-scratch compute_safety
+  /// on the moved graph (statuses and anchors).
+  bool verified = false;
+  bool matches_full_recompute = false;
+};
+
 /// Per-scheme totals of one stream run.
 struct StreamSchemeStats {
   std::string label;
@@ -121,6 +154,7 @@ struct StreamStats {
   std::size_t events = 0;     ///< events processed
   std::size_t repins = 0;     ///< mobility re-pins performed
   std::vector<WaveRecord> waves;
+  std::vector<RepinRecord> repin_records;  ///< one per re-pin, in time order
   std::vector<StreamSchemeStats> schemes;  ///< in StreamConfig::schemes order
 };
 
@@ -139,13 +173,16 @@ struct StreamConfig {
   std::vector<StreamWave> waves;
   /// When > 0, a waypoint re-pin fires every `mobility_interval` virtual
   /// seconds (while traffic remains): every node moves `mobility_dt`
-  /// seconds under `waypoint`, and the snapshot rebuilds from scratch.
+  /// seconds under `waypoint`, and the snapshot continues incrementally
+  /// through Network::with_moves (relocated grid, patched adjacency,
+  /// bidirectional safety update — see the file comment).
   double mobility_interval = 0.0;
   double mobility_dt = 20.0;
   WaypointConfig waypoint{};
   std::uint64_t seed = 1;  ///< waypoint process seed
-  /// Cross-check each wave's incremental relabeling against a from-scratch
-  /// compute_safety on the degraded graph (WaveRecord::verified).
+  /// Cross-check each wave's and each re-pin's incremental relabeling
+  /// against a from-scratch compute_safety on the changed graph
+  /// (WaveRecord::verified / RepinRecord::verified).
   bool verify_relabeling = false;
 };
 
@@ -175,15 +212,14 @@ class StreamSim {
   void rebuild_routers();
   void harvest(Flight& flight);
   void finalize(Flight& flight, StreamOutcome outcome, double now);
-  void replan_flights(double now, WaveRecord* record);
+  void replan_flights(double now, std::size_t* in_flight,
+                      std::size_t* dropped);
 
   Network net_;
   StreamConfig config_;
   std::vector<std::unique_ptr<Router>> routers_;  ///< one per scheme
   std::vector<Packet> packets_;
   WaypointModel mobility_;
-  std::vector<NodeId> dead_;  ///< union of wave casualties so far: re-pins
-                              ///< must not resurrect them
   /// Per-pair BFS optimum for the current topology epoch (packets cycle
   /// over few pairs; the graph only changes at waves/re-pins, which
   /// invalidate this).

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
 
 namespace spr {
 
@@ -31,7 +30,10 @@ double Summary::variance() const noexcept {
 double Summary::stddev() const noexcept { return std::sqrt(variance()); }
 
 double Summary::percentile(double p) const {
-  if (values_.empty()) throw std::logic_error("percentile of empty summary");
+  // Empty summaries answer 0.0 across the board (mean/min/max do), so an
+  // aggregate with no samples — a scheme that delivered nothing at a high
+  // failure fraction, say — renders as zeros instead of throwing mid-report.
+  if (values_.empty()) return 0.0;
   std::vector<double> sorted = values_;
   std::sort(sorted.begin(), sorted.end());
   double clamped = std::clamp(p, 0.0, 100.0);

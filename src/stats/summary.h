@@ -19,6 +19,10 @@ class Summary {
   std::size_t count() const noexcept { return values_.size(); }
   bool empty() const noexcept { return values_.empty(); }
 
+  /// Every statistic of an *empty* summary is 0.0 — mean, min, max,
+  /// variance, percentiles and the CI alike — so empty aggregates (e.g. a
+  /// scheme with zero delivered packets) render as zeros everywhere
+  /// instead of some accessors throwing while others default.
   double mean() const noexcept { return mean_; }
   double min() const noexcept;
   double max() const noexcept;
@@ -28,7 +32,8 @@ class Summary {
   double variance() const noexcept;
   double stddev() const noexcept;
 
-  /// Exact percentile by nearest-rank on the sorted sample, p in [0, 100].
+  /// Exact percentile by nearest-rank on the sorted sample, p in [0, 100];
+  /// 0.0 when empty (consistent with min()/max()).
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 

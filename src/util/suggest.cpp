@@ -1,0 +1,49 @@
+#include "util/suggest.h"
+
+#include <algorithm>
+
+namespace spr {
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t previous = row[j];
+      std::size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+      diagonal = previous;
+    }
+  }
+  return row[b.size()];
+}
+
+std::vector<std::string> near_matches(
+    std::string_view name, const std::vector<std::string>& candidates) {
+  // Rank by: prefix match (best), then small edit distance relative to the
+  // query length.
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  for (const std::string& candidate : candidates) {
+    std::size_t score;
+    if (!name.empty() &&
+        std::string_view(candidate).substr(0, name.size()) == name) {
+      score = 0;
+    } else {
+      std::size_t distance = edit_distance(name, candidate);
+      std::size_t budget = std::max<std::size_t>(2, name.size() / 3);
+      if (distance > budget) continue;
+      score = distance;
+    }
+    ranked.emplace_back(score, candidate);
+  }
+  std::stable_sort(
+      ranked.begin(), ranked.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::string> out;
+  for (auto& [score, suggestion] : ranked) out.push_back(std::move(suggestion));
+  return out;
+}
+
+}  // namespace spr

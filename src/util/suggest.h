@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file suggest.h
+/// "Did you mean" machinery shared by every name lookup that rejects
+/// unknown input: scenario names (ScenarioSuite::run) and report format
+/// tokens (parse_report_formats). Candidates rank by prefix match first,
+/// then by Levenshtein distance within a budget scaled to the query length.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spr {
+
+/// Levenshtein edit distance between `a` and `b`.
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The members of `candidates` close to `name` — every candidate `name` is
+/// a prefix of (best, in candidate order), then candidates within an edit
+/// distance of max(2, |name| / 3), nearest first (ties keep candidate
+/// order). Empty when nothing is close.
+std::vector<std::string> near_matches(
+    std::string_view name, const std::vector<std::string>& candidates);
+
+}  // namespace spr

@@ -104,6 +104,47 @@ TEST(Waypoint, AdvanceGranularityInvariance) {
   }
 }
 
+TEST(Waypoint, GoldenTrajectoryForFixedSeed) {
+  // Locks in the cross-platform determinism claim of deploy/rng.h: the
+  // xoshiro256++ streams (and the exact-integration advance) must land
+  // every node on exactly these coordinates, epoch by epoch. The goldens
+  // were captured from this model with seed 2009; any change to the RNG,
+  // the per-node stream forking, or the advance() integration order shows
+  // up here as a diff, not as silent drift.
+  WaypointConfig config;  // default 200x200 field, speeds 0.5..2.0, pause 5s
+  std::vector<Vec2> initial = {{10.0, 10.0}, {50.0, 120.0}, {190.0, 40.0},
+                               {100.0, 100.0}, {0.0, 200.0}};
+  WaypointModel model(initial, config, Rng(2009));
+
+  const std::vector<std::vector<Vec2>> golden = {
+      // after 1 epoch (t = 12.5 s)
+      {{34.60283134052635, 9.2603655740949602}, {52.79026045174254, 128.45558833115538}, {182.46167883861847, 49.045069109684846}, {96.043684777218175, 114.68958963075541}, {2.4568613813092339, 193.61153031063171}},
+      // after 2 epochs (t = 25.0 s)
+      {{59.289366282450459, 8.5182147684973089}, {56.529402113685975, 139.78666052032}, {174.04045807004167, 59.149510431435431}, {89.97963966091244, 137.20506912237278}, {6.5366606118235779, 183.00300598722851}},
+      // after 3 epochs (t = 37.5 s)
+      {{83.975901224374553, 7.7760639628996584}, {60.268543775629404, 151.11773270948461}, {165.61923730146486, 69.253951753186016}, {83.915594544606705, 159.72054861399016}, {10.616459842337921, 172.3944816638253}},
+      // after 4 epochs (t = 50.0 s)
+      {{108.66243616629866, 7.0339131573020079}, {63.257803602376427, 160.17636753837616}, {157.19801653288806, 79.3583930749366}, {77.851549428300956, 182.23602810560755}, {14.696259072852264, 161.7859573404221}},
+      // after 5 epochs (t = 62.5 s)
+      {{133.34897110822277, 6.2917623517043575}, {59.669528409458238, 141.10681909755155}, {148.77679576431129, 89.462834396687185}, {81.788702089058944, 178.76444427642446}, {18.776058303366607, 151.1774330170189}},
+  };
+  for (std::size_t epoch = 0; epoch < golden.size(); ++epoch) {
+    model.advance(12.5);
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      EXPECT_DOUBLE_EQ(model.positions()[i].x, golden[epoch][i].x)
+          << "epoch " << epoch + 1 << " node " << i;
+      EXPECT_DOUBLE_EQ(model.positions()[i].y, golden[epoch][i].y)
+          << "epoch " << epoch + 1 << " node " << i;
+    }
+  }
+  const double golden_traveled[] = {123.40469885670242, 61.711537169779007,
+                                    64.388854268509874, 92.54491486869091,
+                                    52.308540528474907};
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(model.traveled(i), golden_traveled[i]) << "node " << i;
+  }
+}
+
 TEST(Waypoint, SafetyInfoTracksMobility) {
   // Rebuild the network per epoch; the labeling follows the topology.
   WaypointConfig config;

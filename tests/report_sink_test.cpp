@@ -164,6 +164,28 @@ TEST(ReportFormats, ParseAndValidate) {
   EXPECT_NE(error.find("xml"), std::string::npos);
 }
 
+/// Unknown format tokens are rejected with the same near-match suggestion
+/// machinery unknown scenario names get — a typo points at the fix.
+TEST(ReportFormats, UnknownTokenSuggestsNearMatch) {
+  std::vector<ReportFormat> formats;
+  std::string error;
+  EXPECT_FALSE(parse_report_formats("jsno", formats, &error));
+  EXPECT_NE(error.find("did you mean 'json'"), std::string::npos) << error;
+  error.clear();
+  EXPECT_FALSE(parse_report_formats("console,svgg", formats, &error));
+  EXPECT_NE(error.find("did you mean 'svg'"), std::string::npos) << error;
+  error.clear();
+  // A prefix of a valid name also points at it.
+  EXPECT_FALSE(parse_report_formats("cons", formats, &error));
+  EXPECT_NE(error.find("did you mean 'console'"), std::string::npos) << error;
+  // Nothing close: the error still lists the valid names, no suggestion.
+  error.clear();
+  EXPECT_FALSE(parse_report_formats("spreadsheet", formats, &error));
+  EXPECT_EQ(error.find("did you mean"), std::string::npos) << error;
+  EXPECT_NE(error.find("expected console, json, csv or svg"),
+            std::string::npos);
+}
+
 TEST(ScenarioRun, FormatSelectionEmitsTheRequestedSinks) {
   std::string base = testing::TempDir() + "/spr_run_formats";
   ScenarioOptions opts = tiny_options();

@@ -164,6 +164,126 @@ TEST(StreamSim, EmptyPairsTerminatesEvenWithMobility) {
   EXPECT_EQ(stats.repins, 0u);
 }
 
+/// A mobility re-pin continues the snapshot incrementally and records what
+/// it did: moved nodes, the edge delta, and the bidirectional relabeling —
+/// which, under verify_relabeling, must match a from-scratch
+/// compute_safety at every epoch (statuses and anchors).
+TEST(StreamSim, RepinContinuesLabelingIncrementallyAndVerified) {
+  Network net = test::random_network(500, 61, DeployModel::kForbiddenAreas);
+  auto [s, d] = far_pair(net, 0x61);
+  ASSERT_NE(s, kInvalidNode);
+  StreamConfig config;
+  config.pairs.emplace_back(s, d);
+  config.packets = 12;
+  config.packet_interval = 1.0;
+  config.hop_delay = 0.4;
+  config.mobility_interval = 3.0;
+  config.mobility_dt = 8.0;
+  config.verify_relabeling = true;
+  StreamSim sim(std::move(net), config);
+  StreamStats stats = sim.run();
+
+  ASSERT_GT(stats.repins, 0u);
+  ASSERT_EQ(stats.repin_records.size(), stats.repins);
+  for (const RepinRecord& record : stats.repin_records) {
+    EXPECT_GT(record.moved, 0u);
+    EXPECT_TRUE(record.verified);
+    EXPECT_TRUE(record.matches_full_recompute)
+        << "re-pin at t=" << record.time
+        << ": incremental with_moves labeling diverged from compute_safety";
+    EXPECT_GT(record.edges_added + record.edges_removed, 0u);
+  }
+}
+
+/// Injection at a source killed by an earlier wave is a *defined* drop:
+/// every scheme's copy is counted kNodeFailed, never UB.
+TEST(StreamSim, InjectionAtDeadSourceCountsAsNodeFailed) {
+  Network net = test::random_network(500, 71, DeployModel::kForbiddenAreas);
+  auto [s, d] = far_pair(net, 0x71);
+  ASSERT_NE(s, kInvalidNode);
+  StreamConfig config;
+  config.pairs.emplace_back(s, d);
+  config.packets = 6;
+  config.packet_interval = 1.0;
+  config.hop_delay = 10.0;  // nothing delivers before the wave
+  StreamWave wave;
+  wave.time = 2.5;  // injections 0,1,2 pre-wave; 3,4,5 at a dead source
+  wave.casualties.push_back(s);
+  config.waves.push_back(wave);
+  StreamSim sim(std::move(net), config);
+  StreamStats stats = sim.run();
+
+  ASSERT_EQ(stats.waves.size(), 1u);
+  EXPECT_EQ(stats.waves.front().casualties, 1u);
+  for (const StreamSchemeStats& scheme : stats.schemes) {
+    EXPECT_EQ(scheme.injected, 6u);
+    // Packets 3..5 inject at the dead source; packets 0..2 were at most one
+    // hop out with hop_delay 10, so their copies died with the carrier or
+    // re-planned — either way the accounting stays closed.
+    EXPECT_GE(scheme.node_failed, 3u) << scheme.label;
+    EXPECT_EQ(scheme.delivered + scheme.dead_end + scheme.ttl_expired +
+                  scheme.node_failed,
+              scheme.injected)
+        << scheme.label;
+  }
+}
+
+/// An out-of-range source id is equally defined: every copy drops as
+/// kNodeFailed (and an out-of-range destination cannot crash either).
+TEST(StreamSim, OutOfRangeEndpointsAreDefinedDrops) {
+  Network net = test::random_network(300, 9);
+  NodeId far_id = static_cast<NodeId>(net.graph().size() + 17);
+  StreamConfig config;
+  config.pairs.emplace_back(far_id, NodeId{3});
+  config.pairs.emplace_back(NodeId{3}, far_id);
+  config.packets = 4;
+  StreamSim sim(std::move(net), config);
+  StreamStats stats = sim.run();
+  for (const StreamSchemeStats& scheme : stats.schemes) {
+    EXPECT_EQ(scheme.injected, 4u);
+    // Packets 0 and 2 (dead source) drop; 1 and 3 route toward a
+    // nonexistent destination and end in a defined non-delivered outcome.
+    EXPECT_GE(scheme.node_failed, 2u);
+    EXPECT_EQ(scheme.delivered, 0u);
+    EXPECT_EQ(scheme.delivered + scheme.dead_end + scheme.ttl_expired +
+                  scheme.node_failed,
+              scheme.injected);
+  }
+}
+
+/// The same-timestamp tie: an injection due exactly at a wave's timestamp
+/// fires *before* the wave (FIFO push order — injections are scheduled
+/// first), sees the pre-wave substrate, and its copies are then
+/// immediately dropped by the wave when the wave kills their carrier.
+TEST(StreamSim, InjectionAtWaveTimestampFiresBeforeTheWave) {
+  Network net = test::random_network(500, 83, DeployModel::kForbiddenAreas);
+  auto [s, d] = far_pair(net, 0x83);
+  ASSERT_NE(s, kInvalidNode);
+  StreamConfig config;
+  config.pairs.emplace_back(s, d);
+  config.packets = 3;
+  config.packet_interval = 1.0;
+  config.hop_delay = 10.0;  // injected copies sit at the source
+  StreamWave wave;
+  wave.time = 2.0;  // exactly the third packet's injection time
+  wave.casualties.push_back(s);
+  config.waves.push_back(wave);
+  const std::size_t n_schemes = SweepConfig::paper_schemes().size();
+  StreamSim sim(std::move(net), config);
+  StreamStats stats = sim.run();
+
+  ASSERT_EQ(stats.waves.size(), 1u);
+  const WaveRecord& record = stats.waves.front();
+  // The t=2 injection ran first: its copies (and the two earlier packets',
+  // all still at the source) were alive in-flight when the wave hit, so
+  // the wave — not the injection handler — dropped them.
+  EXPECT_EQ(record.packets_dropped, 3 * n_schemes);
+  for (const StreamSchemeStats& scheme : stats.schemes) {
+    EXPECT_EQ(scheme.injected, 3u);
+    EXPECT_EQ(scheme.node_failed, 3u) << scheme.label;
+  }
+}
+
 /// A mobility re-pin rebuilds the snapshot but must not resurrect nodes
 /// killed by an earlier failure wave.
 TEST(StreamSim, RepinKeepsWaveCasualtiesDead) {
@@ -232,8 +352,11 @@ TEST(StreamSim, StreamStatsJsonRoundTrip) {
   }
   config.waves.push_back(std::move(wave));
   config.verify_relabeling = true;
+  config.mobility_interval = 2.5;  // repin_records round-trip too
+  config.mobility_dt = 8.0;
   StreamSim sim(std::move(net), config);
   StreamStats stats = sim.run();
+  ASSERT_GT(stats.repin_records.size(), 0u);
 
   std::string text = stream_json(stats);
   JsonValue parsed;
@@ -254,6 +377,28 @@ TEST(StreamingDeliveryScenario, JsonReportIdenticalSerialVsThreaded) {
     opts.threads = threads;
     const Scenario* scenario =
         ScenarioSuite::builtin().find("streaming-delivery");
+    EXPECT_NE(scenario, nullptr);
+    ScenarioReport report;
+    report.scenario = scenario->name;
+    EXPECT_EQ(scenario->build(opts, report), 0);
+    return JsonSink::render(report);
+  };
+  std::string serial = render(1);
+  std::string threaded = render(4);
+  std::string threaded_again = render(4);
+  EXPECT_EQ(serial, threaded);
+  EXPECT_EQ(threaded, threaded_again);
+}
+
+/// The mobility-rate scenario's JSON report is byte-identical across
+/// reruns and across thread counts, like streaming-delivery.
+TEST(MobilityRateScenario, JsonReportIdenticalSerialVsThreaded) {
+  auto render = [](int threads) {
+    ScenarioOptions opts;
+    opts.networks = 1;
+    opts.pairs = 6;
+    opts.threads = threads;
+    const Scenario* scenario = ScenarioSuite::builtin().find("mobility-rate");
     EXPECT_NE(scenario, nullptr);
     ScenarioReport report;
     report.scenario = scenario->name;

@@ -2,19 +2,34 @@
 
 #include <gtest/gtest.h>
 
-#include <stdexcept>
-
 namespace spr {
 namespace {
 
 TEST(Summary, EmptyDefaults) {
+  // Every statistic of an empty summary is 0.0 — consistently, so a report
+  // over an empty aggregate renders zeros instead of throwing from some
+  // accessors but not others.
   Summary s;
   EXPECT_TRUE(s.empty());
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
   EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
-  EXPECT_THROW(s.percentile(50.0), std::logic_error);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+}
+
+/// An aggregate whose Summary fields never saw a sample (a scheme with zero
+/// delivered packets) serializes and renders without throwing.
+TEST(Summary, EmptySummaryStatsFormIsAllZeros) {
+  Summary s;
+  EXPECT_NE(s.to_string().find("n=0"), std::string::npos);
 }
 
 TEST(Summary, SingleValue) {
