@@ -69,7 +69,8 @@ Network Network::with_failures(const std::vector<NodeId>& failed,
     // the labeling compute_safety would produce on the degraded graph.
     auto info = std::make_unique<SafetyInfo>(*lazy_->safety);
     IncrementalStats update = update_safety_after_failures(
-        *degraded.graph_, *degraded.interest_area_, failed, *info);
+        *degraded.graph_, *degraded.interest_area_, failed, *info,
+        build_pool_);
     if (stats != nullptr) *stats = update;
     std::call_once(degraded.lazy_->safety_once, [&] {
       degraded.lazy_->safety = std::move(info);
@@ -92,7 +93,8 @@ Network Network::with_moves(const std::vector<Vec2>& positions,
     // produce on the moved graph.
     auto info = std::make_unique<SafetyInfo>(*lazy_->safety);
     IncrementalStats update = update_safety_after_moves(
-        *graph_, *interest_area_, *moved.graph_, *moved.interest_area_, *info);
+        *graph_, *interest_area_, *moved.graph_, *moved.interest_area_, *info,
+        build_pool_);
     if (stats != nullptr) *stats = update;
     std::call_once(moved.lazy_->safety_once, [&] {
       moved.lazy_->safety = std::move(info);

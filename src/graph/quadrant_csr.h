@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file quadrant_csr.h
+/// Quadrant-bucketed neighbor CSR: the flat geometry-free substrate of the
+/// safety-labeling kernel.
+///
+/// Definition 1's inner loops are all of the form "every neighbor of u
+/// inside Q_t(u)" (the flip test) or "every neighbor w that sees u inside
+/// Q_t(w)" (the flip fan-out). Both were scalar scans of the full neighbor
+/// list with an `in_quadrant` position test per visit. This structure
+/// groups each node's sorted neighbor list into four contiguous ranges per
+/// direction once per topology epoch, so every inner loop becomes a
+/// branch-light walk of a contiguous id range with zero geometry calls:
+///
+///  * `members(u, t)`   — neighbors v with zone_type(L(u), L(v)) == t,
+///                        i.e. N(u) ∩ Q_t(u);
+///  * `observers(u, t)` — neighbors w with zone_type(L(w), L(u)) == t,
+///                        i.e. the w whose Q_t(w) contains u.
+///
+/// The two views are distinct buckets (not each other's opposites): the
+/// half-open quadrant boundary convention means zone_type(v, u) is *not*
+/// always opposite_zone(zone_type(u, v)) when the pair shares an axis.
+///
+/// Both views store ids ascending within each bucket (a stable split of the
+/// already-sorted adjacency row), so walks are deterministic and identical
+/// to a filtered scan of `UnitDiskGraph::neighbors`.
+///
+/// Rows pack back-to-back in node-id order exactly like the adjacency CSR,
+/// so only the four per-row bucket *end* offsets need storing: a row starts
+/// where the previous row ends. `patch` rebuilds only the rows whose
+/// adjacency or endpoint positions changed and block-copies the rest,
+/// which is how `UnitDiskGraph::with_failures`/`with_moves` carry the
+/// structure across topology epochs without rebuilding it (bit-identical
+/// to a fresh build; tests enforce equality).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/quadrant.h"
+#include "graph/node.h"
+
+namespace spr {
+
+class UnitDiskGraph;
+class TaskPool;
+
+class QuadrantZones {
+ public:
+  QuadrantZones() = default;
+
+  /// Buckets every row of `g`. With a `pool` the per-row bucketing fans out
+  /// (each row writes only its own block, so the result is bit-identical to
+  /// a serial build).
+  static QuadrantZones build(const UnitDiskGraph& g, TaskPool* pool = nullptr);
+
+  /// Buckets `g` reusing `old_zones` built for `old_graph`: rows not marked
+  /// `stale` block-copy from the old structure (their adjacency and both
+  /// endpoints' positions are unchanged), stale rows re-bucket. The caller
+  /// must mark every row whose neighbor list changed or whose own / whose
+  /// neighbors' positions changed.
+  static QuadrantZones patch(const UnitDiskGraph& g,
+                             const UnitDiskGraph& old_graph,
+                             const QuadrantZones& old_zones,
+                             const std::vector<bool>& stale);
+
+  /// N(u) ∩ Q_t(u), ascending ids.
+  std::span<const NodeId> members(NodeId u, ZoneType t) const noexcept {
+    const std::size_t i = static_cast<std::size_t>(u) * 4 +
+                          static_cast<std::size_t>(zone_index(t));
+    const std::uint32_t begin = i == 0 ? 0 : fwd_end_[i - 1];
+    return {fwd_ids_.data() + begin, fwd_end_[i] - begin};
+  }
+
+  /// The neighbors w of u with u ∈ Q_t(w), ascending ids.
+  std::span<const NodeId> observers(NodeId u, ZoneType t) const noexcept {
+    const std::size_t i = static_cast<std::size_t>(u) * 4 +
+                          static_cast<std::size_t>(zone_index(t));
+    const std::uint32_t begin = i == 0 ? 0 : rev_end_[i - 1];
+    return {rev_ids_.data() + begin, rev_end_[i] - begin};
+  }
+
+  std::size_t size() const noexcept { return fwd_end_.size() / 4; }
+  bool empty() const noexcept { return fwd_end_.empty(); }
+
+  bool operator==(const QuadrantZones&) const noexcept = default;
+
+ private:
+  void bucket_row(const UnitDiskGraph& g, NodeId u, std::uint32_t row_begin);
+
+  std::vector<NodeId> fwd_ids_;           ///< |directed edges| member ids
+  std::vector<NodeId> rev_ids_;           ///< |directed edges| observer ids
+  std::vector<std::uint32_t> fwd_end_;    ///< 4n absolute bucket ends
+  std::vector<std::uint32_t> rev_end_;    ///< 4n absolute bucket ends
+};
+
+}  // namespace spr

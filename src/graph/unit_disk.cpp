@@ -31,8 +31,32 @@ UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
   build(alive, build_pool);
 }
 
+const QuadrantZones& UnitDiskGraph::zones(TaskPool* build_pool) const {
+  ZonesCache& cache = *zones_cache_;
+  std::call_once(cache.once, [&] {
+    // Skips the build when a with_failures/with_moves patch installed the
+    // zones eagerly (adopt_zones runs during construction, pre-publication).
+    if (!cache.built.load(std::memory_order_acquire)) {
+      cache.zones = QuadrantZones::build(*this, build_pool);
+      cache.built.store(true, std::memory_order_release);
+    }
+  });
+  return cache.zones;
+}
+
+bool UnitDiskGraph::has_zones() const noexcept {
+  return zones_cache_ != nullptr &&
+         zones_cache_->built.load(std::memory_order_acquire);
+}
+
+void UnitDiskGraph::adopt_zones(QuadrantZones zones) const {
+  zones_cache_->zones = std::move(zones);
+  zones_cache_->built.store(true, std::memory_order_release);
+}
+
 void UnitDiskGraph::build(const std::vector<bool>& alive,
                           TaskPool* build_pool) {
+  zones_cache_ = std::make_shared<ZonesCache>();
   alive_ = alive;
   alive_.resize(positions_.size(), true);
   const std::size_t n = positions_.size();
@@ -100,7 +124,8 @@ UnitDiskGraph::UnitDiskGraph(PatchedTag, std::vector<Vec2> positions,
       grid_(std::move(grid)),
       alive_(std::move(alive)),
       offsets_(std::move(offsets)),
-      adjacency_(std::move(adjacency)) {}
+      adjacency_(std::move(adjacency)),
+      zones_cache_(std::make_shared<ZonesCache>()) {}
 
 UnitDiskGraph UnitDiskGraph::with_moves(const std::vector<Vec2>& new_positions,
                                         EdgeDiff* diff,
@@ -130,6 +155,12 @@ UnitDiskGraph UnitDiskGraph::with_moves(const std::vector<Vec2>& new_positions,
   if (2 * moved.size() > n) {
     UnitDiskGraph fresh(positions, range_, bounds_, alive_, nullptr,
                         build_pool);
+    // Whole-field motion leaves almost every quadrant row stale, so the
+    // "patch" of the quadrant view is a fresh build too — done eagerly
+    // because a built parent view means the safety continuation needs it.
+    if (has_zones()) {
+      fresh.adopt_zones(QuadrantZones::build(fresh, build_pool));
+    }
     if (diff != nullptr) {
       for (NodeId u = 0; u < n; ++u) {
         auto old_list = neighbors(u);
@@ -164,8 +195,10 @@ UnitDiskGraph UnitDiskGraph::with_moves(const std::vector<Vec2>& new_positions,
   }
 
   if (moved.empty()) {
-    return UnitDiskGraph(PatchedTag{}, std::move(positions), range_, bounds_,
-                         std::move(grid), alive_, offsets_, adjacency_);
+    UnitDiskGraph same(PatchedTag{}, std::move(positions), range_, bounds_,
+                       std::move(grid), alive_, offsets_, adjacency_);
+    same.zones_cache_ = zones_cache_;  // identical topology: share the view
+    return same;
   }
 
   // Fresh neighbor lists for the moved nodes only (alive ones; dead nodes
@@ -288,9 +321,24 @@ UnitDiskGraph UnitDiskGraph::with_moves(const std::vector<Vec2>& new_positions,
   }
   offsets[n] = adjacency.size();
 
-  return UnitDiskGraph(PatchedTag{}, std::move(positions), range_, bounds_,
-                       std::move(grid), alive_, std::move(offsets),
-                       std::move(adjacency));
+  UnitDiskGraph out(PatchedTag{}, std::move(positions), range_, bounds_,
+                    std::move(grid), alive_, std::move(offsets),
+                    std::move(adjacency));
+  // Carry the quadrant view across the epoch: a row is stale iff its node
+  // moved, a (old or new) neighbor moved, or its adjacency changed — and
+  // adjacency only ever changes at a moved endpoint, so the moved nodes'
+  // old and new neighborhoods cover every case.
+  if (has_zones()) {
+    std::vector<bool> stale(n, false);
+    for (std::size_t i = 0; i < moved.size(); ++i) {
+      NodeId u = moved[i];
+      stale[u] = true;
+      for (NodeId v : neighbors(u)) stale[v] = true;
+      for (NodeId v : moved_lists[i]) stale[v] = true;
+    }
+    out.adopt_zones(QuadrantZones::patch(out, *this, zones_cache_->zones, stale));
+  }
+  return out;
 }
 
 UnitDiskGraph UnitDiskGraph::with_failures(const std::vector<NodeId>& failed,
@@ -301,7 +349,20 @@ UnitDiskGraph UnitDiskGraph::with_failures(const std::vector<NodeId>& failed,
   }
   // Positions are unchanged, so the copy shares this graph's grid instead of
   // re-bucketing all points for every failure batch.
-  return UnitDiskGraph(positions_, range_, bounds_, alive, grid_, build_pool);
+  UnitDiskGraph out(positions_, range_, bounds_, alive, grid_, build_pool);
+  // Positions don't change under failures, so only the rows whose neighbor
+  // list changed — the casualties and their ex-neighbors — go stale in the
+  // quadrant view; everyone else block-copies.
+  if (has_zones()) {
+    std::vector<bool> stale(positions_.size(), false);
+    for (NodeId u : failed) {
+      if (u >= positions_.size()) continue;
+      stale[u] = true;
+      for (NodeId v : neighbors(u)) stale[v] = true;
+    }
+    out.adopt_zones(QuadrantZones::patch(out, *this, zones_cache_->zones, stale));
+  }
+  return out;
 }
 
 }  // namespace spr

@@ -5,14 +5,17 @@
 /// edge uv exists iff |L(u) - L(v)| <= range (all sensors share one
 /// communication range, as the paper assumes).
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "geometry/rect.h"
 #include "geometry/vec2.h"
 #include "graph/node.h"
+#include "graph/quadrant_csr.h"
 
 namespace spr {
 
@@ -68,6 +71,25 @@ class UnitDiskGraph {
     return offsets_[u + 1] - offsets_[u];
   }
 
+  /// Start of u's row in the flat adjacency array (CSR offset). Row blocks
+  /// pack back-to-back in id order; QuadrantZones mirrors this layout.
+  std::size_t neighbor_offset(NodeId u) const noexcept { return offsets_[u]; }
+
+  /// Total directed adjacency entries (2 * edge_count()).
+  std::size_t directed_edge_count() const noexcept { return adjacency_.size(); }
+
+  /// The quadrant-bucketed neighbor view (graph/quadrant_csr.h) of this
+  /// topology epoch: lazy, memoized, thread-safe — built on first call.
+  /// `with_failures` / `with_moves` siblings inherit it *patched* (stale
+  /// rows re-bucketed, the rest block-copied) instead of rebuilt whenever
+  /// the parent had built it, so steady-state failure waves and mobility
+  /// re-pins never pay a full re-bucketing. `build_pool` parallelizes a
+  /// first-call build (bit-identical to serial); ignored once built.
+  const QuadrantZones& zones(TaskPool* build_pool = nullptr) const;
+
+  /// Whether zones() has been built (observation only — never builds).
+  bool has_zones() const noexcept;
+
   bool are_neighbors(NodeId u, NodeId v) const noexcept;
 
   std::size_t edge_count() const noexcept { return adjacency_.size() / 2; }
@@ -111,6 +133,19 @@ class UnitDiskGraph {
 
   void build(const std::vector<bool>& alive, TaskPool* build_pool);
 
+  /// Installs a pre-built quadrant view (the with_failures/with_moves patch
+  /// path); zones() then never rebuilds it.
+  void adopt_zones(QuadrantZones zones) const;
+
+  /// Lazily built quadrant view. Heap-held behind shared_ptr so the graph
+  /// stays movable/copyable (copies share the cache — positions and
+  /// adjacency are identical by construction).
+  struct ZonesCache {
+    std::once_flag once;
+    std::atomic<bool> built{false};
+    QuadrantZones zones;
+  };
+
   std::vector<Vec2> positions_;
   double range_;
   Rect bounds_;
@@ -118,6 +153,7 @@ class UnitDiskGraph {
   std::vector<bool> alive_;
   std::vector<std::size_t> offsets_;  // size() + 1 entries
   std::vector<NodeId> adjacency_;
+  mutable std::shared_ptr<ZonesCache> zones_cache_;
 };
 
 }  // namespace spr

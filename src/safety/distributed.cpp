@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "geometry/angle.h"
+#include "graph/quadrant_csr.h"
+#include "safety/zone_scan.h"
 
 namespace spr {
 
@@ -36,13 +38,23 @@ SafetyTuple recompute_tuple(const UnitDiskGraph& g, const InterestArea& area,
   Vec2 pu = g.position(self);
   SafetyTuple next = current;
 
+  // Both loops walk the graph's quadrant buckets (the same view the flat
+  // labeling kernel scans) restricted to neighbors actually heard from, so
+  // the protocol's per-round recompute cannot drift from the centralized
+  // oracle — and candidates arrive in ascending id order, making the anchor
+  // tie-breaks deterministic instead of hash-order dependent. A broadcast's
+  // position is its sender's true position, so bucket membership and the
+  // old per-message `in_quadrant` test agree exactly.
+  const QuadrantZones& zones = g.zones();
+
   for (ZoneType t : kAllZoneTypes) {
     if (!may_flip_statuses) break;
     if (area.is_edge_node(self)) break;  // pinned at (1,1,1,1)
     if (!next.is_safe(t)) continue;       // monotone: no 0 -> 1 flips
     bool has_safe_neighbor = false;
-    for (const auto& [v, info] : cache) {
-      if (in_quadrant(pu, info.position, t) && info.tuple.is_safe(t)) {
+    for (NodeId v : zones.members(self, t)) {
+      auto heard = cache.find(v);
+      if (heard != cache.end() && heard->second.tuple.is_safe(t)) {
         has_safe_neighbor = true;
         break;
       }
@@ -52,39 +64,27 @@ SafetyTuple recompute_tuple(const UnitDiskGraph& g, const InterestArea& area,
 
   for (ZoneType t : kAllZoneTypes) {
     if (next.is_safe(t)) continue;
-    CcwScan scan(pu, quadrant_start_bearing(t));
-    const SafetyBroadcast* v_first = nullptr;
-    const SafetyBroadcast* v_last = nullptr;
-    double best_first = 0.0, best_last = 0.0;
-    for (const auto& [v, info] : cache) {
-      if (!in_quadrant(pu, info.position, t)) continue;
-      if (info.tuple.is_safe(t)) continue;
-      double sweep = scan.sweep_to(info.position);
-      if (v_first == nullptr || sweep < best_first ||
-          (sweep == best_first &&
-           distance_sq(pu, info.position) < distance_sq(pu, v_first->position))) {
-        v_first = &info;
-        best_first = sweep;
-      }
-      if (v_last == nullptr || sweep > best_last ||
-          (sweep == best_last &&
-           distance_sq(pu, info.position) < distance_sq(pu, v_last->position))) {
-        v_last = &info;
-        best_last = sweep;
-      }
+    FirstLastScan scan(pu, t);
+    for (NodeId v : zones.members(self, t)) {
+      auto heard = cache.find(v);
+      if (heard == cache.end()) continue;
+      if (heard->second.tuple.is_safe(t)) continue;
+      scan.consider(v, heard->second.position);
     }
     ShapeAnchors& a = next.anchors_for(t);
-    if (v_first == nullptr) {
+    if (scan.empty()) {
       a.first = a.last = self;
       a.first_pos = a.last_pos = pu;
     } else {
-      const ShapeAnchors& fa = v_first->tuple.anchors_for(t);
-      const ShapeAnchors& la = v_last->tuple.anchors_for(t);
+      const SafetyBroadcast& vf = cache.find(scan.first())->second;
+      const SafetyBroadcast& vl = cache.find(scan.last())->second;
+      const ShapeAnchors& fa = vf.tuple.anchors_for(t);
+      const ShapeAnchors& la = vl.tuple.anchors_for(t);
       // Until the upstream neighbor has valid anchors, anchor at it.
       a.first = fa.valid() ? fa.first : kInvalidNode;
-      a.first_pos = fa.valid() ? fa.first_pos : v_first->position;
+      a.first_pos = fa.valid() ? fa.first_pos : vf.position;
       a.last = la.valid() ? la.last : kInvalidNode;
-      a.last_pos = la.valid() ? la.last_pos : v_last->position;
+      a.last_pos = la.valid() ? la.last_pos : vl.position;
     }
   }
   return next;

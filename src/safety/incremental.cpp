@@ -1,21 +1,51 @@
 #include "safety/incremental.h"
 
-#include <array>
-#include <deque>
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "graph/spatial_grid.h"
+#include "util/arena.h"
 
 namespace spr {
 
 namespace {
 
-/// Flip condition on the degraded graph (same as Definition 1).
-bool must_flip(const UnitDiskGraph& g, const SafetyInfo& info, NodeId u,
-               ZoneType t) {
-  Vec2 pu = g.position(u);
-  for (NodeId v : g.neighbors(u)) {
-    if (!in_quadrant(pu, g.position(v), t)) continue;
-    if (info.is_safe(v, t)) return false;
+std::uint64_t* zeroed_words(Arena& arena, std::size_t words) {
+  auto* p = static_cast<std::uint64_t*>(
+      arena.allocate(words * sizeof(std::uint64_t), alignof(std::uint64_t)));
+  std::memset(p, 0, words * sizeof(std::uint64_t));
+  return p;
+}
+
+void set_bit(std::uint64_t* bits, std::uint32_t i) {
+  bits[i >> 6] |= 1ull << (i & 63);
+}
+
+bool test_bit(const std::uint64_t* bits, std::uint32_t i) {
+  return (bits[i >> 6] >> (i & 63)) & 1u;
+}
+
+/// Calls fn(key) for every set bit, ascending.
+template <typename Fn>
+void for_each_key(const std::uint64_t* bits, std::size_t words, Fn&& fn) {
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t word = bits[w];
+    while (word != 0) {
+      const int b = std::countr_zero(word);
+      word &= word - 1;
+      fn(static_cast<std::uint32_t>(w * 64 + b));
+    }
   }
-  return true;
+}
+
+/// Replays the kernel's demotions into the tuple form.
+void apply_flips(const FlatLabeler& labeler, SafetyInfo& info) {
+  for (const std::uint32_t k : labeler.flipped()) {
+    info.tuple(FlatLabeler::key_node(k))
+        .set_safe(kAllZoneTypes[FlatLabeler::key_type(k)], false);
+  }
 }
 
 }  // namespace
@@ -23,7 +53,8 @@ bool must_flip(const UnitDiskGraph& g, const SafetyInfo& info, NodeId u,
 IncrementalStats update_safety_after_failures(const UnitDiskGraph& degraded,
                                               const InterestArea& area,
                                               const std::vector<NodeId>& failed,
-                                              SafetyInfo& info) {
+                                              SafetyInfo& info,
+                                              TaskPool* pool) {
   IncrementalStats stats;
   const std::size_t n = degraded.size();
 
@@ -33,56 +64,41 @@ IncrementalStats update_safety_after_failures(const UnitDiskGraph& degraded,
     if (f < n) info.tuple(f) = SafetyTuple{};
   }
 
-  std::deque<std::pair<NodeId, ZoneType>> worklist;
-  std::vector<std::array<bool, 4>> queued(n, {false, false, false, false});
-  auto enqueue = [&](NodeId u, ZoneType t) {
-    auto& flag = queued[u][static_cast<size_t>(zone_index(t))];
-    if (!flag) {
-      flag = true;
-      worklist.emplace_back(u, t);
-      ++stats.seeds;
-    }
-  };
+  degraded.zones(pool);  // patched forward by with_failures when available
+  Arena& arena = FlatLabeler::scratch();
+  arena.reset();
+  FlatLabeler labeler(degraded, &area, arena);
+  labeler.start_from(info);
 
   // Seed: every alive node that could have had a failed node in one of its
   // quadrants — i.e. within radio range of a failed position. Positions are
-  // retained for dead nodes, so the affected set is a local disc query.
-  const double range = degraded.range();
-  for (NodeId u = 0; u < n; ++u) {
+  // retained for dead nodes, so each failure is one disc query on the
+  // shared spatial grid rather than a scan of all n nodes.
+  static thread_local std::vector<NodeId> near;
+  near.clear();
+  for (NodeId f : failed) {
+    if (f >= n) continue;
+    degraded.grid().query_radius(degraded.position(f), degraded.range(), f,
+                                 near);
+  }
+  std::sort(near.begin(), near.end());
+  near.erase(std::unique(near.begin(), near.end()), near.end());
+  for (NodeId u : near) {
     if (!degraded.alive(u)) continue;
-    Vec2 pu = degraded.position(u);
-    for (NodeId f : failed) {
-      if (f >= n) continue;
-      if (distance(pu, degraded.position(f)) <= range) {
-        for (ZoneType t : kAllZoneTypes) enqueue(u, t);
-        break;
-      }
+    for (int ti = 0; ti < 4; ++ti) {
+      if (labeler.enqueue(u, ti)) ++stats.seeds;
     }
   }
-  stats.seeds = worklist.size();
 
   // Monotone continuation: losing neighbors can only remove support, so
   // the old fixpoint bounds the new one from above and the worklist closes
   // over exactly the region the failures influence.
-  while (!worklist.empty()) {
-    auto [u, t] = worklist.front();
-    worklist.pop_front();
-    queued[u][static_cast<size_t>(zone_index(t))] = false;
-    if (!degraded.alive(u)) continue;
-    if (area.is_edge_node(u)) continue;
-    if (!info.is_safe(u, t)) continue;
-    ++stats.reevaluations;
-    if (!must_flip(degraded, info, u, t)) continue;
-    info.tuple(u).set_safe(t, false);
-    ++stats.flips;
-    for (NodeId w : degraded.neighbors(u)) {
-      if (in_quadrant(degraded.position(w), degraded.position(u), t)) {
-        enqueue(w, t);
-      }
-    }
-  }
+  labeler.drain(pool);
+  stats.reevaluations = labeler.stats().reevaluations;
+  stats.flips = labeler.stats().flips;
+  apply_flips(labeler, info);
 
-  stats.anchor_recomputes = recompute_all_anchors(degraded, info);
+  stats.anchor_recomputes = labeler.compute_anchors(info, pool);
   return stats;
 }
 
@@ -90,9 +106,18 @@ IncrementalStats update_safety_after_moves(const UnitDiskGraph& before,
                                            const InterestArea& area_before,
                                            const UnitDiskGraph& after,
                                            const InterestArea& area_after,
-                                           SafetyInfo& info) {
+                                           SafetyInfo& info, TaskPool* pool) {
   IncrementalStats stats;
   const std::size_t n = after.size();
+
+  after.zones(pool);  // patched forward by with_moves when available
+  Arena& arena = FlatLabeler::scratch();
+  arena.reset();
+  FlatLabeler labeler(after, &area_after, arena);
+  labeler.start_from(info);
+
+  const std::size_t node_words = (n + 63) / 64;
+  const std::size_t key_words = (4 * n + 63) / 64;
 
   // Phase 1 — the move frontier, per (node, type). A pair's flip condition
   // can only change when a node joined or left its quadrant: an edge
@@ -109,31 +134,31 @@ IncrementalStats update_safety_after_moves(const UnitDiskGraph& before,
   // so only those gains seed cluster resets. Edge-band churn is the other
   // input: a pair that left the band loses its pin (demotable), one that
   // entered it is pinned safe (a promotion source for its dependents).
-  std::vector<std::array<bool, 4>> demote_seed(n, {false, false, false, false});
-  std::vector<std::array<bool, 4>> promote_src(n, {false, false, false, false});
+  std::uint64_t* demote_seed = zeroed_words(arena, key_words);
+  std::uint64_t* promote_src = zeroed_words(arena, key_words);
 
   // Pre-pass: a node's flip inputs can only have changed if it moved, a
   // neighbor (old or new) moved, or its adjacency changed — everyone else
   // skips the delta walk entirely, so localized motion costs O(moved * deg)
   // rather than O(E).
-  std::vector<bool> touched(n, false);
+  std::uint64_t* touched = zeroed_words(arena, node_words);
   for (NodeId u = 0; u < n; ++u) {
     if (before.position(u) == after.position(u)) continue;
-    touched[u] = true;
-    for (NodeId v : before.neighbors(u)) touched[v] = true;
-    for (NodeId v : after.neighbors(u)) touched[v] = true;
+    set_bit(touched, u);
+    for (NodeId v : before.neighbors(u)) set_bit(touched, v);
+    for (NodeId v : after.neighbors(u)) set_bit(touched, v);
   }
 
   // The delta walk visits each undirected edge once (from its lower
   // endpoint) and emits both directions from one set of position loads.
   auto mark_demote = [&](NodeId u, ZoneType t) {
-    demote_seed[u][static_cast<size_t>(zone_index(t))] = true;
+    set_bit(demote_seed, FlatLabeler::key(u, zone_index(t)));
   };
   auto mark_promote = [&](NodeId u, NodeId gained, ZoneType t) {
     // A gained member promotes only if it arrives old-safe (an unsafe gain
     // supports nothing; a promoted gain shares its cluster's source).
-    if (info.is_safe(gained, t)) {
-      promote_src[u][static_cast<size_t>(zone_index(t))] = true;
+    if (labeler.safe_bit(gained, zone_index(t))) {
+      set_bit(promote_src, FlatLabeler::key(u, zone_index(t)));
     }
   };
   auto quadrant_delta = [&](NodeId u) {
@@ -158,8 +183,7 @@ IncrementalStats update_safety_after_moves(const UnitDiskGraph& before,
       } else if (vo == kInvalidNode || vn < vo) {
         // Edge (u, vn) appeared: each endpoint gains the other.
         Vec2 pv_new = after.position(vn);
-        ZoneType tu = zone_type(pu_new, pv_new);
-        mark_promote(u, vn, tu);
+        mark_promote(u, vn, zone_type(pu_new, pv_new));
         mark_promote(vn, u, zone_type(pv_new, pu_new));
         ++ni;
       } else {
@@ -187,17 +211,19 @@ IncrementalStats update_safety_after_moves(const UnitDiskGraph& before,
   };
   for (NodeId u = 0; u < n; ++u) {
     if (!after.alive(u)) continue;
-    if (touched[u]) quadrant_delta(u);
+    if (test_bit(touched, u)) quadrant_delta(u);
     bool was_edge = area_before.is_edge_node(u);
     bool is_edge = area_after.is_edge_node(u);
     if (was_edge && !is_edge) {
-      demote_seed[u] = {true, true, true, true};
+      for (int ti = 0; ti < 4; ++ti) {
+        set_bit(demote_seed, FlatLabeler::key(u, ti));
+      }
     } else if (!was_edge && is_edge) {
       // Newly pinned: the pin itself is applied below; dependents may gain
       // support through the promotion cascade.
-      for (ZoneType t : kAllZoneTypes) {
-        if (!info.is_safe(u, t)) {
-          promote_src[u][static_cast<size_t>(zone_index(t))] = true;
+      for (int ti = 0; ti < 4; ++ti) {
+        if (!labeler.safe_bit(u, ti)) {
+          set_bit(promote_src, FlatLabeler::key(u, ti));
         }
       }
     }
@@ -211,72 +237,35 @@ IncrementalStats update_safety_after_moves(const UnitDiskGraph& before,
   // over-approximation of the new fixpoint and the demotion worklist below
   // converges onto it exactly. Raised pairs shed their stale anchors (safe
   // pairs carry none) and re-enter the worklist.
-  std::vector<std::array<bool, 4>> raised(n, {false, false, false, false});
-  std::vector<NodeId> cluster;
-  for (NodeId u = 0; u < n; ++u) {
-    for (ZoneType t : kAllZoneTypes) {
-      const auto ti = static_cast<size_t>(zone_index(t));
-      if (!promote_src[u][ti] || raised[u][ti]) continue;
-      if (!after.alive(u) || info.is_safe(u, t)) continue;
-      cluster.clear();
-      cluster.push_back(u);
-      raised[u][ti] = true;
-      for (std::size_t head = 0; head < cluster.size(); ++head) {
-        NodeId w = cluster[head];
-        for (NodeId v : after.neighbors(w)) {
-          if (raised[v][ti] || !after.alive(v) || info.is_safe(v, t)) continue;
-          raised[v][ti] = true;
-          cluster.push_back(v);
-        }
-      }
-      for (NodeId w : cluster) {
-        info.tuple(w).set_safe(t, true);
-        info.tuple(w).anchors_for(t) = ShapeAnchors{};
-        demote_seed[w][ti] = true;
-        ++stats.promotions;
-      }
-    }
+  ArenaVector<std::uint32_t> sources{ArenaAllocator<std::uint32_t>(arena)};
+  sources.reserve(4 * n);
+  for_each_key(promote_src, key_words,
+               [&](std::uint32_t k) { sources.push_back(k); });
+  for (const std::uint32_t k :
+       labeler.raise_clusters({sources.data(), sources.size()}, pool)) {
+    const NodeId u = FlatLabeler::key_node(k);
+    const ZoneType t = kAllZoneTypes[FlatLabeler::key_type(k)];
+    info.tuple(u).set_safe(t, true);
+    info.tuple(u).anchors_for(t) = ShapeAnchors{};
+    set_bit(demote_seed, k);
+    ++stats.promotions;
   }
 
   // Phase 3 — demotion worklist on the new graph, exactly the failure
   // updater's monotone continuation, seeded with every pair whose support
   // shrank, lost its pin, or was optimistically raised.
-  std::deque<std::pair<NodeId, ZoneType>> worklist;
-  std::vector<std::array<bool, 4>> queued(n, {false, false, false, false});
-  auto enqueue = [&](NodeId u, ZoneType t) {
-    auto& flag = queued[u][static_cast<size_t>(zone_index(t))];
-    if (!flag) {
-      flag = true;
-      worklist.emplace_back(u, t);
-    }
-  };
-  for (NodeId u = 0; u < n; ++u) {
-    if (!after.alive(u)) continue;
-    for (ZoneType t : kAllZoneTypes) {
-      if (demote_seed[u][static_cast<size_t>(zone_index(t))]) enqueue(u, t);
-    }
-  }
-  stats.seeds = worklist.size();
+  for_each_key(demote_seed, key_words, [&](std::uint32_t k) {
+    const NodeId u = FlatLabeler::key_node(k);
+    if (!after.alive(u)) return;
+    if (labeler.enqueue(u, FlatLabeler::key_type(k))) ++stats.seeds;
+  });
 
-  while (!worklist.empty()) {
-    auto [u, t] = worklist.front();
-    worklist.pop_front();
-    queued[u][static_cast<size_t>(zone_index(t))] = false;
-    if (!after.alive(u)) continue;
-    if (area_after.is_edge_node(u)) continue;  // pinned at (1,1,1,1)
-    if (!info.is_safe(u, t)) continue;
-    ++stats.reevaluations;
-    if (!must_flip(after, info, u, t)) continue;
-    info.tuple(u).set_safe(t, false);
-    ++stats.flips;
-    for (NodeId w : after.neighbors(u)) {
-      if (in_quadrant(after.position(w), after.position(u), t)) {
-        enqueue(w, t);
-      }
-    }
-  }
+  labeler.drain(pool);
+  stats.reevaluations = labeler.stats().reevaluations;
+  stats.flips = labeler.stats().flips;
+  apply_flips(labeler, info);
 
-  stats.anchor_recomputes = recompute_all_anchors(after, info);
+  stats.anchor_recomputes = labeler.compute_anchors(info, pool);
   return stats;
 }
 

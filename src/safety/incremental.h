@@ -50,10 +50,17 @@ struct IncrementalStats {
 /// Postcondition: `info == compute_safety(degraded, area)` up to the
 /// anchors of unaffected nodes, which are recomputed only where reachable
 /// from a change (tests assert full equality of statuses and anchors).
+///
+/// Runs on the flat kernel (safety/flat_kernel.h): statuses pack into bits,
+/// the seed set comes from one spatial-grid disc query per failed node, and
+/// all scratch is arena-retained, so steady-state waves stay off the heap.
+/// With a `pool` large frontiers and the anchor pass fan out; results are
+/// bit-identical for every worker count.
 IncrementalStats update_safety_after_failures(const UnitDiskGraph& degraded,
                                               const InterestArea& area,
                                               const std::vector<NodeId>& failed,
-                                              SafetyInfo& info);
+                                              SafetyInfo& info,
+                                              TaskPool* pool = nullptr);
 
 /// Updates `info` (the fixpoint of `before` / `area_before`) to the exact
 /// fixpoint of `after` / `area_after`, where `after` is the same node set
@@ -71,10 +78,18 @@ IncrementalStats update_safety_after_failures(const UnitDiskGraph& degraded,
 ///
 /// Postcondition: `info == compute_safety(after, area_after)`, statuses and
 /// anchors (tests assert full equality at every staged-mobility epoch).
+///
+/// The delta walk stays scalar (it reads both snapshots' positions), but
+/// its bitmaps, the cluster raises, the demotion worklist and the anchor
+/// pass all run on the flat kernel with arena-retained scratch — a
+/// steady-state repin epoch does no general-heap allocation inside the
+/// updater. With a `pool` the cluster raises, large frontiers and the
+/// anchor pass fan out; results are bit-identical for every worker count.
 IncrementalStats update_safety_after_moves(const UnitDiskGraph& before,
                                            const InterestArea& area_before,
                                            const UnitDiskGraph& after,
                                            const InterestArea& area_after,
-                                           SafetyInfo& info);
+                                           SafetyInfo& info,
+                                           TaskPool* pool = nullptr);
 
 }  // namespace spr

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 #include <deque>
-#include <queue>
 
-#include "geometry/angle.h"
+#include "safety/zone_scan.h"
+#include "util/arena.h"
 #include "util/task_pool.h"
 
 namespace spr {
@@ -22,6 +23,7 @@ namespace {
 
 /// True when Definition 1 forces S_t(u) to unsafe given current labels:
 /// every neighbor inside Q_t(u) has S_t = 0 (vacuously true when none).
+/// Scalar form — a geometry test per neighbor visit.
 bool must_flip(const UnitDiskGraph& g, const std::vector<SafetyTuple>& tuples,
                NodeId u, ZoneType t) {
   Vec2 pu = g.position(u);
@@ -34,14 +36,14 @@ bool must_flip(const UnitDiskGraph& g, const std::vector<SafetyTuple>& tuples,
 
 /// Fills the anchors of every unsafe (node, type) pair by the memoized
 /// first/last-path recursion of Algorithm 2. Returns the number of anchor
-/// sets written.
+/// sets written. Scalar form; the flat kernel's explicit-stack pass must
+/// produce identical anchors (tests enforce it).
 std::size_t compute_anchors(const UnitDiskGraph& g,
                             std::vector<SafetyTuple>& tuples) {
   const std::size_t n = g.size();
   for (ZoneType t : kAllZoneTypes) {
     enum class State : unsigned char { kUnvisited, kVisiting, kDone };
     std::vector<State> state(n, State::kUnvisited);
-    const double start_bearing = quadrant_start_bearing(t);
 
     // Iterative DFS resolving anchor.first via the first-hit chain and
     // anchor.last via the last-hit chain. Self-anchoring breaks the
@@ -58,31 +60,22 @@ std::size_t compute_anchors(const UnitDiskGraph& g,
       }
       state[u] = State::kVisiting;
       Vec2 pu = g.position(u);
-      CcwScan scan(pu, start_bearing);
-      NodeId v_first = kInvalidNode, v_last = kInvalidNode;
-      double best_first = 0.0, best_last = 0.0;
+      // Selection through the shared FirstLastScan (safety/zone_scan.h) —
+      // the same winners as the flat kernel and the distributed protocol,
+      // by construction. The membership test stays scalar geometry.
+      FirstLastScan scan(pu, t);
       for (NodeId v : g.neighbors(u)) {
         Vec2 pv = g.position(v);
         if (!in_quadrant(pu, pv, t)) continue;
         if (tuples[v].is_safe(t)) continue;  // only type-t unsafe chains
-        double sweep = scan.sweep_to(pv);
-        if (v_first == kInvalidNode || sweep < best_first ||
-            (sweep == best_first && distance_sq(pu, pv) <
-                 distance_sq(pu, g.position(v_first)))) {
-          v_first = v;
-          best_first = sweep;
-        }
-        if (v_last == kInvalidNode || sweep > best_last ||
-            (sweep == best_last && distance_sq(pu, pv) <
-                 distance_sq(pu, g.position(v_last)))) {
-          v_last = v;
-          best_last = sweep;
-        }
+        scan.consider(v, pv);
       }
-      if (v_first == kInvalidNode) {
+      if (scan.empty()) {
         a.first = a.last = u;
         a.first_pos = a.last_pos = g.position(u);
       } else {
+        const NodeId v_first = scan.first();
+        const NodeId v_last = scan.last();
         self(self, v_first);
         self(self, v_last);
         a.first = tuples[v_first].anchors_for(t).first;
@@ -108,39 +101,60 @@ std::size_t compute_anchors(const UnitDiskGraph& g,
 
 }  // namespace
 
-std::size_t recompute_all_anchors(const UnitDiskGraph& g, SafetyInfo& info) {
-  std::vector<SafetyTuple> tuples(info.size());
-  for (NodeId u = 0; u < info.size(); ++u) tuples[u] = info.tuple(u);
-  std::size_t written = compute_anchors(g, tuples);
-  for (NodeId u = 0; u < info.size(); ++u) info.tuple(u) = tuples[u];
-  return written;
+std::size_t recompute_all_anchors(const UnitDiskGraph& g, SafetyInfo& info,
+                                  TaskPool* pool) {
+  g.zones(pool);
+  Arena& arena = FlatLabeler::scratch();
+  arena.reset();
+  FlatLabeler labeler(g, nullptr, arena);
+  labeler.start_from(info);
+  return labeler.compute_anchors(info, pool);
 }
 
 SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area,
-                          TaskPool* build_pool) {
+                          TaskPool* build_pool, LabelingStats* stats) {
+  g.zones(build_pool);  // the epoch's quadrant view, built once (parallel ok)
+  Arena& arena = FlatLabeler::scratch();
+  arena.reset();
+  FlatLabeler labeler(g, &area, arena);
+  labeler.start_all_safe();
+  labeler.initial_round(build_pool);
+  labeler.drain(build_pool);
+
+  // Back to the tuple form only at the boundary: default tuples are all
+  // safe with cleared anchors, so replaying the flip list lands on the
+  // fixpoint statuses.
+  std::vector<SafetyTuple> tuples(g.size());
+  for (const std::uint32_t k : labeler.flipped()) {
+    tuples[FlatLabeler::key_node(k)].set_safe(
+        kAllZoneTypes[FlatLabeler::key_type(k)], false);
+  }
+  SafetyInfo info(std::move(tuples));
+  labeler.compute_anchors(info, build_pool);
+  if (stats != nullptr) *stats = labeler.stats();
+  return info;
+}
+
+SafetyInfo compute_safety_scalar(const UnitDiskGraph& g,
+                                 const InterestArea& area,
+                                 LabelingStats* stats) {
   const std::size_t n = g.size();
   std::vector<SafetyTuple> tuples(n);
+  LabelingStats local;
 
   // Initialization round against the all-safe labeling: S_t(u) can only
   // flip when Q_t(u) holds no neighbor at all (must_flip is vacuously
-  // true). Each (node, type) is independent and only reads the graph, so
-  // this round fans out over the pool; the flip set is data-determined and
-  // applied in node-id order below, keeping the fixpoint — which is unique
-  // regardless of evaluation order — identical for every thread count.
+  // true).
   std::vector<std::array<bool, 4>> initial_flip(
       n, {false, false, false, false});
-  parallel_for_blocked(
-      build_pool, n, 256, [&](std::size_t range_begin, std::size_t range_end) {
-        for (NodeId u = static_cast<NodeId>(range_begin);
-             u < static_cast<NodeId>(range_end); ++u) {
-          if (!g.alive(u) || area.is_edge_node(u)) continue;  // pinned / dead
-          for (ZoneType t : kAllZoneTypes) {
-            if (must_flip(g, tuples, u, t)) {
-              initial_flip[u][static_cast<size_t>(zone_index(t))] = true;
-            }
-          }
-        }
-      });
+  for (NodeId u = 0; u < n; ++u) {
+    if (!g.alive(u) || area.is_edge_node(u)) continue;  // pinned / dead
+    for (ZoneType t : kAllZoneTypes) {
+      if (must_flip(g, tuples, u, t)) {
+        initial_flip[u][static_cast<size_t>(zone_index(t))] = true;
+      }
+    }
+  }
 
   // Worklist over (node, type) pairs, seeded by the initial flips' fan-out.
   // Monotone flips guarantee a unique fixpoint regardless of processing
@@ -152,12 +166,14 @@ SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area,
     if (!flag) {
       flag = true;
       worklist.emplace_back(u, t);
+      ++local.pushes;
     }
   };
   for (NodeId u = 0; u < n; ++u) {
     for (ZoneType t : kAllZoneTypes) {
       if (!initial_flip[u][static_cast<size_t>(zone_index(t))]) continue;
       tuples[u].set_safe(t, false);
+      ++local.init_flips;
       for (NodeId w : g.neighbors(u)) {
         if (in_quadrant(g.position(w), g.position(u), t)) enqueue(w, t);
       }
@@ -171,8 +187,10 @@ SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area,
     if (!g.alive(u)) continue;
     if (area.is_edge_node(u)) continue;  // pinned at (1,1,1,1)
     if (!tuples[u].is_safe(t)) continue;
+    ++local.reevaluations;
     if (!must_flip(g, tuples, u, t)) continue;
     tuples[u].set_safe(t, false);
+    ++local.flips;
     // u's flip can only affect neighbors w that see u inside Q_t(w).
     for (NodeId w : g.neighbors(u)) {
       if (in_quadrant(g.position(w), g.position(u), t)) enqueue(w, t);
@@ -180,6 +198,7 @@ SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area,
   }
 
   compute_anchors(g, tuples);
+  if (stats != nullptr) *stats = local;
   return SafetyInfo(std::move(tuples));
 }
 
@@ -213,18 +232,25 @@ std::vector<NodeId> unsafe_area_members(const UnitDiskGraph& g,
                                         ZoneType t) {
   std::vector<NodeId> out;
   if (info.is_safe(u, t)) return out;
-  std::vector<bool> seen(g.size(), false);
-  std::queue<NodeId> frontier;
-  seen[u] = true;
-  frontier.push(u);
-  while (!frontier.empty()) {
-    NodeId w = frontier.front();
-    frontier.pop();
+  // BFS scratch (seen bits + frontier) lives in the kernel's per-thread
+  // arena; only the returned component itself touches the heap.
+  Arena& arena = FlatLabeler::scratch();
+  arena.reset();
+  const std::size_t words = (g.size() + 63) / 64;
+  auto* seen = static_cast<std::uint64_t*>(
+      arena.allocate(words * sizeof(std::uint64_t), alignof(std::uint64_t)));
+  std::memset(seen, 0, words * sizeof(std::uint64_t));
+  ArenaVector<NodeId> frontier{ArenaAllocator<NodeId>(arena)};
+  frontier.reserve(g.size());
+  seen[u >> 6] |= 1ull << (u & 63);
+  frontier.push_back(u);
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    NodeId w = frontier[head];
     out.push_back(w);
     for (NodeId v : g.neighbors(w)) {
-      if (!seen[v] && !info.is_safe(v, t)) {
-        seen[v] = true;
-        frontier.push(v);
+      if (((seen[v >> 6] >> (v & 63)) & 1u) == 0 && !info.is_safe(v, t)) {
+        seen[v >> 6] |= 1ull << (v & 63);
+        frontier.push_back(v);
       }
     }
   }

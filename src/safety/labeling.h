@@ -10,6 +10,7 @@
 
 #include "deploy/interest_area.h"
 #include "graph/unit_disk.h"
+#include "safety/flat_kernel.h"
 #include "safety/tuple.h"
 
 namespace spr {
@@ -42,13 +43,25 @@ class SafetyInfo {
 /// edge nodes of `area` at (1,1,1,1), then computes the anchors u(1)/u(2)
 /// per Algorithm 2 for every unsafe (node, type).
 ///
-/// With a `build_pool` the per-(node, type) initialization round — the
-/// vacuous-quadrant flips against the all-safe labeling — fans out over the
-/// pool; the flip set is data-determined and applied in node-id order, so
-/// the result is identical for every thread count. Callers running *on* a
-/// pool worker must pass nullptr (see UnitDiskGraph).
+/// Runs on the flat kernel (safety/flat_kernel.h): the graph's cached
+/// quadrant CSR, packed status bits and arena scratch. With a `build_pool`
+/// the initialization round, large demotion frontiers and the anchor pass
+/// fan out; every merge is id-ordered, so the result is bit-identical —
+/// statuses and anchors — for every thread count and to
+/// `compute_safety_scalar` (tests enforce both). Callers running *on* a
+/// pool worker must pass nullptr (see UnitDiskGraph). `stats`, when
+/// non-null, receives the kernel's work counters.
 SafetyInfo compute_safety(const UnitDiskGraph& g, const InterestArea& area,
-                          TaskPool* build_pool = nullptr);
+                          TaskPool* build_pool = nullptr,
+                          LabelingStats* stats = nullptr);
+
+/// The scalar reference path: per-node SafetyTuple records, geometry tests
+/// in every inner loop, recursive anchor resolution — the shape the flat
+/// kernel is benchmarked against and the oracle its bit-identity tests
+/// compare to. Always serial.
+SafetyInfo compute_safety_scalar(const UnitDiskGraph& g,
+                                 const InterestArea& area,
+                                 LabelingStats* stats = nullptr);
 
 /// As above but evaluates the fixpoint in synchronous rounds (the paper's
 /// Fig. 3 narration). Exists to test order-independence of the fixpoint.
@@ -64,8 +77,10 @@ std::vector<NodeId> unsafe_area_members(const UnitDiskGraph& g,
 /// Recomputes the shape anchors u(1)/u(2) for every unsafe (node, type) of
 /// `info` from its current statuses (Algorithm 2 step 3). Used by the
 /// incremental updater after statuses changed; `compute_safety` calls the
-/// same code internally. Returns the number of (node,type) anchor sets
-/// written.
-std::size_t recompute_all_anchors(const UnitDiskGraph& g, SafetyInfo& info);
+/// same code internally. Runs on the flat kernel; with a `pool` the
+/// per-cluster resolutions fan out (bit-identical results). Returns the
+/// number of (node,type) anchor sets written.
+std::size_t recompute_all_anchors(const UnitDiskGraph& g, SafetyInfo& info,
+                                  TaskPool* pool = nullptr);
 
 }  // namespace spr
