@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate google-benchmark results against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json \
+        [--tolerance 1.5] [--calibrate NAME]
+
+Compares the median real_time of every benchmark present in both files and
+fails (exit 1) when any current median exceeds baseline * speed_factor *
+tolerance. The speed factor defaults to the *median* of the per-bench
+current/baseline ratios: CI runners and the machine that recorded the
+baseline differ in absolute speed, and a machine-speed difference moves
+every ratio together while a real regression moves only its own bench —
+so normalizing by the median ratio cancels the former and flags the
+latter. (--calibrate NAME pins the factor to one bench instead; the
+median is the robust default.) Tolerance defaults to 1.5x — wide enough
+for scheduler noise, narrow enough to catch a real slowdown in the
+labeling kernel or the incremental/sharded paths.
+
+Reads both the aggregate form (--benchmark_report_aggregates_only=true,
+entries tagged aggregate_name == "median") and the raw form (medians are
+computed here across repetitions of the same name).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_medians(path):
+    """name -> median real_time (ns unless the file says otherwise)."""
+    with open(path) as f:
+        doc = json.load(f)
+    aggregates = {}
+    raw = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                aggregates[entry["run_name"]] = float(entry["real_time"])
+        else:
+            raw.setdefault(entry["name"], []).append(float(entry["real_time"]))
+    if aggregates:
+        return aggregates
+    return {name: statistics.median(times) for name, times in raw.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=1.5,
+                        help="allowed slowdown factor after calibration")
+    parser.add_argument("--calibrate", default="",
+                        help="pin the speed factor to this benchmark "
+                             "(default: median of per-bench ratios)")
+    args = parser.parse_args()
+
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+    common = sorted(set(baseline) & set(current))
+    if not common:
+        print("error: no benchmarks common to baseline and current run",
+              file=sys.stderr)
+        return 2
+
+    if args.calibrate:
+        if args.calibrate not in baseline or args.calibrate not in current:
+            print(f"error: calibration bench {args.calibrate!r} missing",
+                  file=sys.stderr)
+            return 2
+        factor = current[args.calibrate] / baseline[args.calibrate]
+        print(f"machine speed factor ({args.calibrate}): {factor:.3f}")
+    else:
+        factor = statistics.median(
+            current[name] / baseline[name] for name in common)
+        print(f"machine speed factor (median of {len(common)} ratios): "
+              f"{factor:.3f}")
+
+    regressions = []
+    width = max(len(name) for name in common)
+    for name in common:
+        allowed = baseline[name] * factor * args.tolerance
+        ratio = current[name] / (baseline[name] * factor)
+        status = "ok"
+        if current[name] > allowed:
+            status = "REGRESSION"
+            regressions.append(name)
+        print(f"{name:<{width}}  baseline {baseline[name]:>14.0f}  "
+              f"current {current[name]:>14.0f}  x{ratio:5.2f}  {status}")
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"note: {len(missing)} baseline bench(es) absent from the "
+              f"current run: {', '.join(missing)}")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.2f}x: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {len(common)} benches within {args.tolerance:.2f}x "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

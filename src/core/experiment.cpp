@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "graph/graph_algos.h"
+#include "shard/sharded_network.h"
 #include "util/arena.h"
 #include "util/task_pool.h"
 
@@ -87,6 +88,17 @@ CellResult run_cell(const SweepConfig& config, int n, int net_index,
   net_config.seed = sweep_cell_seed(config, n, net_index);
   auto start = std::chrono::steady_clock::now();
   Network network = Network::create(net_config);
+  if (config.tile_rows > 0 && config.tile_cols > 0) {
+    // Spatial-tile execution path: label through the halo-synced sharded
+    // fixpoint and adopt the (bit-identical, by the tile layer's
+    // invariance contract) result, so force() below finds it built.
+    ShardedNetwork::Config tile_config;
+    tile_config.tile_rows = config.tile_rows;
+    tile_config.tile_cols = config.tile_cols;
+    ShardedNetwork sharded(network.graph(), net_config.edge_band,
+                           tile_config);
+    network.adopt_safety(sharded.safety());
+  }
   // Force every structure the scheme set will touch, so the construction
   // bucket really holds construction (GF's recovery structures stay lazy by
   // design — if a packet gets stuck their build lands in the routing
@@ -160,22 +172,22 @@ CellResult run_sweep_cell(const SweepConfig& config, int node_count,
                   timings != nullptr ? timings : &scratch);
 }
 
-std::vector<ShardCell> run_sweep_shard(const SweepConfig& config,
-                                       int shard_index, int shard_count,
+std::vector<SliceCell> run_sweep_slice(const SweepConfig& config,
+                                       int slice_index, int slice_count,
                                        SweepTimings* timings) {
-  std::vector<ShardCell> shard;
-  if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
-    return shard;
+  std::vector<SliceCell> slice;
+  if (slice_count < 1 || slice_index < 0 || slice_index >= slice_count) {
+    return slice;
   }
   // Canonical cell enumeration, filtered by congruence class.
   std::size_t global_index = 0;
   for (int node_count : config.node_counts) {
     for (int i = 0; i < config.networks_per_point; ++i, ++global_index) {
-      if (global_index % static_cast<std::size_t>(shard_count) !=
-          static_cast<std::size_t>(shard_index)) {
+      if (global_index % static_cast<std::size_t>(slice_count) !=
+          static_cast<std::size_t>(slice_index)) {
         continue;
       }
-      shard.push_back({node_count, i, {}});
+      slice.push_back({node_count, i, {}});
     }
   }
 
@@ -183,25 +195,25 @@ std::vector<ShardCell> run_sweep_shard(const SweepConfig& config,
   std::mutex timings_mutex;
   auto run_one = [&](std::size_t ci) {
     SweepTimings cell_timings;
-    shard[ci].result = run_cell(config, shard[ci].node_count,
-                                shard[ci].net_index, &cell_timings);
+    slice[ci].result = run_cell(config, slice[ci].node_count,
+                                slice[ci].net_index, &cell_timings);
     std::lock_guard<std::mutex> lock(timings_mutex);
     accumulated.merge(cell_timings);
   };
   if (config.threads == 1) {
-    for (std::size_t ci = 0; ci < shard.size(); ++ci) run_one(ci);
+    for (std::size_t ci = 0; ci < slice.size(); ++ci) run_one(ci);
   } else {
     TaskPool pool(config.threads);
-    pool.parallel_for(shard.size(), run_one);
+    pool.parallel_for(slice.size(), run_one);
   }
   if (timings != nullptr) timings->merge(accumulated);
-  return shard;
+  return slice;
 }
 
 std::vector<SweepPoint> merge_cell_results(
     const std::vector<int>& node_counts,
     const std::vector<std::string>& scheme_labels,
-    std::vector<ShardCell> cells) {
+    std::vector<SliceCell> cells) {
   // Point index of each node count; cells at unknown counts are dropped.
   auto point_of = [&](int node_count) -> std::size_t {
     for (std::size_t pi = 0; pi < node_counts.size(); ++pi) {
@@ -212,7 +224,7 @@ std::vector<SweepPoint> merge_cell_results(
   // run_sweep merges cells point-major in net_index order; replay that
   // order exactly so Summary::merge sees the same sample sequence.
   std::stable_sort(cells.begin(), cells.end(),
-                   [&](const ShardCell& a, const ShardCell& b) {
+                   [&](const SliceCell& a, const SliceCell& b) {
                      std::size_t pa = point_of(a.node_count);
                      std::size_t pb = point_of(b.node_count);
                      if (pa != pb) return pa < pb;

@@ -60,6 +60,14 @@ struct SweepConfig {
   /// the general heap. Results are identical either way; the knob exists
   /// for the bench_micro before/after datapoint.
   bool cell_arena = true;
+  /// When both are positive, each cell's safety labeling is computed by a
+  /// spatial-tile ShardedNetwork (shard/sharded_network.h) over a
+  /// tile_rows x tile_cols grid and adopted into the cell's Network. The
+  /// tile layer's shard-count-invariance contract makes the sweep results
+  /// bit-identical to the monolithic path for every grid (tested), so this
+  /// is purely an execution-strategy knob — `spr_cli sweep --tiles RxC`.
+  int tile_rows = 0;
+  int tile_cols = 0;
 
   /// The paper's four schemes in figure order.
   static std::vector<SchemeSpec> paper_schemes();
@@ -77,9 +85,11 @@ struct SweepPoint {
 /// cross-process distribution.
 using CellResult = std::map<std::string, RouteAggregate>;
 
-/// A cell result tagged with its sweep coordinates, as carried by shard
-/// files.
-struct ShardCell {
+/// A cell result tagged with its sweep coordinates, as carried by sweep
+/// *slice* files (report/serialize.h) — a slice is a modular subset of a
+/// sweep's cells for cross-process distribution, not to be confused with
+/// the spatial tiles of shard/.
+struct SliceCell {
   int node_count = 0;
   int net_index = 0;
   CellResult result;
@@ -117,18 +127,18 @@ std::vector<SweepPoint> run_sweep(const SweepConfig& config,
                                   SweepTimings* timings = nullptr);
 
 /// Runs one independent sweep cell — exactly what run_sweep does for cell
-/// (node_count, net_index). Exposed so shard runners and tests can compute
+/// (node_count, net_index). Exposed so slice runners and tests can compute
 /// any cell out of process. `timings`, when non-null, accumulates the
 /// cell's cost breakdown.
 CellResult run_sweep_cell(const SweepConfig& config, int node_count,
                           int net_index, SweepTimings* timings = nullptr);
 
 /// Runs the subset of the sweep's cells whose canonical index (point-major:
-/// node_counts outer, net_index inner) is congruent to `shard_index` modulo
-/// `shard_count`, in parallel per `config.threads`. The union of all shards
+/// node_counts outer, net_index inner) is congruent to `slice_index` modulo
+/// `slice_count`, in parallel per `config.threads`. The union of all slices
 /// is exactly the cell set run_sweep computes.
-std::vector<ShardCell> run_sweep_shard(const SweepConfig& config,
-                                       int shard_index, int shard_count,
+std::vector<SliceCell> run_sweep_slice(const SweepConfig& config,
+                                       int slice_index, int slice_count,
                                        SweepTimings* timings = nullptr);
 
 /// Merges tagged cell results into sweep points, replaying run_sweep's
@@ -140,7 +150,7 @@ std::vector<ShardCell> run_sweep_shard(const SweepConfig& config,
 std::vector<SweepPoint> merge_cell_results(
     const std::vector<int>& node_counts,
     const std::vector<std::string>& scheme_labels,
-    std::vector<ShardCell> cells);
+    std::vector<SliceCell> cells);
 
 /// The (s, d) pairs cell (node_count, net_index) routes — the exact drawing
 /// the sweep performs, exposed so scenarios and tests can reconstruct any

@@ -99,6 +99,14 @@ class Network {
 
   /// Lazy, memoized, thread-safe: built on first call, then cached.
   const SafetyInfo& safety() const;
+
+  /// Installs an externally-computed safety labeling (`info.size()` must be
+  /// `graph().size()`) so `safety()` returns it instead of building one —
+  /// the spatial-tile sweep path injects the halo-exchanged labeling here,
+  /// which is bit-identical to what `safety()` would compute (the tile
+  /// layer's invariance contract). No-op if the labeling was already built
+  /// or adopted; returns whether `info` was installed.
+  bool adopt_safety(SafetyInfo info) const;
   const PlanarOverlay& overlay() const;
   const BoundHoleInfo& boundhole() const;
 

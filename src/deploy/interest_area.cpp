@@ -17,6 +17,15 @@ InterestArea::InterestArea(const UnitDiskGraph& g, double edge_band) {
   }
 }
 
+InterestArea::InterestArea(const UnitDiskGraph& g,
+                           std::vector<bool> edge_flags, std::vector<Vec2> hull)
+    : edge_(std::move(edge_flags)), hull_(std::move(hull)) {
+  edge_.resize(g.size(), false);
+  for (NodeId u = 0; u < g.size(); ++u) {
+    if (!edge_[u] && g.alive(u)) interior_.push_back(u);
+  }
+}
+
 std::size_t InterestArea::edge_count() const noexcept {
   return static_cast<std::size_t>(std::count(edge_.begin(), edge_.end(), true));
 }

@@ -31,6 +31,17 @@ UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
   build(alive, build_pool);
 }
 
+UnitDiskGraph UnitDiskGraph::from_parts(std::vector<Vec2> positions,
+                                        double range, Rect bounds,
+                                        std::vector<bool> alive,
+                                        std::vector<std::size_t> offsets,
+                                        std::vector<NodeId> adjacency) {
+  auto grid = std::make_shared<SpatialGrid>(positions, bounds, range);
+  return UnitDiskGraph(PatchedTag{}, std::move(positions), range, bounds,
+                       std::move(grid), std::move(alive), std::move(offsets),
+                       std::move(adjacency));
+}
+
 const QuadrantZones& UnitDiskGraph::zones(TaskPool* build_pool) const {
   ZonesCache& cache = *zones_cache_;
   std::call_once(cache.once, [&] {

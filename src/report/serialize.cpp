@@ -310,6 +310,8 @@ void to_json(JsonWriter& w, const IncrementalStats& stats) {
   w.key("promotions").value(static_cast<std::uint64_t>(stats.promotions));
   w.key("anchor_recomputes")
       .value(static_cast<std::uint64_t>(stats.anchor_recomputes));
+  w.key("arena_high_water")
+      .value(static_cast<std::uint64_t>(stats.arena_high_water));
   w.end_object();
 }
 
@@ -323,6 +325,8 @@ bool from_json(const JsonValue& v, IncrementalStats& out) {
       !read_size(v, "anchor_recomputes", stats.anchor_recomputes)) {
     return false;
   }
+  // Absent in artifacts written before the stat existed; default 0.
+  read_size(v, "arena_high_water", stats.arena_high_water);
   out = stats;
   return true;
 }
@@ -516,46 +520,46 @@ bool from_json(const JsonValue& v, SweepTimings& out) {
   return true;
 }
 
-// ------------------------------------------------------------ shard files
+// ------------------------------------------------------------ slice files
 
 namespace {
 constexpr int kShardFormatVersion = 1;
 }  // namespace
 
-SweepShard make_shard(const SweepConfig& config, int shard_index,
-                      int shard_count, std::vector<ShardCell> cells) {
-  SweepShard shard;
-  shard.model_tag = deploy_model_tag(config.model);
-  shard.node_counts = config.node_counts;
-  shard.networks_per_point = config.networks_per_point;
-  shard.pairs_per_network = config.pairs_per_network;
-  shard.base_seed = config.base_seed;
+SweepSlice make_slice(const SweepConfig& config, int slice_index,
+                      int slice_count, std::vector<SliceCell> cells) {
+  SweepSlice slice;
+  slice.model_tag = deploy_model_tag(config.model);
+  slice.node_counts = config.node_counts;
+  slice.networks_per_point = config.networks_per_point;
+  slice.pairs_per_network = config.pairs_per_network;
+  slice.base_seed = config.base_seed;
   for (const auto& spec : config.schemes) {
-    shard.scheme_labels.push_back(spec.display_label());
+    slice.scheme_labels.push_back(spec.display_label());
   }
-  shard.shard_index = shard_index;
-  shard.shard_count = shard_count;
-  shard.cells = std::move(cells);
-  return shard;
+  slice.slice_index = slice_index;
+  slice.slice_count = slice_count;
+  slice.cells = std::move(cells);
+  return slice;
 }
 
-void to_json(JsonWriter& w, const SweepShard& shard) {
+void to_json(JsonWriter& w, const SweepSlice& slice) {
   w.begin_object();
   w.key("spr_shard").value(kShardFormatVersion);
-  w.key("model").value(shard.model_tag);
+  w.key("model").value(slice.model_tag);
   w.key("node_counts").begin_array();
-  for (int n : shard.node_counts) w.value(n);
+  for (int n : slice.node_counts) w.value(n);
   w.end_array();
-  w.key("networks_per_point").value(shard.networks_per_point);
-  w.key("pairs_per_network").value(shard.pairs_per_network);
-  w.key("base_seed").value(shard.base_seed);
+  w.key("networks_per_point").value(slice.networks_per_point);
+  w.key("pairs_per_network").value(slice.pairs_per_network);
+  w.key("base_seed").value(slice.base_seed);
   w.key("schemes").begin_array();
-  for (const auto& label : shard.scheme_labels) w.value(label);
+  for (const auto& label : slice.scheme_labels) w.value(label);
   w.end_array();
-  w.key("shard_index").value(shard.shard_index);
-  w.key("shard_count").value(shard.shard_count);
+  w.key("shard_index").value(slice.slice_index);
+  w.key("shard_count").value(slice.slice_count);
   w.key("cells").begin_array();
-  for (const auto& cell : shard.cells) {
+  for (const auto& cell : slice.cells) {
     w.begin_object();
     w.key("node_count").value(cell.node_count);
     w.key("net_index").value(cell.net_index);
@@ -567,57 +571,57 @@ void to_json(JsonWriter& w, const SweepShard& shard) {
   w.end_object();
 }
 
-bool from_json(const JsonValue& v, SweepShard& out) {
+bool from_json(const JsonValue& v, SweepSlice& out) {
   if (!v.is_object()) return false;
   int version = 0;
   if (!read_int(v, "spr_shard", version) || version != kShardFormatVersion) {
     return false;
   }
-  SweepShard shard;
+  SweepSlice slice;
   const JsonValue* model = v.find("model");
   if (model == nullptr || !model->is_string()) return false;
-  shard.model_tag = model->as_string();
+  slice.model_tag = model->as_string();
   DeployModel parsed_model;
-  if (!deploy_model_from_tag(shard.model_tag, parsed_model)) return false;
+  if (!deploy_model_from_tag(slice.model_tag, parsed_model)) return false;
 
   const JsonValue* counts = v.find("node_counts");
   if (counts == nullptr || !counts->is_array()) return false;
   for (const JsonValue& n : counts->items()) {
     std::int64_t count = n.is_integer() ? n.as_int64(INT64_MIN) : INT64_MIN;
     if (count < 0 || count > INT32_MAX) return false;
-    shard.node_counts.push_back(static_cast<int>(count));
+    slice.node_counts.push_back(static_cast<int>(count));
   }
-  if (!read_int(v, "networks_per_point", shard.networks_per_point) ||
-      !read_int(v, "pairs_per_network", shard.pairs_per_network) ||
-      !read_uint(v, "base_seed", shard.base_seed) ||
-      !read_int(v, "shard_index", shard.shard_index) ||
-      !read_int(v, "shard_count", shard.shard_count)) {
+  if (!read_int(v, "networks_per_point", slice.networks_per_point) ||
+      !read_int(v, "pairs_per_network", slice.pairs_per_network) ||
+      !read_uint(v, "base_seed", slice.base_seed) ||
+      !read_int(v, "shard_index", slice.slice_index) ||
+      !read_int(v, "shard_count", slice.slice_count)) {
     return false;
   }
   const JsonValue* schemes = v.find("schemes");
   if (schemes == nullptr || !schemes->is_array()) return false;
   for (const JsonValue& label : schemes->items()) {
     if (!label.is_string()) return false;
-    shard.scheme_labels.push_back(label.as_string());
+    slice.scheme_labels.push_back(label.as_string());
   }
   const JsonValue* cells = v.find("cells");
   if (cells == nullptr || !cells->is_array()) return false;
   for (const JsonValue& c : cells->items()) {
-    ShardCell cell;
+    SliceCell cell;
     if (!read_int(c, "node_count", cell.node_count) ||
         !read_int(c, "net_index", cell.net_index) ||
         !from_json(c.get("results"), cell.result)) {
       return false;
     }
-    shard.cells.push_back(std::move(cell));
+    slice.cells.push_back(std::move(cell));
   }
-  out = std::move(shard);
+  out = std::move(slice);
   return true;
 }
 
 namespace {
 
-bool same_sweep(const SweepShard& a, const SweepShard& b) {
+bool same_sweep(const SweepSlice& a, const SweepSlice& b) {
   return a.model_tag == b.model_tag && a.node_counts == b.node_counts &&
          a.networks_per_point == b.networks_per_point &&
          a.pairs_per_network == b.pairs_per_network &&
@@ -631,22 +635,22 @@ bool merge_fail(std::string* error, std::string message) {
 
 }  // namespace
 
-bool merge_shards(std::vector<SweepShard> shards,
+bool merge_slices(std::vector<SweepSlice> slices,
                   std::vector<SweepPoint>& out_points, std::string* error) {
-  if (shards.empty()) return merge_fail(error, "no shards to merge");
-  const SweepShard& head = shards.front();
-  for (std::size_t i = 1; i < shards.size(); ++i) {
-    if (!same_sweep(head, shards[i])) {
+  if (slices.empty()) return merge_fail(error, "no slices to merge");
+  const SweepSlice& head = slices.front();
+  for (std::size_t i = 1; i < slices.size(); ++i) {
+    if (!same_sweep(head, slices[i])) {
       return merge_fail(error,
-                        "shard " + std::to_string(i) +
+                        "slice " + std::to_string(i) +
                             " belongs to a different sweep (config mismatch)");
     }
   }
 
-  std::vector<ShardCell> cells;
+  std::vector<SliceCell> cells;
   std::set<std::pair<int, int>> seen;
-  for (const SweepShard& shard : shards) {
-    for (const ShardCell& cell : shard.cells) {
+  for (const SweepSlice& slice : slices) {
+    for (const SliceCell& cell : slice.cells) {
       if (std::find(head.node_counts.begin(), head.node_counts.end(),
                     cell.node_count) == head.node_counts.end()) {
         return merge_fail(error, "cell at unknown node count " +
@@ -663,7 +667,7 @@ bool merge_shards(std::vector<SweepShard> shards,
                               ", " + std::to_string(cell.net_index) + ")");
       }
       // Every cell must carry exactly the sweep's scheme set — a missing or
-      // extra label means a truncated/foreign shard, and merge_cell_results
+      // extra label means a truncated/foreign slice, and merge_cell_results
       // would silently skip it, corrupting the bit-identical guarantee.
       if (cell.result.size() != head.scheme_labels.size()) {
         return merge_fail(error,

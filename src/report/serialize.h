@@ -10,8 +10,8 @@
 /// - *Full* form (`to_json` / `from_json`): retains every Summary sample,
 ///   so deserializing re-adds the samples in order and reconstructs the
 ///   accumulator bit-identically. This is what makes the sweep cell the
-///   unit of cross-process distribution: run shards anywhere, serialize
-///   their `CellResult`s, and `merge_shards` reproduces the in-process
+///   unit of cross-process distribution: run slices anywhere, serialize
+///   their `CellResult`s, and `merge_slices` reproduces the in-process
 ///   `run_sweep` aggregates exactly.
 ///
 /// Doubles are emitted with %.17g and parsed with from_chars, so every
@@ -83,35 +83,39 @@ bool from_json(const JsonValue& v, StreamSchemeStats& out);
 void to_json(JsonWriter& w, const StreamStats& stats);
 bool from_json(const JsonValue& v, StreamStats& out);
 
-// ------------------------------------------------------------ shard files
-/// A serialized sweep shard: the sweep's identity (enough to check that two
-/// shards came from the same sweep) plus the computed cells in full form.
-struct SweepShard {
+// ------------------------------------------------------------ slice files
+/// A serialized sweep *slice*: the sweep's identity (enough to check that
+/// two slices came from the same sweep) plus the computed cells in full
+/// form. ("Slice" = a modular subset of a sweep's cells for cross-process
+/// distribution — distinct from the *spatial tiles* of shard/, which
+/// partition one deployment's field. The JSON wire keys keep the historical
+/// "shard" spelling for compatibility.)
+struct SweepSlice {
   std::string model_tag;  ///< "IA" / "FA"
   std::vector<int> node_counts;
   int networks_per_point = 0;
   int pairs_per_network = 0;
   std::uint64_t base_seed = 0;
   std::vector<std::string> scheme_labels;
-  int shard_index = 0;
-  int shard_count = 1;
-  std::vector<ShardCell> cells;
+  int slice_index = 0;
+  int slice_count = 1;
+  std::vector<SliceCell> cells;
 };
 
-/// Builds the shard header from the config that ran the cells.
-SweepShard make_shard(const SweepConfig& config, int shard_index,
-                      int shard_count, std::vector<ShardCell> cells);
+/// Builds the slice header from the config that ran the cells.
+SweepSlice make_slice(const SweepConfig& config, int slice_index,
+                      int slice_count, std::vector<SliceCell> cells);
 
-void to_json(JsonWriter& w, const SweepShard& shard);
-bool from_json(const JsonValue& v, SweepShard& out);
+void to_json(JsonWriter& w, const SweepSlice& slice);
+bool from_json(const JsonValue& v, SweepSlice& out);
 
-/// Merges shard files into sweep points. Validates that every shard
+/// Merges slice files into sweep points. Validates that every slice
 /// belongs to the same sweep (identical header identity), that no cell
 /// appears twice, and that the union covers every cell of the sweep —
 /// then replays run_sweep's canonical cell-order reduction, so the result
 /// is bit-identical to the in-process sweep. On failure returns false and
 /// describes the problem in `error` (when non-null).
-bool merge_shards(std::vector<SweepShard> shards,
+bool merge_slices(std::vector<SweepSlice> slices,
                   std::vector<SweepPoint>& out_points,
                   std::string* error = nullptr);
 

@@ -99,6 +99,7 @@ IncrementalStats update_safety_after_failures(const UnitDiskGraph& degraded,
   apply_flips(labeler, info);
 
   stats.anchor_recomputes = labeler.compute_anchors(info, pool);
+  stats.arena_high_water = arena.bytes_allocated();
   return stats;
 }
 
@@ -266,6 +267,7 @@ IncrementalStats update_safety_after_moves(const UnitDiskGraph& before,
   apply_flips(labeler, info);
 
   stats.anchor_recomputes = labeler.compute_anchors(info, pool);
+  stats.arena_high_water = arena.bytes_allocated();
   return stats;
 }
 

@@ -40,6 +40,13 @@ struct IncrementalStats {
   std::size_t flips = 0;            ///< demotions: statuses that went 1 -> 0
   std::size_t promotions = 0;       ///< statuses that went 0 -> 1 (moves only)
   std::size_t anchor_recomputes = 0;///< nodes whose anchors were rebuilt
+  /// Peak scratch-arena bytes of *this* update: the arena is monotonic and
+  /// reset when the update starts, so its end-of-update `bytes_allocated()`
+  /// is the update's own high water. Deterministic (unlike the arena's
+  /// lifetime `high_water()`, which depends on what else ran on the
+  /// thread), so reports may carry it byte-stably. Once the retained block
+  /// covers it, later identical epochs never touch the general heap.
+  std::size_t arena_high_water = 0;
 };
 
 /// Updates `info` (computed for the graph *before* the failures) to the

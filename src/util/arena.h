@@ -56,6 +56,7 @@ class Arena {
   /// repeated identical workload fits the retained block and stops
   /// touching the general heap from the second pass on.
   void reset() {
+    if (bytes_allocated_ > high_water_) high_water_ = bytes_allocated_;
     if (blocks_.size() > 1) {
       std::size_t total = capacity();
       blocks_.clear();
@@ -71,6 +72,16 @@ class Arena {
   /// Total bytes handed out since construction / the last reset (excludes
   /// alignment padding).
   std::size_t bytes_allocated() const noexcept { return bytes_allocated_; }
+
+  /// The largest `bytes_allocated()` any epoch (reset-to-reset span) has
+  /// reached, including the current one. This is the observable form of the
+  /// zero-steady-state-heap claim: once the retained block covers the high
+  /// water, later epochs allocate no general-heap memory. Tracked in
+  /// `reset()` / here rather than per-allocation, so the `allocate` hot
+  /// path stays two adds and a compare.
+  std::size_t high_water() const noexcept {
+    return bytes_allocated_ > high_water_ ? bytes_allocated_ : high_water_;
+  }
 
   /// Total bytes of arena blocks currently held.
   std::size_t capacity() const noexcept {
@@ -100,6 +111,7 @@ class Arena {
   std::uintptr_t limit_ = 0;
   std::size_t next_block_size_;
   std::size_t bytes_allocated_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 /// std-compatible allocator over an Arena. Copies share the arena;

@@ -171,83 +171,83 @@ TEST(Shards, SingleCellShardsMergeBitIdenticallyToRunSweep) {
   // round-tripped through its JSON text — the full scp-and-merge workflow.
   int total_cells = static_cast<int>(config.node_counts.size()) *
                     config.networks_per_point;
-  std::vector<SweepShard> shards;
+  std::vector<SweepSlice> shards;
   for (int i = 0; i < total_cells; ++i) {
-    auto cells = run_sweep_shard(config, i, total_cells);
+    auto cells = run_sweep_slice(config, i, total_cells);
     ASSERT_EQ(cells.size(), 1u) << i;
-    SweepShard shard = make_shard(config, i, total_cells, std::move(cells));
+    SweepSlice shard = make_slice(config, i, total_cells, std::move(cells));
     JsonWriter w;
     to_json(w, shard);
     JsonValue parsed;
     std::string error;
     ASSERT_TRUE(JsonValue::parse(w.str(), parsed, &error)) << error;
-    SweepShard decoded;
+    SweepSlice decoded;
     ASSERT_TRUE(from_json(parsed, decoded));
     shards.push_back(std::move(decoded));
   }
 
   std::vector<SweepPoint> merged;
   std::string error;
-  ASSERT_TRUE(merge_shards(std::move(shards), merged, &error)) << error;
+  ASSERT_TRUE(merge_slices(std::move(shards), merged, &error)) << error;
   EXPECT_TRUE(sweep_results_identical(in_process, merged));
 }
 
 TEST(Shards, UnevenShardingAlsoMergesIdentically) {
   SweepConfig config = small_sweep_config();
   auto in_process = run_sweep(config);
-  std::vector<SweepShard> shards;
+  std::vector<SweepSlice> shards;
   for (int i = 0; i < 4; ++i) {  // 6 cells over 4 shards: sizes 2,2,1,1
     shards.push_back(
-        make_shard(config, i, 4, run_sweep_shard(config, i, 4)));
+        make_slice(config, i, 4, run_sweep_slice(config, i, 4)));
   }
   std::vector<SweepPoint> merged;
-  ASSERT_TRUE(merge_shards(std::move(shards), merged, nullptr));
+  ASSERT_TRUE(merge_slices(std::move(shards), merged, nullptr));
   EXPECT_TRUE(sweep_results_identical(in_process, merged));
 }
 
 TEST(Shards, MergeRejectsBadInput) {
   SweepConfig config = small_sweep_config();
   auto make = [&](int i, int n) {
-    return make_shard(config, i, n, run_sweep_shard(config, i, n));
+    return make_slice(config, i, n, run_sweep_slice(config, i, n));
   };
   std::string error;
   std::vector<SweepPoint> points;
 
   // Empty input.
-  EXPECT_FALSE(merge_shards({}, points, &error));
+  EXPECT_FALSE(merge_slices({}, points, &error));
 
   // Missing cells.
-  EXPECT_FALSE(merge_shards({make(0, 2)}, points, &error));
+  EXPECT_FALSE(merge_slices({make(0, 2)}, points, &error));
   EXPECT_NE(error.find("incomplete"), std::string::npos);
 
   // Duplicate cells.
-  EXPECT_FALSE(merge_shards({make(0, 2), make(0, 2), make(1, 2)}, points,
+  EXPECT_FALSE(merge_slices({make(0, 2), make(0, 2), make(1, 2)}, points,
                             &error));
   EXPECT_NE(error.find("duplicate"), std::string::npos);
 
   // Config mismatch.
   SweepConfig other = config;
   other.base_seed = 78;
-  std::vector<SweepShard> mixed;
+  std::vector<SweepSlice> mixed;
   mixed.push_back(make(0, 2));
-  mixed.push_back(make_shard(other, 1, 2, run_sweep_shard(other, 1, 2)));
-  EXPECT_FALSE(merge_shards(std::move(mixed), points, &error));
+  mixed.push_back(make_slice(other, 1, 2, run_sweep_slice(other, 1, 2)));
+  EXPECT_FALSE(merge_slices(std::move(mixed), points, &error));
   EXPECT_NE(error.find("different sweep"), std::string::npos);
 
   // A cell stripped of one scheme's results (truncated/hand-edited shard)
   // must be rejected, not silently merged into wrong aggregates.
-  std::vector<SweepShard> stripped{make(0, 2), make(1, 2)};
+  std::vector<SweepSlice> stripped{make(0, 2), make(1, 2)};
   ASSERT_FALSE(stripped[0].cells.empty());
   stripped[0].cells[0].result.erase("GF");
-  EXPECT_FALSE(merge_shards(std::move(stripped), points, &error));
+  EXPECT_FALSE(merge_slices(std::move(stripped), points, &error));
   EXPECT_NE(error.find("scheme results"), std::string::npos);
 
   // Same size but a swapped-in foreign label is rejected too.
-  std::vector<SweepShard> swapped{make(0, 2), make(1, 2)};
+  std::vector<SweepSlice> swapped{make(0, 2), make(1, 2)};
   ASSERT_FALSE(swapped[0].cells.empty());
   swapped[0].cells[0].result.erase("GF");
   swapped[0].cells[0].result.emplace("BOGUS", RouteAggregate{});
-  EXPECT_FALSE(merge_shards(std::move(swapped), points, &error));
+  EXPECT_FALSE(merge_slices(std::move(swapped), points, &error));
   EXPECT_NE(error.find("missing scheme"), std::string::npos);
 }
 
@@ -268,7 +268,7 @@ TEST(Serialize, IntegerFieldsRejectFractionalNumbers) {
 }
 
 TEST(Shards, ShardFileRejectsForeignJson) {
-  SweepShard shard;
+  SweepSlice shard;
   JsonValue v;
   ASSERT_TRUE(JsonValue::parse(R"({"scenario":"fig6-avg-hops"})", v));
   EXPECT_FALSE(from_json(v, shard));
@@ -278,12 +278,12 @@ TEST(Shards, ShardFileRejectsForeignJson) {
   EXPECT_FALSE(from_json(v, shard));
 }
 
-TEST(Shards, RunSweepShardPartitionsTheCells) {
+TEST(Shards, RunSweepSlicePartitionsTheCells) {
   SweepConfig config = small_sweep_config();
   std::set<std::pair<int, int>> seen;
   std::size_t total = 0;
   for (int i = 0; i < 3; ++i) {
-    for (const auto& cell : run_sweep_shard(config, i, 3)) {
+    for (const auto& cell : run_sweep_slice(config, i, 3)) {
       EXPECT_TRUE(seen.emplace(cell.node_count, cell.net_index).second);
       ++total;
     }
@@ -291,9 +291,9 @@ TEST(Shards, RunSweepShardPartitionsTheCells) {
   EXPECT_EQ(total, config.node_counts.size() *
                        static_cast<std::size_t>(config.networks_per_point));
   // Degenerate shard specs yield nothing rather than UB.
-  EXPECT_TRUE(run_sweep_shard(config, 3, 3).empty());
-  EXPECT_TRUE(run_sweep_shard(config, -1, 3).empty());
-  EXPECT_TRUE(run_sweep_shard(config, 0, 0).empty());
+  EXPECT_TRUE(run_sweep_slice(config, 3, 3).empty());
+  EXPECT_TRUE(run_sweep_slice(config, -1, 3).empty());
+  EXPECT_TRUE(run_sweep_slice(config, 0, 0).empty());
 }
 
 }  // namespace

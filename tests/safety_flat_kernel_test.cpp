@@ -222,6 +222,31 @@ TEST(QuadrantZones, PatchedEqualsFreshAcrossFailureAndMoveChains) {
   }
 }
 
+/// A combined wave — a failure batch AND a move batch applied in one epoch
+/// before anything is checked — patches zones through both siblings and
+/// continues the labeling through both updaters: patched zones must equal a
+/// fresh build and the carried labeling must equal compute_safety.
+TEST(QuadrantZones, CombinedFailureAndMoveWavePatchesEqualFresh) {
+  for (std::uint64_t seed : test::property_seeds()) {
+    Network net = test::random_network(350, seed, DeployModel::kForbiddenAreas);
+    net.force(Network::kNeedsSafety);
+    Rng rng(seed ^ 0xc0b1);
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      net = net.with_failures(draw_casualties(net.graph(), rng, 10));
+      net = net.with_moves(jitter_positions(
+          net.graph().positions(), net.deployment().field, 8.0, rng));
+      ASSERT_TRUE(net.graph().has_zones())
+          << "epoch " << epoch << ": combined wave dropped the patched zones";
+      EXPECT_EQ(net.graph().zones(), QuadrantZones::build(net.graph()))
+          << "seed " << seed << " epoch " << epoch;
+      ASSERT_TRUE(net.has_safety());
+      EXPECT_EQ(net.safety(),
+                compute_safety(net.graph(), net.interest_area()))
+          << "seed " << seed << " epoch " << epoch;
+    }
+  }
+}
+
 /// Parallel zones build is bit-identical to serial.
 TEST(QuadrantZones, BuildIdenticalAcrossPoolSizes) {
   Deployment d = test::dense_grid_deployment(700, 9);

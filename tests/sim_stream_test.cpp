@@ -111,6 +111,8 @@ TEST(StreamSim, MidStreamWaveRelabelsIncrementallyAndConsistently) {
   EXPECT_TRUE(record.verified);
   EXPECT_TRUE(record.matches_full_recompute);
   EXPECT_GT(record.relabel.seeds, 0u);
+  // Per-update scratch peak: the wave relabeled, so it allocated.
+  EXPECT_GT(record.relabel.arena_high_water, 0u);
 
   for (const StreamSchemeStats& scheme : stats.schemes) {
     EXPECT_EQ(scheme.injected, 12u);

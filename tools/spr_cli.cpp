@@ -5,8 +5,11 @@
 ///   spr_cli label    [flags]            safety labeling summary / dump
 ///   spr_cli route    [flags] <s> <d>    route one pair with every scheme
 ///   spr_cli sweep    [flags]            mini figure sweep (table output);
-///                                       --shard i/m writes a shard JSON
-///   spr_cli merge    [flags] <shard.json>...  merge sweep shards
+///                                       --slice i/m writes a slice JSON
+///                                       (--shard is a compatibility alias);
+///                                       --tiles RxC labels each cell via
+///                                       spatial-tile sharding
+///   spr_cli merge    [flags] <slice.json>...  merge sweep slices
 ///   spr_cli validate <file.json>...     parse JSON artifacts (CI gate)
 ///   spr_cli scenario [flags] <name>     run a registered scenario (--list);
 ///                                       --format console,json,csv,svg
@@ -16,10 +19,12 @@
 /// Common flags: --nodes, --seed, --fa, --range.
 ///
 /// Distributed sweeps: the sweep's (node_count, network_index) cells are
-/// independent, so `sweep --shard i/m` computes every i-th cell and
-/// serializes the full per-cell aggregates; run the m shards on any
+/// independent, so `sweep --slice i/m` computes every i-th cell and
+/// serializes the full per-cell aggregates; run the m slices on any
 /// machines, copy the JSONs back, and `merge` reproduces the in-process
-/// sweep bit-identically.
+/// sweep bit-identically. (Sweep slices are unrelated to the *spatial
+/// tiles* of shard/, which partition one deployment's field; see
+/// `sweep --tiles`.)
 
 #include <charconv>
 #include <cstdio>
@@ -35,6 +40,7 @@
 #include "graph/metrics.h"
 #include "report/serialize.h"
 #include "safety/distributed.h"
+#include "shard/sharded_network.h"
 #include "stats/table.h"
 #include "util/flags.h"
 #include "util/svg.h"
@@ -92,16 +98,42 @@ int cmd_info(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Parses "--tiles RxC" (e.g. 2x2); returns false (with a message) when
+/// malformed. Empty spec leaves rows/cols at 0 (monolithic labeling).
+bool parse_tile_grid(const std::string& spec, int& rows, int& cols) {
+  if (spec.empty()) return true;
+  auto parse_full = [](std::string_view token, int& out) {
+    auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                     out);
+    return ec == std::errc() && ptr == token.data() + token.size();
+  };
+  std::size_t cross = spec.find('x');
+  if (cross == std::string::npos ||
+      !parse_full(std::string_view(spec).substr(0, cross), rows) ||
+      !parse_full(std::string_view(spec).substr(cross + 1), cols) ||
+      rows < 1 || cols < 1) {
+    std::fprintf(stderr, "--tiles expects RxC (e.g. 2x2), got '%s'\n",
+                 spec.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmd_label(int argc, const char* const* argv) {
   CommonArgs args;
   bool dump = false;
   bool distributed = false;
+  std::string tiles_spec;
   FlagSet flags("spr_cli label: safety labeling summary");
   add_common(flags, args);
   flags.add_bool("dump", &dump, "print every unsafe node's tuple and E areas");
   flags.add_bool("distributed", &distributed,
                  "run the distributed construction and report its cost");
+  flags.add_string("tiles", &tiles_spec,
+                   "also label via an RxC spatial-tile grid and compare");
   if (!flags.parse(argc, argv)) return 1;
+  int tile_rows = 0, tile_cols = 0;
+  if (!parse_tile_grid(tiles_spec, tile_rows, tile_cols)) return 1;
   Network net = build_network(args);
   const auto& info = net.safety();
 
@@ -121,6 +153,25 @@ int cmd_label(int argc, const char* const* argv) {
                 result.stats.to_string().c_str());
     std::printf("matches centralized: %s\n",
                 result.info == info ? "yes" : "NO");
+  }
+  if (tile_rows > 0) {
+    ShardedNetwork::Config tile_config;
+    tile_config.tile_rows = tile_rows;
+    tile_config.tile_cols = tile_cols;
+    ShardedNetwork sharded(net.graph(), /*edge_band=*/-1.0, tile_config);
+    const SafetyInfo& tiled = sharded.safety();
+    const ShardStats& ts = sharded.last_stats();
+    std::printf("spatial tiles: %dx%d grid\n", tile_rows, tile_cols);
+    for (int t = 0; t < sharded.tile_count(); ++t) {
+      std::printf("  tile %d: %zu owned + %zu ghosts\n", t,
+                  sharded.tile_owned(t),
+                  sharded.tile_members(t).size() - sharded.tile_owned(t));
+    }
+    std::printf("  exchange rounds %zu, halo demotions %zu, flips %zu\n",
+                ts.exchange_rounds, ts.halo_demotions, ts.incremental.flips);
+    std::printf("  matches monolithic labeling: %s\n",
+                tiled == info ? "yes" : "NO");
+    if (!(tiled == info)) return 1;
   }
   if (dump) {
     for (NodeId u = 0; u < info.size(); ++u) {
@@ -192,10 +243,10 @@ void print_sweep_table(const std::vector<SweepPoint>& points) {
   std::fputs(table.render().c_str(), stdout);
 }
 
-/// Parses "--shard i/m"; returns false (with a message) when malformed.
+/// Parses "--slice i/m"; returns false (with a message) when malformed.
 /// Both numbers must consume their whole token ("0x/2y" is an error, not
-/// shard 0/2).
-bool parse_shard_spec(const std::string& spec, int& index, int& count) {
+/// slice 0/2).
+bool parse_slice_spec(const std::string& spec, int& index, int& count) {
   if (spec.empty()) {
     index = 0;
     count = 1;
@@ -210,12 +261,12 @@ bool parse_shard_spec(const std::string& spec, int& index, int& count) {
   if (slash == std::string::npos ||
       !parse_full(std::string_view(spec).substr(0, slash), index) ||
       !parse_full(std::string_view(spec).substr(slash + 1), count)) {
-    std::fprintf(stderr, "--shard expects i/m (e.g. 0/4), got '%s'\n",
+    std::fprintf(stderr, "--slice expects i/m (e.g. 0/4), got '%s'\n",
                  spec.c_str());
     return false;
   }
   if (count < 1 || index < 0 || index >= count) {
-    std::fprintf(stderr, "--shard index out of range: %s\n", spec.c_str());
+    std::fprintf(stderr, "--slice index out of range: %s\n", spec.c_str());
     return false;
   }
   return true;
@@ -224,21 +275,29 @@ bool parse_shard_spec(const std::string& spec, int& index, int& count) {
 int cmd_sweep(int argc, const char* const* argv) {
   CommonArgs args;
   int networks = 10, pairs = 10, threads = 0;
-  std::string shard_spec, json_path;
+  std::string slice_spec, shard_spec, json_path;
   FlagSet flags("spr_cli sweep: mini paper sweep");
   add_common(flags, args);
   flags.add_int("networks", &networks, "networks per point");
   flags.add_int("pairs", &pairs, "pairs per network");
   flags.add_int("threads", &threads, "sweep threads (0=hardware, 1=serial)");
+  flags.add_string("slice", &slice_spec,
+                   "compute only slice i/m of the sweep's cells");
   flags.add_string("shard", &shard_spec,
-                   "compute only shard i/m of the sweep's cells");
+                   "deprecated alias for --slice");
+  std::string tiles_spec;
+  flags.add_string("tiles", &tiles_spec,
+                   "label each cell via an RxC spatial-tile grid");
   flags.add_string("json", &json_path,
-                   "write the per-cell aggregates as a shard JSON here");
+                   "write the per-cell aggregates as a slice JSON here");
   if (!flags.parse(argc, argv)) return 1;
-  int shard_index = 0, shard_count = 1;
-  if (!parse_shard_spec(shard_spec, shard_index, shard_count)) return 1;
-  if (shard_count > 1 && json_path.empty()) {
-    std::fprintf(stderr, "--shard needs --json <path> to store the shard\n");
+  if (slice_spec.empty()) slice_spec = shard_spec;  // --shard alias
+  int slice_index = 0, slice_count = 1;
+  if (!parse_slice_spec(slice_spec, slice_index, slice_count)) return 1;
+  int tile_rows = 0, tile_cols = 0;
+  if (!parse_tile_grid(tiles_spec, tile_rows, tile_cols)) return 1;
+  if (slice_count > 1 && json_path.empty()) {
+    std::fprintf(stderr, "--slice needs --json <path> to store the slice\n");
     return 1;
   }
 
@@ -250,6 +309,8 @@ int cmd_sweep(int argc, const char* const* argv) {
   config.threads = threads;
   config.schemes = SweepConfig::paper_schemes();
   config.deployment_template.radio_range = args.range;
+  config.tile_rows = tile_rows;
+  config.tile_cols = tile_cols;
 
   if (json_path.empty()) {
     // Plain in-process sweep.
@@ -257,43 +318,43 @@ int cmd_sweep(int argc, const char* const* argv) {
     return 0;
   }
 
-  // Serialized path: compute this shard's cells and persist them in full
+  // Serialized path: compute this slice's cells and persist them in full
   // (sample-retaining) form, so `spr_cli merge` can reproduce the sweep
-  // bit-identically from the shard files.
-  auto cells = run_sweep_shard(config, shard_index, shard_count);
+  // bit-identically from the slice files.
+  auto cells = run_sweep_slice(config, slice_index, slice_count);
   std::size_t cell_count = cells.size();
-  SweepShard shard = make_shard(config, shard_index, shard_count,
+  SweepSlice slice = make_slice(config, slice_index, slice_count,
                                 std::move(cells));
   JsonWriter w;
-  to_json(w, shard);
+  to_json(w, slice);
   if (!w.write_file(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
-  if (shard_count == 1) {
+  if (slice_count == 1) {
     std::vector<std::string> labels;
     for (const auto& spec : config.schemes)
       labels.push_back(spec.display_label());
     print_sweep_table(
-        merge_cell_results(config.node_counts, labels, shard.cells));
+        merge_cell_results(config.node_counts, labels, slice.cells));
   }
-  std::printf("wrote shard %d/%d (%zu cells) to %s\n", shard_index,
-              shard_count, cell_count, json_path.c_str());
+  std::printf("wrote slice %d/%d (%zu cells) to %s\n", slice_index,
+              slice_count, cell_count, json_path.c_str());
   return 0;
 }
 
 int cmd_merge(int argc, const char* const* argv) {
   std::string json_path;
   FlagSet flags(
-      "spr_cli merge <shard.json>...: merge serialized sweep shards");
+      "spr_cli merge <slice.json>...: merge serialized sweep slices");
   flags.add_string("json", &json_path, "also write the merged report here");
   if (!flags.parse(argc, argv)) return 1;
   if (flags.positional().empty()) {
-    std::fprintf(stderr, "usage: spr_cli merge [flags] <shard.json>...\n");
+    std::fprintf(stderr, "usage: spr_cli merge [flags] <slice.json>...\n");
     return 1;
   }
 
-  std::vector<SweepShard> shards;
+  std::vector<SweepSlice> slices;
   for (const std::string& path : flags.positional()) {
     JsonValue document;
     std::string error;
@@ -301,29 +362,29 @@ int cmd_merge(int argc, const char* const* argv) {
       std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
       return 1;
     }
-    SweepShard shard;
-    if (!from_json(document, shard)) {
-      std::fprintf(stderr, "%s: not a spr sweep shard file\n", path.c_str());
+    SweepSlice slice;
+    if (!from_json(document, slice)) {
+      std::fprintf(stderr, "%s: not a spr sweep slice file\n", path.c_str());
       return 1;
     }
-    shards.push_back(std::move(shard));
+    slices.push_back(std::move(slice));
   }
 
-  // Header identity, kept before the shards move into the merge.
-  const std::string model_tag = shards.front().model_tag;
-  const std::vector<std::string> scheme_labels = shards.front().scheme_labels;
-  const int networks_per_point = shards.front().networks_per_point;
-  const int pairs_per_network = shards.front().pairs_per_network;
-  const std::uint64_t base_seed = shards.front().base_seed;
+  // Header identity, kept before the slices move into the merge.
+  const std::string model_tag = slices.front().model_tag;
+  const std::vector<std::string> scheme_labels = slices.front().scheme_labels;
+  const int networks_per_point = slices.front().networks_per_point;
+  const int pairs_per_network = slices.front().pairs_per_network;
+  const std::uint64_t base_seed = slices.front().base_seed;
 
   std::vector<SweepPoint> points;
   std::string error;
-  if (!merge_shards(std::move(shards), points, &error)) {
+  if (!merge_slices(std::move(slices), points, &error)) {
     std::fprintf(stderr, "merge failed: %s\n", error.c_str());
     return 1;
   }
 
-  std::printf("merged %zu shard file(s): %s model, %d networks x %d pairs "
+  std::printf("merged %zu slice file(s): %s model, %d networks x %d pairs "
               "per point, seed %llu\n",
               flags.positional().size(), model_tag.c_str(),
               networks_per_point, pairs_per_network,
