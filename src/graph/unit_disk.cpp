@@ -3,9 +3,32 @@
 #include <algorithm>
 
 #include "graph/spatial_grid.h"
+#include "util/check.h"
 #include "util/task_pool.h"
 
 namespace spr {
+
+bool edge_diff_normalized(const EdgeDiff& diff) {
+  auto normalized = [](const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (pairs[i].first >= pairs[i].second) return false;
+      if (i > 0 && !(pairs[i - 1] < pairs[i])) return false;
+    }
+    return true;
+  };
+  if (!normalized(diff.added) || !normalized(diff.removed)) return false;
+  // Both lists are sorted, so one tandem walk finds any common pair.
+  std::size_t ai = 0, ri = 0;
+  while (ai < diff.added.size() && ri < diff.removed.size()) {
+    if (diff.added[ai] == diff.removed[ri]) return false;
+    if (diff.added[ai] < diff.removed[ri]) {
+      ++ai;
+    } else {
+      ++ri;
+    }
+  }
+  return true;
+}
 
 UnitDiskGraph::UnitDiskGraph(std::vector<Vec2> positions, double range,
                              Rect bounds, TaskPool* build_pool)
@@ -36,6 +59,30 @@ UnitDiskGraph UnitDiskGraph::from_parts(std::vector<Vec2> positions,
                                         std::vector<bool> alive,
                                         std::vector<std::size_t> offsets,
                                         std::vector<NodeId> adjacency) {
+  // The cheap always-on shape checks; the per-row CSR contract (ascending
+  // offsets, sorted rows, in-range ids) is a full scan and stays debug-only.
+  SPR_CHECK(offsets.size() == positions.size() + 1,
+            "from_parts: ", offsets.size(), " offsets for ", positions.size(),
+            " positions");
+  SPR_CHECK(alive.size() == positions.size(), "from_parts: ", alive.size(),
+            " alive flags for ", positions.size(), " positions");
+  SPR_CHECK(offsets.empty() || offsets.back() == adjacency.size(),
+            "from_parts: final offset ", offsets.back(), " != adjacency size ",
+            adjacency.size());
+  if (kDchecksEnabled) {
+    for (std::size_t u = 0; u + 1 < offsets.size(); ++u) {
+      SPR_DCHECK(offsets[u] <= offsets[u + 1],
+                 "from_parts: offsets not ascending at row ", u);
+      for (std::size_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+        SPR_DCHECK(adjacency[i] < positions.size(),
+                   "from_parts: row ", u, " references node ", adjacency[i],
+                   " outside the ", positions.size(), "-node graph");
+        SPR_DCHECK(i == offsets[u] || adjacency[i - 1] < adjacency[i],
+                   "from_parts: row ", u, " not strictly ascending at entry ",
+                   i - offsets[u]);
+      }
+    }
+  }
   auto grid = std::make_shared<SpatialGrid>(positions, bounds, range);
   return UnitDiskGraph(PatchedTag{}, std::move(positions), range, bounds,
                        std::move(grid), std::move(alive), std::move(offsets),
@@ -192,6 +239,8 @@ UnitDiskGraph UnitDiskGraph::with_moves(const std::vector<Vec2>& new_positions,
           }
         }
       }
+      SPR_DCHECK(edge_diff_normalized(*diff),
+                 "with_moves cutover emitted a non-normalized EdgeDiff");
     }
     return fresh;
   }
@@ -277,6 +326,8 @@ UnitDiskGraph UnitDiskGraph::with_moves(const std::vector<Vec2>& new_positions,
   std::sort(d->removed.begin(), d->removed.end());
   d->removed.erase(std::unique(d->removed.begin(), d->removed.end()),
                    d->removed.end());
+  SPR_DCHECK(edge_diff_normalized(*d),
+             "with_moves patch path emitted a non-normalized EdgeDiff");
   std::sort(drops.begin(), drops.end());
   std::sort(adds.begin(), adds.end());
 

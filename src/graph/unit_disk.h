@@ -32,6 +32,13 @@ struct EdgeDiff {
   std::size_t moved_nodes = 0;  ///< points whose coordinates changed
 };
 
+/// Whether `diff` satisfies the normalization contract: every pair has
+/// first < second, both lists are sorted ascending and duplicate-free, and
+/// no pair appears in both (an edge cannot be added and removed by one
+/// epoch). `with_moves` DCHECKs this on every diff it emits; consumers
+/// patching state from an externally supplied diff should too.
+bool edge_diff_normalized(const EdgeDiff& diff);
+
 /// Immutable unit-disk graph over a fixed set of node positions.
 ///
 /// Neighbor lists are stored in CSR form and sorted by node id. The optional

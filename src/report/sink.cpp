@@ -74,7 +74,10 @@ std::string CsvSink::table_path(const std::string& base, std::size_t index,
   if (table_count <= 1) return base;
   std::size_t slash = base.find_last_of('/');
   std::size_t dot = base.find_last_of('.');
-  std::string suffix = "-" + std::to_string(index + 1);
+  // Built by append: the `"-" + std::to_string(...)` temporary-insert form
+  // trips GCC 12's -Wrestrict false positive (PR105651) under -Werror.
+  std::string suffix("-");
+  suffix += std::to_string(index + 1);
   if (dot == std::string::npos ||
       (slash != std::string::npos && dot < slash)) {
     return base + suffix;

@@ -146,7 +146,9 @@ AsyncSafetyResult compute_safety_distributed_async(const UnitDiskGraph& g,
     // Every (node,type) flip and every anchor refinement triggers at most
     // one broadcast of deg receptions; this cap is far above any real run
     // and only guards against livelock bugs.
-    max_events = 64 * n * std::max<std::size_t>(g.average_degree(), 8);
+    max_events =
+        64 * n *
+        std::max<std::size_t>(static_cast<std::size_t>(g.average_degree()), 8);
   }
   std::vector<NodeState> state(n);
 

@@ -8,6 +8,7 @@
 
 #include "safety/labeling.h"
 #include "safety/zone_scan.h"
+#include "util/check.h"
 #include "util/task_pool.h"
 
 namespace spr {
@@ -94,6 +95,8 @@ bool FlatLabeler::must_flip(NodeId u, int ti) const noexcept {
 void FlatLabeler::apply_flip(std::uint32_t k) {
   const NodeId u = key_node(k);
   const int ti = key_type(k);
+  // Demotions are monotone: a pair flips 1 -> 0 exactly once.
+  SPR_DCHECK(safe_bit(u, ti), "double flip of node ", u, " type ", ti);
   clear_safe_bit(u, ti);
   flips_.push_back(k);
   // u's flip can only affect the w that see u inside Q_t(w). Skip the ones
@@ -118,11 +121,16 @@ bool FlatLabeler::mirror_demotion(NodeId u, int ti) {
 }
 
 bool FlatLabeler::enqueue(NodeId u, int ti) {
+  SPR_DCHECK(u < n_, "enqueue of out-of-range node ", u, " (n=", n_, ")");
   const std::uint32_t k = key(u, ti);
   std::uint64_t& word = pend_[k >> 6];
   const std::uint64_t bit = 1ull << (k & 63);
   if ((word & bit) != 0) return false;
   word |= bit;
+  // The pend bits cap the ring at one slot per (node, type), so occupancy
+  // can reach fifo_cap_ only through a pend/count mismatch.
+  SPR_DCHECK(fifo_count_ < fifo_cap_, "FIFO ring overflow: count=",
+             fifo_count_, " cap=", fifo_cap_, " at key ", k);
   std::size_t tail = fifo_head_ + fifo_count_;
   if (tail >= fifo_cap_) tail -= fifo_cap_;
   fifo_[tail] = k;
@@ -172,6 +180,10 @@ std::size_t FlatLabeler::drain(TaskPool* pool) {
     const std::uint32_t k = fifo_[fifo_head_];
     if (++fifo_head_ >= fifo_cap_) fifo_head_ = 0;
     --fifo_count_;
+    // Every ring slot was published with its pend bit set and nothing else
+    // clears the bit; a clear bit here means the dedup discipline broke.
+    SPR_DCHECK((pend_[k >> 6] >> (k & 63)) & 1u,
+               "popped key ", k, " without its pend bit");
     pend_[k >> 6] &= ~(1ull << (k & 63));
     const NodeId u = key_node(k);
     const int ti = key_type(k);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "graph/spatial_grid.h"
+#include "util/check.h"
 #include "util/task_pool.h"
 
 namespace spr {
@@ -153,6 +154,24 @@ void ShardedNetwork::build_partition() {
           }
         }
       });
+
+  // LID<->GID bijectivity: both gid segments strictly ascending (lid_of's
+  // binary searches depend on it) and lid_of inverting gids[] exactly. The
+  // whole scan exists only to verify, so Release drops it entirely.
+  if (kDchecksEnabled) {
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      const Tile& tile = tiles_[t];
+      for (std::size_t lid = 0; lid < tile.gids.size(); ++lid) {
+        const bool segment_start = lid == 0 || lid == tile.owned;
+        SPR_DCHECK(segment_start || tile.gids[lid - 1] < tile.gids[lid],
+                   "tile ", t, " gid segment not strictly ascending at lid ",
+                   lid);
+        SPR_DCHECK(tile.lid_of(tile.gids[lid]) == static_cast<NodeId>(lid),
+                   "tile ", t, " lid_of(gids[", lid, "]) is not ", lid,
+                   " for gid ", tile.gids[lid]);
+      }
+    }
+  }
 }
 
 void ShardedNetwork::refresh_tile_area(Tile& tile) const {
@@ -253,6 +272,28 @@ void ShardedNetwork::demotion_exchange() {
         }
       }
       tile.flip_cursor = flips.size();
+    }
+  }
+
+  // Quiescence barrier invariant: with every inbox drained and no key in
+  // flight, each replica's status bits — owned and ghost alike — must agree
+  // with the authoritative global tuples. A stale ghost here would let the
+  // next epoch's flip tests read a world that never existed.
+  if (kDchecksEnabled) {
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      const Tile& tile = tiles_[t];
+      SPR_DCHECK(tile.inbox.empty(), "tile ", t,
+                 " left the demotion exchange with a non-empty inbox");
+      for (std::size_t lid = 0; lid < tile.gids.size(); ++lid) {
+        const NodeId gid = tile.gids[lid];
+        for (int ti = 0; ti < 4; ++ti) {
+          SPR_DCHECK(
+              tile.labeler->safe_bit(static_cast<NodeId>(lid), ti) ==
+                  info_.tuple(gid).is_safe(kAllZoneTypes[ti]),
+              "halo replica disagreement at quiescence: tile ", t, " lid ",
+              lid, " gid ", gid, " type ", ti);
+        }
+      }
     }
   }
 }

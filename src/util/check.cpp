@@ -1,0 +1,45 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spr {
+
+namespace {
+
+std::atomic<CheckHandler> g_handler{nullptr};
+
+}  // namespace
+
+CheckHandler set_check_handler(CheckHandler handler) noexcept {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void throwing_check_handler(const std::string& message) {
+  throw CheckError(message);
+}
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& context) {
+  std::string message;
+  message.reserve(64 + context.size());
+  message.append(file);
+  message.append(":");
+  message.append(std::to_string(line));
+  message.append(": SPR_CHECK(");
+  message.append(expr);
+  message.append(") failed");
+  if (!context.empty()) {
+    message.append(": ");
+    message.append(context);
+  }
+  if (CheckHandler handler = g_handler.load(std::memory_order_acquire)) {
+    handler(message);  // may throw; propagates to the check site
+  }
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace spr

@@ -2,7 +2,18 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace spr {
+
+namespace {
+
+/// The pool whose worker loop the current thread is inside, if any. Set for
+/// the lifetime of worker_loop, so nested dispatch can detect "I *am* the
+/// pool" and run inline instead of deadlocking.
+thread_local const TaskPool* tl_current_pool = nullptr;
+
+}  // namespace
 
 int TaskPool::hardware_threads() noexcept {
   unsigned n = std::thread::hardware_concurrency();
@@ -22,22 +33,31 @@ TaskPool::TaskPool(int threads) {
   }
 }
 
-TaskPool::~TaskPool() {
-  // Drain, but never throw from a destructor: a stored task exception stays
-  // swallowed unless the owner called wait_idle() first.
+TaskPool::~TaskPool() { shutdown(); }
+
+void TaskPool::shutdown() {
+  // Drain, but never throw: a stored task exception stays swallowed unless
+  // the owner called wait_idle() first.
   try {
     wait_idle();
   } catch (...) {
   }
   {
     std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (stop_.load(std::memory_order_acquire)) return;  // second shutdown
     stop_.store(true, std::memory_order_release);
   }
   wake_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+bool TaskPool::on_worker_thread() const noexcept {
+  return tl_current_pool == this;
 }
 
 void TaskPool::submit(Task task) {
+  SPR_CHECK(!is_shutdown(), "submit to a shut-down TaskPool");
   // Count before publishing: a worker may pop and finish the task the
   // instant it lands in the queue (nested submits from a running task), and
   // its fetch_sub must never observe an uncounted task.
@@ -96,6 +116,7 @@ bool TaskPool::try_run_one(std::size_t self) {
 }
 
 void TaskPool::worker_loop(std::size_t self) {
+  tl_current_pool = this;
   while (true) {
     if (try_run_one(self)) continue;
     std::unique_lock<std::mutex> lock(wake_mutex_);
@@ -140,7 +161,8 @@ void TaskPool::parallel_for(std::size_t n,
 void parallel_for_blocked(
     TaskPool* pool, std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (pool == nullptr || pool->thread_count() <= 1 || n < 2 * grain) {
+  if (pool == nullptr || pool->thread_count() <= 1 || n < 2 * grain ||
+      pool->on_worker_thread()) {
     fn(0, n);
     return;
   }

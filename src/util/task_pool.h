@@ -39,7 +39,24 @@ class TaskPool {
   TaskPool(const TaskPool&) = delete;
   TaskPool& operator=(const TaskPool&) = delete;
 
+  /// Drains outstanding tasks, stops and joins every worker. Idempotent —
+  /// a second call (or the destructor after it) is a no-op. After shutdown
+  /// the pool accepts no new work: `submit` fails an SPR_CHECK. Swallows
+  /// stored task exceptions like the destructor; call `wait_idle` first to
+  /// observe them.
+  void shutdown();
+
+  /// Whether the pool has been shut down (explicitly or mid-destruction).
+  bool is_shutdown() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
   std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// True when the calling thread is one of this pool's workers. Blocking
+  /// on one's own pool deadlocks, so dispatch helpers use this to fall back
+  /// to inline execution for nested calls.
+  bool on_worker_thread() const noexcept;
 
   /// Enqueues one task (round-robin across worker deques).
   void submit(Task task);
@@ -82,8 +99,10 @@ class TaskPool {
 /// otherwise. The shared dispatch behind the deterministic within-network
 /// build passes (unit-disk adjacency, safety-labeling init): blocks never
 /// overlap, so per-element writes stay race-free and order-independent.
-/// Never call from a worker of the same pool (blocking on one's own pool
-/// deadlocks).
+/// Calls from a worker of `pool` itself (nested dispatch) run serially
+/// inline instead of blocking on the pool — blocking on one's own pool
+/// from a worker deadlocks, so nesting degrades to the serial path, which
+/// is bit-identical anyway.
 void parallel_for_blocked(
     TaskPool* pool, std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& fn);

@@ -141,7 +141,9 @@ TEST(Waypoint, GoldenTrajectoryForFixedSeed) {
                                     64.388854268509874, 92.54491486869091,
                                     52.308540528474907};
   for (std::size_t i = 0; i < initial.size(); ++i) {
-    EXPECT_DOUBLE_EQ(model.traveled(i), golden_traveled[i]) << "node " << i;
+    EXPECT_DOUBLE_EQ(model.traveled(static_cast<NodeId>(i)),
+                     golden_traveled[i])
+        << "node " << i;
   }
 }
 

@@ -61,8 +61,10 @@ TEST(AsyncSafety, TerminatesWellUnderEventCap) {
   auto result =
       compute_safety_distributed_async(net.graph(), net.interest_area(), rng);
   // Quiescence implies receptions strictly below the runaway cap.
-  std::size_t cap = 64 * net.graph().size() *
-                    std::max<std::size_t>(net.graph().average_degree(), 8);
+  std::size_t cap =
+      64 * net.graph().size() *
+      std::max<std::size_t>(
+          static_cast<std::size_t>(net.graph().average_degree()), 8);
   EXPECT_LT(result.stats.receptions, cap);
   EXPECT_GE(result.stats.broadcasts, net.graph().size());  // hellos at least
 }

@@ -82,6 +82,99 @@ TEST(TaskPool, TaskExceptionPropagatesToCaller) {
   EXPECT_EQ(ok.load(), 4);
 }
 
+TEST(TaskPool, ZeroThreadRequestFallsBackToHardwareConcurrency) {
+  // `threads == 0` means "use the hardware": never a thread-less pool that
+  // would strand submitted tasks forever.
+  TaskPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  std::atomic<int> done{0};
+  pool.parallel_for(8, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(TaskPool, BlockedDispatchSerialFallbacks) {
+  // Null pool, single-worker pool, and an n too small to split all take the
+  // inline serial path; coverage and block disjointness hold in each.
+  std::vector<int> hits(100, 0);
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  };
+  parallel_for_blocked(nullptr, hits.size(), 16, body);
+  TaskPool single(1);
+  parallel_for_blocked(&single, hits.size(), 16, body);
+  TaskPool pool(4);
+  parallel_for_blocked(&pool, hits.size(), 64, body);  // n < 2 * grain
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 3) << "index " << i;
+  }
+}
+
+TEST(TaskPool, ShutdownDrainsAndIsIdempotent) {
+  std::atomic<int> done{0};
+  TaskPool pool(2);
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.shutdown();
+  EXPECT_EQ(done.load(), 16);
+  EXPECT_TRUE(pool.is_shutdown());
+  pool.shutdown();  // double shutdown: a no-op, not a double join
+  EXPECT_TRUE(pool.is_shutdown());
+}  // ~TaskPool after explicit shutdown: also a no-op
+
+TEST(TaskPool, ShutdownSwallowsStoredTaskException) {
+  // Like the destructor, an explicit shutdown must not throw; wait_idle
+  // first is the way to observe failures.
+  TaskPool pool(2);
+  pool.submit([] { throw std::runtime_error("lost"); });
+  EXPECT_NO_THROW(pool.shutdown());
+}
+
+TEST(TaskPool, WorkerThreadDetection) {
+  TaskPool pool(2);
+  TaskPool other(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<int> inside{0}, outside{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    if (pool.on_worker_thread()) inside.fetch_add(1);
+    if (other.on_worker_thread()) outside.fetch_add(1);
+  });
+  EXPECT_EQ(inside.load(), 8);
+  EXPECT_EQ(outside.load(), 0);
+}
+
+TEST(TaskPool, NestedBlockedDispatchRunsInlineInsteadOfDeadlocking) {
+  // A worker that re-enters parallel_for_blocked on its own pool must not
+  // block on the pool (classic self-deadlock); the nested call degrades to
+  // the serial path on the worker itself.
+  TaskPool pool(2);
+  constexpr std::size_t kOuter = 4;
+  constexpr std::size_t kInner = 512;
+  std::vector<std::vector<int>> hits(kOuter, std::vector<int>(kInner, 0));
+  std::atomic<int> nested_inline{0};
+  pool.parallel_for(kOuter, [&](std::size_t outer) {
+    parallel_for_blocked(&pool, kInner, 16,
+                         [&](std::size_t lo, std::size_t hi) {
+                           if (pool.on_worker_thread()) {
+                             nested_inline.fetch_add(1);
+                           }
+                           for (std::size_t i = lo; i < hi; ++i) {
+                             ++hits[outer][i];
+                           }
+                         });
+  });
+  for (std::size_t outer = 0; outer < kOuter; ++outer) {
+    for (std::size_t i = 0; i < kInner; ++i) {
+      EXPECT_EQ(hits[outer][i], 1) << "outer " << outer << " index " << i;
+    }
+  }
+  // Inline means one whole-range call per outer task, on a worker thread.
+  EXPECT_EQ(nested_inline.load(), static_cast<int>(kOuter));
+}
+
 TEST(TaskPool, DestructorDrainsOutstandingWork) {
   std::atomic<int> done{0};
   {
