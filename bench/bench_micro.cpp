@@ -442,6 +442,83 @@ void BM_StreamSimCell(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamSimCell);
 
+/// The streaming engines head to head at traffic scale: `packets`
+/// injections at packet_interval 0 — every flight concurrent — of one
+/// scheme (GF: no labeling cost, pure stepping + scheduling) over 16 far
+/// pairs of a constant-degree 10^4-node field. The legacy engine pays one
+/// heap event per flight-hop; the flight-record engine pays one tick event
+/// per distinct hop instant and advances each tick's batch over SoA
+/// records with pooled steppers (optionally in parallel). Network
+/// construction is excluded from the timed region; the `events` counter
+/// shows the heap-traffic collapse.
+enum class StreamEngineMode { kPerHop, kFlightRecord, kFlightRecordParallel };
+
+void stream_engine_bench(benchmark::State& state, StreamEngineMode mode) {
+  const int packets = static_cast<int>(state.range(0));
+  Deployment dep = make_scaled_deployment(10000, DeployModel::kForbiddenAreas);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  {
+    Network net(dep);
+    Rng rng(321);
+    for (int trial = 0; trial < 64 && pairs.size() < 16; ++trial) {
+      auto pair = net.random_connected_interior_pair(rng);
+      if (pair.first != kInvalidNode) pairs.push_back(pair);
+    }
+  }
+  if (pairs.empty()) {
+    state.SkipWithError("no connected interior pairs");
+    return;
+  }
+  std::size_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Network net(dep);
+    // Materialize GF's lazy recovery structures outside the timed region:
+    // the first local minimum would otherwise charge the planar overlay +
+    // BOUNDHOLE build (seconds, identical for every engine) to whichever
+    // engine ran, drowning the engine-cost ratio this bench exists to show.
+    net.force(Network::kNeedsOverlay | Network::kNeedsBoundhole);
+    state.ResumeTiming();
+    StreamConfig sc;
+    SchemeSpec gf;
+    gf.scheme = Scheme::kGf;
+    sc.schemes.push_back(std::move(gf));
+    sc.pairs = pairs;
+    sc.packets = packets;
+    sc.packet_interval = 0.0;  // all flights in the air at once
+    sc.hop_delay = 0.25;
+    sc.engine = mode == StreamEngineMode::kPerHop ? StreamEngine::kPerHopEvents
+                                                  : StreamEngine::kFlightRecord;
+    sc.threads = mode == StreamEngineMode::kFlightRecordParallel ? 4 : 1;
+    StreamSim sim(std::move(net), sc);
+    StreamStats stats = sim.run();
+    events = stats.events;
+    benchmark::DoNotOptimize(stats.events);
+  }
+  state.counters["events"] = static_cast<double>(events);
+}
+
+void BM_StreamSimPerHop(benchmark::State& state) {
+  stream_engine_bench(state, StreamEngineMode::kPerHop);
+}
+BENCHMARK(BM_StreamSimPerHop)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_StreamSimFlightRecord(benchmark::State& state) {
+  stream_engine_bench(state, StreamEngineMode::kFlightRecord);
+}
+BENCHMARK(BM_StreamSimFlightRecord)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StreamSimFlightRecordParallel(benchmark::State& state) {
+  stream_engine_bench(state, StreamEngineMode::kFlightRecordParallel);
+}
+BENCHMARK(BM_StreamSimFlightRecordParallel)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -118,9 +118,11 @@ std::size_t build_oracles(const UnitDiskGraph& g,
                           SizeVec slot_of, SizeVec count, SizeVec grouped,
                           NodeVec sources,
                           std::vector<ShortestPath>& hop_optimal,
-                          std::vector<ShortestPath>& length_optimal) {
+                          std::vector<ShortestPath>& length_optimal,
+                          OracleBatch::Metrics metrics) {
+  bool want_length = metrics == OracleBatch::Metrics::kBoth;
   hop_optimal.resize(pairs.size());
-  length_optimal.resize(pairs.size());
+  if (want_length) length_optimal.resize(pairs.size());
 
   slot_of.assign(g.size(), SIZE_MAX);
   std::size_t valid = 0;
@@ -163,12 +165,19 @@ std::size_t build_oracles(const UnitDiskGraph& g,
                                               : kInvalidNode;
     ShortestPathTree hop_tree(g, sources[si], ShortestPathTree::Metric::kHops,
                               stop_at);
-    ShortestPathTree len_tree(g, sources[si],
-                              ShortestPathTree::Metric::kLength, stop_at);
-    for (std::size_t gi = seg_begin; gi < seg_end; ++gi) {
-      std::size_t i = grouped[gi];
-      hop_optimal[i] = hop_tree.extract(pairs[i].second);
-      length_optimal[i] = len_tree.extract(pairs[i].second);
+    if (want_length) {
+      ShortestPathTree len_tree(g, sources[si],
+                                ShortestPathTree::Metric::kLength, stop_at);
+      for (std::size_t gi = seg_begin; gi < seg_end; ++gi) {
+        std::size_t i = grouped[gi];
+        hop_optimal[i] = hop_tree.extract(pairs[i].second);
+        length_optimal[i] = len_tree.extract(pairs[i].second);
+      }
+    } else {
+      for (std::size_t gi = seg_begin; gi < seg_end; ++gi) {
+        std::size_t i = grouped[gi];
+        hop_optimal[i] = hop_tree.extract(pairs[i].second);
+      }
     }
   }
   return sources.size();
@@ -182,13 +191,13 @@ OracleBatch::OracleBatch(const UnitDiskGraph& g,
 
 OracleBatch::OracleBatch(const UnitDiskGraph& g,
                          std::span<const std::pair<NodeId, NodeId>> pairs,
-                         Arena* scratch) {
+                         Arena* scratch, Metrics metrics) {
   if (scratch == nullptr) {
     distinct_sources_ = build_oracles(g, pairs, std::vector<std::size_t>{},
                                       std::vector<std::size_t>{},
                                       std::vector<std::size_t>{},
                                       std::vector<NodeId>{}, hop_optimal_,
-                                      length_optimal_);
+                                      length_optimal_, metrics);
     return;
   }
   ArenaAllocator<std::size_t> salloc(*scratch);
@@ -196,7 +205,7 @@ OracleBatch::OracleBatch(const UnitDiskGraph& g,
   distinct_sources_ = build_oracles(
       g, pairs, ArenaVector<std::size_t>(salloc),
       ArenaVector<std::size_t>(salloc), ArenaVector<std::size_t>(salloc),
-      ArenaVector<NodeId>(nalloc), hop_optimal_, length_optimal_);
+      ArenaVector<NodeId>(nalloc), hop_optimal_, length_optimal_, metrics);
 }
 
 ShortestPath bfs_path(const UnitDiskGraph& g, NodeId source, NodeId target) {

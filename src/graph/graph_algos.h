@@ -93,6 +93,13 @@ class Arena;
 /// two-searches-per-pair loop in the sweep cells.
 class OracleBatch {
  public:
+  /// Which per-pair optima to compute. `kHopsOnly` skips the Dijkstra
+  /// trees entirely — one BFS per distinct source is the whole cost, and
+  /// `length_optimal` must not be consulted. The streaming simulator's
+  /// stretch oracle only needs hop counts, so it halves the search work
+  /// this way; the sweep cells need both.
+  enum class Metrics { kBoth, kHopsOnly };
+
   OracleBatch(const UnitDiskGraph& g,
               std::span<const std::pair<NodeId, NodeId>> pairs);
 
@@ -102,7 +109,7 @@ class OracleBatch {
   /// identical; null falls back to heap scratch.
   OracleBatch(const UnitDiskGraph& g,
               std::span<const std::pair<NodeId, NodeId>> pairs,
-              Arena* scratch);
+              Arena* scratch, Metrics metrics = Metrics::kBoth);
 
   std::size_t size() const noexcept { return hop_optimal_.size(); }
   std::size_t distinct_sources() const noexcept { return distinct_sources_; }
@@ -111,6 +118,7 @@ class OracleBatch {
   const ShortestPath& hop_optimal(std::size_t i) const noexcept {
     return hop_optimal_[i];
   }
+  /// Only valid for a `kBoth` batch.
   const ShortestPath& length_optimal(std::size_t i) const noexcept {
     return length_optimal_[i];
   }

@@ -42,16 +42,25 @@ GfRouter::GfRouter(const UnitDiskGraph& g, OverlayProvider overlay,
       recovery_(recovery) {}
 
 const PlanarOverlay& GfRouter::overlay() const {
-  if (overlay_ == nullptr) overlay_ = &overlay_provider_();
-  return *overlay_;
+  const PlanarOverlay* cached = overlay_.load(std::memory_order_acquire);
+  if (cached == nullptr) {
+    // Concurrent first hits both invoke the provider; it is memoized
+    // (call_once) so they store the same pointer — the race is benign.
+    cached = &overlay_provider_();
+    overlay_.store(cached, std::memory_order_release);
+  }
+  return *cached;
 }
 
 const BoundHoleInfo* GfRouter::boundhole() const {
-  if (!boundhole_resolved_) {
-    boundhole_ = boundhole_provider_ ? boundhole_provider_() : nullptr;
-    boundhole_resolved_ = true;
+  if (!boundhole_resolved_.load(std::memory_order_acquire)) {
+    boundhole_.store(boundhole_provider_ ? boundhole_provider_() : nullptr,
+                     std::memory_order_relaxed);
+    // The release pairs with the acquire above: a reader that sees the
+    // flag also sees the pointer stored before it.
+    boundhole_resolved_.store(true, std::memory_order_release);
   }
-  return boundhole_;
+  return boundhole_.load(std::memory_order_relaxed);
 }
 
 std::unique_ptr<PacketHeader> GfRouter::make_header(NodeId, NodeId) const {

@@ -20,6 +20,7 @@
 /// pays for them (Network::make_router wires the network's memoized lazy
 /// accessors in here).
 
+#include <atomic>
 #include <functional>
 
 #include "graph/planar.h"
@@ -43,9 +44,11 @@ class GfRouter final : public Router {
   GfRouter(const UnitDiskGraph& g, const PlanarOverlay& overlay,
            const BoundHoleInfo* boundhole, Recovery recovery);
 
-  /// Lazy form: providers are invoked at most once, on the first local
-  /// minimum. Not thread-safe across concurrent route() calls on the same
-  /// router instance (providers themselves may be, e.g. Network's).
+  /// Lazy form: providers are invoked on the first local minimum (at most
+  /// once per thread; concurrent first hits may each invoke them, so
+  /// providers must be thread-safe and memoized — Network's call_once
+  /// accessors are). The resolved pointers are cached atomically, making
+  /// concurrent route()/step() calls on one router instance safe.
   GfRouter(const UnitDiskGraph& g, OverlayProvider overlay,
            BoundHoleProvider boundhole, Recovery recovery);
 
@@ -78,9 +81,14 @@ class GfRouter final : public Router {
 
   OverlayProvider overlay_provider_;
   BoundHoleProvider boundhole_provider_;
-  mutable const PlanarOverlay* overlay_ = nullptr;
-  mutable const BoundHoleInfo* boundhole_ = nullptr;
-  mutable bool boundhole_resolved_ = false;
+  // Atomic lazy caches so concurrent steppers sharing this router (the
+  // flight-record engine's parallel tick advance) can race into the first
+  // local minimum safely: the providers are memoized behind call_once
+  // (Network's lazy accessors), so concurrent resolvers store the same
+  // pointer and hole-free traffic still never builds either structure.
+  mutable std::atomic<const PlanarOverlay*> overlay_{nullptr};
+  mutable std::atomic<const BoundHoleInfo*> boundhole_{nullptr};
+  mutable std::atomic<bool> boundhole_resolved_{false};
   Recovery recovery_;
 };
 

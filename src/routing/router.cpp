@@ -8,7 +8,7 @@ RouteStepper::RouteStepper(const Router& router, NodeId s, NodeId d,
                            std::unique_ptr<PacketHeader> owned,
                            PacketHeader* header, std::size_t ttl,
                            std::size_t reserve_hint)
-    : router_(router),
+    : router_(&router),
       owned_header_(std::move(owned)),
       header_(header),
       u_(s),
@@ -35,16 +35,19 @@ RouteStepper::RouteStepper(const Router& router, NodeId s, NodeId d,
 
 bool RouteStepper::step() {
   if (!in_flight_) return false;
-  Router::Decision decision = router_.select_successor(u_, d_, *header_);
+  Router::Decision decision = router_->select_successor(u_, d_, *header_);
   if (decision.hit_local_minimum) ++result_.local_minima;
   if (decision.next == kInvalidNode) {
     finish(RouteStatus::kDeadEnd);
     return false;
   }
-  const UnitDiskGraph& g = router_.g_;
+  const UnitDiskGraph& g = router_->g_;
   result_.length += distance(g.position(u_), g.position(decision.next));
-  result_.path.push_back(decision.next);
-  result_.hop_phases.push_back(decision.phase);
+  if (record_path_) {
+    result_.path.push_back(decision.next);
+    result_.hop_phases.push_back(decision.phase);
+  }
+  ++hops_taken_;
   u_ = decision.next;
   if (u_ == d_) {
     finish(RouteStatus::kDelivered);
@@ -78,6 +81,46 @@ std::unique_ptr<RouteStepper> Router::make_stepper(NodeId s, NodeId d,
       // spr-lint: allow(raw-new) RouteStepper's ctor is private to Router
       // (make_unique cannot reach it); ownership transfers immediately.
       new RouteStepper(*this, s, d, std::move(header), raw, ttl, 0));
+}
+
+void Router::restart_stepper(RouteStepper& stepper, NodeId s, NodeId d,
+                             const RouteOptions& options,
+                             std::size_t ttl_limit) const {
+  stepper.router_ = this;
+  stepper.ttl_remaining_ = ttl_limit != 0 ? ttl_limit : default_ttl(g_, options);
+  if (s < g_.size() && d < g_.size() && s != d) {
+    // Reuse the slot's header in place; first use of a slot (or a router
+    // without reset support) falls back to a fresh header, matching
+    // make_stepper's allocation.
+    if (stepper.owned_header_ == nullptr ||
+        !reset_header(*stepper.owned_header_, s, d)) {
+      stepper.owned_header_ = make_header(s, d);
+    }
+  }
+  stepper.header_ = stepper.owned_header_.get();
+  // From here this mirrors the private constructor, minus the allocations:
+  // the path/phase buffers are cleared but keep their capacity.
+  stepper.u_ = s;
+  stepper.d_ = d;
+  stepper.in_flight_ = true;
+  stepper.hops_taken_ = 0;
+  stepper.record_path_ = true;
+  stepper.result_.status = RouteStatus::kDeadEnd;
+  stepper.result_.path.clear();
+  stepper.result_.hop_phases.clear();
+  stepper.result_.length = 0.0;
+  stepper.result_.local_minima = 0;
+  if (s >= g_.size() || d >= g_.size()) {
+    stepper.finish(RouteStatus::kDeadEnd);
+    stepper.u_ = kInvalidNode;
+    return;
+  }
+  stepper.result_.path.push_back(s);
+  if (s == d) {
+    stepper.finish(RouteStatus::kDelivered);
+    return;
+  }
+  if (stepper.ttl_remaining_ == 0) stepper.finish(RouteStatus::kTtlExpired);
 }
 
 PathResult Router::drive(NodeId s, NodeId d, const RouteOptions& options,

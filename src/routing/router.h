@@ -76,6 +76,17 @@ class Router {
                                              const RouteOptions& options = {},
                                              std::size_t ttl_limit = 0) const;
 
+  /// Re-arms a pooled `stepper` slot in place for a new (s, d) packet —
+  /// the zero-allocation sibling of `make_stepper`. The slot's header is
+  /// reused through `reset_header` when possible (falling back to a fresh
+  /// `make_header` on the first use of a slot or for routers without an
+  /// in-place reset) and the path/phase buffers keep their capacity.
+  /// Stepping the re-armed slot is bit-identical to stepping a fresh
+  /// `make_stepper(s, d, options, ttl_limit)` (tests enforce this).
+  void restart_stepper(RouteStepper& stepper, NodeId s, NodeId d,
+                       const RouteOptions& options = {},
+                       std::size_t ttl_limit = 0) const;
+
  protected:
   explicit Router(const UnitDiskGraph& g) : g_(g) {}
 
@@ -132,6 +143,13 @@ class Router {
 /// packet's current node with its remaining TTL.
 class RouteStepper {
  public:
+  /// An empty slot: not in flight, no header, no router. Simulators keep
+  /// vectors of these and arm them with `Router::restart_stepper`.
+  RouteStepper() = default;
+
+  RouteStepper(RouteStepper&&) = default;
+  RouteStepper& operator=(RouteStepper&&) = default;
+
   /// One hop: a successor decision, path/phase/length accounting, and the
   /// delivered / dead-end / TTL-expired transitions. No-op once finished.
   /// Returns true while the packet is still in flight after the step.
@@ -154,6 +172,33 @@ class RouteStepper {
   /// Moves the (final) result out; the stepper is spent afterwards.
   PathResult take_result() noexcept { return std::move(result_); }
 
+  /// Hops executed since this slot was (re)armed. Equals result().hops()
+  /// while path recording is on; it is the only hop count available when
+  /// recording is off.
+  std::size_t hops_taken() const noexcept { return hops_taken_; }
+
+  /// Toggles path/phase recording. With recording off, `step()` keeps the
+  /// status, length, local-minima and `hops_taken()` accounting bit-exact
+  /// but appends nothing to the result's path/phase vectors — flight
+  /// simulators that only reduce per-flight aggregates skip the per-walk
+  /// buffer growth (and its memory footprint) entirely. Arming a slot
+  /// (`make_stepper` / `restart_stepper`) resets recording to on.
+  void set_record_path(bool record) noexcept { record_path_ = record; }
+
+  /// Frees the header and the walk buffers, returning the slot to its
+  /// default-constructed footprint. Pooled simulators call this when a
+  /// flight terminates so steady-state memory matches the legacy
+  /// one-stepper-per-flight profile.
+  void release() noexcept {
+    owned_header_.reset();
+    header_ = nullptr;
+    result_ = PathResult{};
+    in_flight_ = false;
+    u_ = kInvalidNode;
+    hops_taken_ = 0;
+    record_path_ = true;
+  }
+
  private:
   friend class Router;
 
@@ -169,13 +214,15 @@ class RouteStepper {
     in_flight_ = false;
   }
 
-  const Router& router_;
+  const Router* router_ = nullptr;
   std::unique_ptr<PacketHeader> owned_header_;
-  PacketHeader* header_;
-  NodeId u_;
-  NodeId d_;
-  std::size_t ttl_remaining_;
-  bool in_flight_;
+  PacketHeader* header_ = nullptr;
+  NodeId u_ = kInvalidNode;
+  NodeId d_ = kInvalidNode;
+  std::size_t ttl_remaining_ = 0;
+  std::size_t hops_taken_ = 0;
+  bool in_flight_ = false;
+  bool record_path_ = true;
   PathResult result_;
 };
 

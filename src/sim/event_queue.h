@@ -19,12 +19,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "deploy/rng.h"
 #include "graph/node.h"
+#include "util/flat_map.h"
 
 namespace spr {
 
@@ -100,13 +100,19 @@ class EventQueue {
 class FifoLinkDelays {
  public:
   FifoLinkDelays(std::size_t node_count, double min_delay, double max_delay)
-      : node_count_(node_count), min_delay_(min_delay), max_delay_(max_delay) {}
+      : node_count_(node_count),
+        min_delay_(min_delay),
+        max_delay_(max_delay),
+        // Unit-disk broadcasts touch ~degree links per node; reserving a
+        // few slots per node covers the steady state without committing
+        // node_count^2 memory for links that never carry traffic.
+        link_clock_(std::min<std::size_t>(node_count * 4, 1u << 20)) {}
 
   /// The delivery time of a message sent from `from` to `to` at `now`.
   /// Draws one uniform from `rng`, so calling order defines the run.
   double schedule(NodeId from, NodeId to, double now, Rng& rng) {
     double delay = rng.uniform(min_delay_, max_delay_);
-    double& clock = link_clock_[link_key(from, to)];
+    double& clock = link_clock_.find_or_insert(link_key(from, to), 0.0);
     double when = std::max(now + delay, clock + 1e-9);
     clock = when;
     return when;
@@ -120,8 +126,9 @@ class FifoLinkDelays {
   std::size_t node_count_;
   double min_delay_;
   double max_delay_;
-  /// Last scheduled delivery time per directed link.
-  std::unordered_map<std::uint64_t, double> link_clock_;
+  /// Last scheduled delivery time per directed link, in a flat
+  /// open-addressed table (the sim's hottest map; see util/flat_map.h).
+  FlatMap64<double> link_clock_;
 };
 
 /// Message-traffic counters shared by every engine on the event core.

@@ -1,10 +1,15 @@
 #include "sim/stream_sim.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
+#include <optional>
 
 #include "graph/graph_algos.h"
 #include "sim/event_queue.h"
+#include "sim/tick_scheduler.h"
+#include "util/flat_map.h"
+#include "util/task_pool.h"
 
 namespace spr {
 
@@ -85,6 +90,30 @@ struct StreamSim::Packet {
   std::vector<Flight> flights;
 };
 
+/// The flight-record engine's state: Flight/Packet unrolled into parallel
+/// arrays. Flight f = p * n_schemes + k is scheme k's copy of packet p, so
+/// one tick-batch id addresses one copy and the final reduction walks the
+/// arrays in exactly the legacy packet-major order. Stepper slots are
+/// pooled: armed in place via Router::restart_stepper at injection and at
+/// re-plans, released when the flight terminates — after the ramp-up the
+/// steady state allocates nothing.
+struct StreamSim::Records {
+  // Per packet.
+  std::vector<double> inject_time;
+  std::vector<NodeId> src;
+  std::vector<NodeId> dst;
+  std::vector<std::size_t> oracle_hops;  ///< BFS optimum; 0 = unreachable
+  std::vector<unsigned char> injected;
+  // Per flight (packet-major).
+  std::vector<StreamOutcome> outcome;
+  std::vector<std::uint32_t> hops;          ///< across re-planned segments
+  std::vector<std::uint32_t> local_minima;  ///< across re-planned segments
+  std::vector<std::uint32_t> replans;
+  std::vector<double> length;  ///< across re-planned segments, meters
+  std::vector<double> finish_time;
+  std::vector<RouteStepper> steppers;  ///< pooled slots, released when done
+};
+
 StreamSim::StreamSim(Network initial, StreamConfig config)
     : net_(std::move(initial)),
       config_(std::move(config)),
@@ -105,16 +134,6 @@ StreamSim::StreamSim(Network initial, StreamConfig config)
   }
   net_.force(needs);
   rebuild_routers();
-  packets_.resize(static_cast<std::size_t>(config_.packets));
-  for (std::size_t p = 0; p < packets_.size(); ++p) {
-    Packet& packet = packets_[p];
-    packet.flights.resize(config_.schemes.size());
-    if (!config_.pairs.empty()) {
-      const auto& pair = config_.pairs[p % config_.pairs.size()];
-      packet.src = pair.first;
-      packet.dst = pair.second;
-    }
-  }
 }
 
 StreamSim::~StreamSim() = default;
@@ -158,6 +177,7 @@ void StreamSim::replan_flights(double now, std::size_t* in_flight,
       if (!net_.graph().alive(at)) {
         if (dropped != nullptr) ++*dropped;
         finalize(flight, StreamOutcome::kNodeFailed, now);
+        --live_;
         continue;
       }
       if (in_flight != nullptr) ++*in_flight;
@@ -169,6 +189,7 @@ void StreamSim::replan_flights(double now, std::size_t* in_flight,
         RouteStatus status = flight.stepper->result().status;
         harvest(flight);
         finalize(flight, outcome_of(status), now);
+        --live_;
       }
       // The flight's pending hop event keeps firing and will step the new
       // stepper — no event surgery needed.
@@ -176,10 +197,52 @@ void StreamSim::replan_flights(double now, std::size_t* in_flight,
   }
 }
 
+void StreamSim::build_epoch_oracle() {
+  oracle_ready_ = true;
+  // Eligibility is exactly the legacy per-pair guard at injection time:
+  // in-range endpoints and a live source. It depends only on the pair and
+  // the substrate, so it is constant within a topology epoch.
+  std::vector<std::pair<NodeId, NodeId>> eligible;
+  std::vector<std::size_t> which;
+  eligible.reserve(config_.pairs.size());
+  which.reserve(config_.pairs.size());
+  for (std::size_t i = 0; i < config_.pairs.size(); ++i) {
+    const auto& [s, d] = config_.pairs[i];
+    if (s < net_.graph().size() && d < net_.graph().size() &&
+        net_.graph().alive(s)) {
+      which.push_back(i);
+      eligible.push_back({s, d});
+    } else {
+      oracle_cache_[i] = kNoOracle;
+    }
+  }
+  // One BFS per distinct source for the whole epoch, instead of one
+  // bfs_path per pair in the inject handler. Tree extraction is identical
+  // to the per-pair search, so the cached hop counts are byte-for-byte
+  // what the lazy fill produced.
+  OracleBatch batch(net_.graph(), eligible, nullptr,
+                    OracleBatch::Metrics::kHopsOnly);
+  for (std::size_t j = 0; j < which.size(); ++j) {
+    oracle_cache_[which[j]] = batch.hop_optimal(j).hops();
+  }
+}
+
 StreamStats StreamSim::run() {
   if (ran_) return stats_;
   ran_ = true;
+  stats_.schemes.resize(config_.schemes.size());
+  for (std::size_t k = 0; k < config_.schemes.size(); ++k) {
+    stats_.schemes[k].label = config_.schemes[k].display_label();
+  }
+  if (config_.engine == StreamEngine::kPerHopEvents) {
+    run_per_hop();
+  } else {
+    run_flight_record();
+  }
+  return stats_;
+}
 
+void StreamSim::run_per_hop() {
   struct Ev {
     enum class Kind : unsigned char { kInject, kHop, kWave, kRepin };
     Kind kind = Kind::kInject;
@@ -189,9 +252,13 @@ StreamStats StreamSim::run() {
   SimClock clock;
 
   const std::size_t n_schemes = config_.schemes.size();
-  stats_.schemes.resize(n_schemes);
-  for (std::size_t k = 0; k < n_schemes; ++k) {
-    stats_.schemes[k].label = config_.schemes[k].display_label();
+  packets_.resize(static_cast<std::size_t>(config_.packets));
+  for (std::size_t p = 0; p < packets_.size(); ++p) {
+    Packet& packet = packets_[p];
+    packet.flights.resize(n_schemes);
+    const auto& pair = config_.pairs[p % config_.pairs.size()];
+    packet.src = pair.first;
+    packet.dst = pair.second;
   }
 
   // Flight ids are packet-major so one hop event addresses one copy.
@@ -208,6 +275,7 @@ StreamStats StreamSim::run() {
   // packet steps its re-planned stepper on the degraded substrate.
   if (!config_.pairs.empty()) {
     oracle_cache_.assign(config_.pairs.size(), kNoOracle);
+    oracle_ready_ = false;
     for (std::size_t p = 0; p < packets_.size(); ++p) {
       queue.push(static_cast<double>(p) * config_.packet_interval,
                  Ev{Ev::Kind::kInject, p});
@@ -227,15 +295,8 @@ StreamStats StreamSim::run() {
   }
 
   std::size_t injected_count = 0;
-  auto any_in_flight = [this] {
-    for (const auto& packet : packets_) {
-      if (!packet.injected) continue;
-      for (const auto& flight : packet.flights) {
-        if (flight.outcome == StreamOutcome::kInFlight) return true;
-      }
-    }
-    return false;
-  };
+  live_ = 0;  // maintained at inject/finalize; replaces the O(packets x
+              // schemes) any_in_flight rescan the repin loop used to do
 
   while (!queue.empty()) {
     auto timed = queue.pop();
@@ -252,17 +313,16 @@ StreamStats StreamSim::run() {
         // The hop-optimal baseline is pinned at injection time: stretch
         // measures what the scheme paid relative to the network the packet
         // was handed to, before any mid-flight wave degraded it. Packets
-        // cycle over few pairs, so the BFS is cached per pair until the
-        // next topology change.
+        // cycle over few pairs, so the whole epoch's oracles are batched
+        // at the first injection after each topology change (one BFS per
+        // distinct source).
         if (packet.src < net_.graph().size() &&
             packet.dst < net_.graph().size() &&
             net_.graph().alive(packet.src)) {
-          std::size_t& cached =
+          if (!oracle_ready_) build_epoch_oracle();
+          std::size_t cached =
               oracle_cache_[timed.event.index % config_.pairs.size()];
-          if (cached == kNoOracle) {
-            cached = bfs_path(net_.graph(), packet.src, packet.dst).hops();
-          }
-          packet.oracle_hops = cached;
+          packet.oracle_hops = cached == kNoOracle ? 0 : cached;
         }
         for (std::size_t k = 0; k < n_schemes; ++k) {
           Flight& flight = packet.flights[k];
@@ -281,6 +341,7 @@ StreamStats StreamSim::run() {
           }
           queue.push(now + config_.hop_delay,
                      Ev{Ev::Kind::kHop, flight_id(timed.event.index, k)});
+          ++live_;
         }
         break;
       }
@@ -300,6 +361,7 @@ StreamStats StreamSim::run() {
           RouteStatus status = flight.stepper->result().status;
           harvest(flight);
           finalize(flight, outcome_of(status), now);
+          --live_;
         }
         break;
       }
@@ -333,6 +395,7 @@ StreamStats StreamSim::run() {
         }
         net_ = std::move(degraded);
         std::fill(oracle_cache_.begin(), oracle_cache_.end(), kNoOracle);
+        oracle_ready_ = false;
         rebuild_routers();
         replan_flights(now, &record.packets_in_flight,
                        &record.packets_dropped);
@@ -367,12 +430,13 @@ StreamStats StreamSim::run() {
         }
         net_ = std::move(moved);
         std::fill(oracle_cache_.begin(), oracle_cache_.end(), kNoOracle);
+        oracle_ready_ = false;
         rebuild_routers();
         replan_flights(now, &record.packets_in_flight,
                        &record.packets_dropped);
         ++stats_.repins;
         stats_.repin_records.push_back(std::move(record));
-        if (injected_count < packets_.size() || any_in_flight()) {
+        if (injected_count < packets_.size() || live_ > 0) {
           queue.push(now + config_.mobility_interval, Ev{Ev::Kind::kRepin, 0});
         }
         break;
@@ -416,7 +480,495 @@ StreamStats StreamSim::run() {
       }
     }
   }
-  return stats_;
+}
+
+void StreamSim::run_flight_record() {
+  struct Ev {
+    enum class Kind : unsigned char { kInject, kTick, kWave, kRepin };
+    Kind kind = Kind::kInject;
+    std::size_t index = 0;  ///< packet / tick-bucket slot / wave id
+  };
+  EventQueue<Ev> queue;
+  SimClock clock;
+
+  const std::size_t n_schemes = config_.schemes.size();
+  const std::size_t n_packets = static_cast<std::size_t>(config_.packets);
+  const std::size_t n_flights = n_packets * n_schemes;
+
+  rec_ = std::make_unique<Records>();
+  Records& rec = *rec_;
+  rec.inject_time.assign(n_packets, 0.0);
+  rec.src.assign(n_packets, kInvalidNode);
+  rec.dst.assign(n_packets, kInvalidNode);
+  rec.oracle_hops.assign(n_packets, 0);
+  rec.injected.assign(n_packets, 0);
+  rec.outcome.assign(n_flights, StreamOutcome::kInFlight);
+  rec.hops.assign(n_flights, 0);
+  rec.local_minima.assign(n_flights, 0);
+  rec.replans.assign(n_flights, 0);
+  rec.length.assign(n_flights, 0.0);
+  rec.finish_time.assign(n_flights, 0.0);
+  rec.steppers.resize(n_flights);
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    const auto& pair = config_.pairs[p % config_.pairs.size()];
+    rec.src[p] = pair.first;
+    rec.dst[p] = pair.second;
+  }
+
+  // Stepping is read-only on the shared router/network structures: every
+  // scheme's eager needs are forced in the constructor, and GF's lazy
+  // recovery caches resolve atomically through Network's call_once
+  // accessors, so each tick's batch can fan out across a pool without any
+  // up-front priming; the merge below is serial and batch-ordered, so the
+  // run is bit-identical across thread counts.
+  std::optional<TaskPool> pool;
+  if (config_.threads > 1) pool.emplace(config_.threads);
+
+  // Flight records only reduce aggregates, so the steppers run with path
+  // recording off (`hops_taken` replaces `result().hops()`): no per-walk
+  // buffer growth, and a finished flight's slot shrinks to its header.
+  auto harvest_record = [&rec](std::size_t f) {
+    const RouteStepper& slot = rec.steppers[f];
+    const PathResult& segment = slot.result();
+    rec.hops[f] += static_cast<std::uint32_t>(slot.hops_taken());
+    rec.length[f] += segment.length;
+    rec.local_minima[f] += static_cast<std::uint32_t>(segment.local_minima);
+  };
+  auto finalize_record = [&rec](std::size_t f, StreamOutcome outcome,
+                                double when) {
+    rec.outcome[f] = outcome;
+    rec.finish_time[f] = when;
+    rec.steppers[f].release();  // header + buffers, like the legacy reset
+  };
+
+  // The tick ring: flights due at the same exact instant share one bucket
+  // and one kTick heap event, pushed when the bucket is created — i.e. at
+  // the same pop instant the legacy engine pushed that time's first hop
+  // event, so tick-vs-control tie order inherits the legacy (time, seq)
+  // semantics.
+  TickBuckets ticks(256);
+  auto schedule_flight = [&ticks, &queue](std::size_t f, double when) {
+    TickBuckets::Scheduled scheduled =
+        ticks.schedule(when, static_cast<std::uint32_t>(f));
+    if (scheduled.created) {
+      queue.push(when, Ev{Ev::Kind::kTick, scheduled.slot});
+    }
+  };
+
+  // Re-plans on a new substrate, mirroring the legacy replan_flights over
+  // the SoA records. Pending tick-batch entries keep firing and are
+  // filtered as stale once a flight finalizes — no ring surgery.
+  auto replan_records = [&](double when, std::size_t* in_flight,
+                            std::size_t* dropped) {
+    for (std::size_t p = 0; p < n_packets; ++p) {
+      if (!rec.injected[p]) continue;
+      for (std::size_t k = 0; k < n_schemes; ++k) {
+        std::size_t f = p * n_schemes + k;
+        if (rec.outcome[f] != StreamOutcome::kInFlight) continue;
+        RouteStepper& slot = rec.steppers[f];
+        NodeId at = slot.current();
+        std::size_t budget = slot.ttl_remaining();
+        harvest_record(f);
+        if (!net_.graph().alive(at)) {
+          ++*dropped;
+          finalize_record(f, StreamOutcome::kNodeFailed, when);
+          --live_;
+          continue;
+        }
+        ++*in_flight;
+        ++rec.replans[f];
+        routers_[k]->restart_stepper(slot, at, rec.dst[p],
+                                     config_.route_options, budget);
+        slot.set_record_path(false);
+        if (!slot.in_flight()) {
+          // Degenerate re-plan (already at the destination / spent budget).
+          RouteStatus status = slot.result().status;
+          harvest_record(f);
+          finalize_record(f, outcome_of(status), when);
+          --live_;
+        }
+      }
+    }
+  };
+
+  // The input timeline, scheduled up front exactly as in the legacy
+  // engine: injections, failure waves in time order, the first re-pin.
+  if (!config_.pairs.empty()) {
+    oracle_cache_.assign(config_.pairs.size(), kNoOracle);
+    oracle_ready_ = false;
+    for (std::size_t p = 0; p < n_packets; ++p) {
+      queue.push(static_cast<double>(p) * config_.packet_interval,
+                 Ev{Ev::Kind::kInject, p});
+    }
+  }
+  std::vector<std::size_t> wave_order(config_.waves.size());
+  std::iota(wave_order.begin(), wave_order.end(), std::size_t{0});
+  std::stable_sort(wave_order.begin(), wave_order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return config_.waves[a].time < config_.waves[b].time;
+                   });
+  for (std::size_t wi : wave_order) {
+    queue.push(config_.waves[wi].time, Ev{Ev::Kind::kWave, wi});
+  }
+  if (config_.mobility_interval > 0.0 && n_packets > 0) {
+    queue.push(config_.mobility_interval, Ev{Ev::Kind::kRepin, 0});
+  }
+
+  // Epoch barriers: the only events that can change what a flight observes
+  // are the substrate mutations (waves and re-pins) — injections spawn new
+  // flights but never touch active ones. Between one barrier and the next,
+  // every flight's walk is a pure function of its own state, so a tick
+  // batch may fast-forward each flight through ALL its hop instants
+  // strictly before the barrier instead of one hop per tick. The instant
+  // sequence accumulates iteratively (t = t + hop_delay), exactly as the
+  // per-hop engine pushes hop events, so finish times stay bit-identical;
+  // a hop instant that lands exactly on the barrier is not taken — the
+  // survivor parks there and the barrier event (earlier seq, pushed at
+  // setup / the previous re-pin) fires first, as in the legacy heap order.
+  constexpr double kNoBarrier = std::numeric_limits<double>::infinity();
+  std::vector<double> wave_times;
+  wave_times.reserve(wave_order.size());
+  for (std::size_t wi : wave_order) {
+    wave_times.push_back(config_.waves[wi].time);
+  }
+  std::size_t wave_cursor = 0;
+  double next_repin = config_.mobility_interval > 0.0 && n_packets > 0
+                          ? config_.mobility_interval
+                          : kNoBarrier;
+  auto next_barrier = [&]() {
+    double b = next_repin;
+    if (wave_cursor < wave_times.size()) {
+      b = std::min(b, wave_times[wave_cursor]);
+    }
+    return b;
+  };
+
+  // Walk memo: scheme copies with identical endpoints injected into the
+  // same epoch take the same deterministic walk (restart_stepper is
+  // bit-identical to a fresh stepper, property-tested per scheme), so the
+  // first copy steps it and later copies replay the recorded aggregates —
+  // traffic cycling over few pairs pays one routed walk per (scheme, pair)
+  // per epoch instead of one per flight. Replay re-accumulates the hop
+  // instants iteratively, so finish times and latencies stay bit-identical;
+  // a walk that would cross the epoch barrier is not replayed (the copy
+  // steps for real and parks, keeping its own header state). Cleared at
+  // every substrate change alongside rebuild_routers().
+  struct WalkMemo {
+    RouteStatus status = RouteStatus::kDeadEnd;
+    std::uint32_t hops = 0;
+    std::uint32_t local_minima = 0;
+    /// step() calls of the walk: hops, plus one for the terminal
+    /// no-move call of a dead end — the count of hop instants occupied.
+    std::uint32_t step_calls = 0;
+    double length = 0.0;
+  };
+  FlatMap64<WalkMemo> walk_memo;
+  const std::size_t n_nodes = net_.graph().size();
+  // The injective (scheme, src, dst) -> u64 encoding needs
+  // n_schemes * n_nodes^2 to fit; beyond that the memo just switches off.
+  const bool memo_ok =
+      n_nodes > 0 && n_schemes <= (~std::uint64_t{0} - 1) / n_nodes / n_nodes;
+  auto memo_key = [n_nodes](std::size_t k, NodeId s, NodeId d) {
+    return (static_cast<std::uint64_t>(k) * n_nodes + s) * n_nodes + d;
+  };
+
+  std::size_t injected_count = 0;
+  live_ = 0;
+  std::vector<std::uint32_t> active;  // this tick's surviving batch
+  std::vector<double> finish_at;      // per-active final-step instant
+  // The latest fast-forwarded terminal instant. The legacy engine's clock
+  // ends on its last heap event — the slowest flight's terminal hop — but
+  // fast-forwarded hops never become heap events, so that instant is
+  // tracked here and folded into virtual_time after the drain.
+  double final_instant = 0.0;
+
+  while (!queue.empty()) {
+    auto timed = queue.pop();
+    clock.advance_to(timed.time);
+    const double now = clock.now();
+    ++stats_.events;
+
+    switch (timed.event.kind) {
+      case Ev::Kind::kInject: {
+        const std::size_t p = timed.event.index;
+        rec.injected[p] = 1;
+        rec.inject_time[p] = now;
+        ++injected_count;
+        if (rec.src[p] < net_.graph().size() &&
+            rec.dst[p] < net_.graph().size() &&
+            net_.graph().alive(rec.src[p])) {
+          if (!oracle_ready_) build_epoch_oracle();
+          std::size_t cached = oracle_cache_[p % config_.pairs.size()];
+          rec.oracle_hops[p] = cached == kNoOracle ? 0 : cached;
+        }
+        for (std::size_t k = 0; k < n_schemes; ++k) {
+          std::size_t f = p * n_schemes + k;
+          if (rec.src[p] >= net_.graph().size() ||
+              !net_.graph().alive(rec.src[p])) {
+            finalize_record(f, StreamOutcome::kNodeFailed, now);
+            continue;
+          }
+          RouteStepper& slot = rec.steppers[f];
+          const double barrier = next_barrier();
+          const std::uint64_t key =
+              memo_ok ? memo_key(k, rec.src[p], rec.dst[p]) : 0;
+          if (memo_ok) {
+            // A stored walk is always non-degenerate (it armed in flight),
+            // and degeneracy depends only on (s, d, graph size), which the
+            // memo's epoch holds fixed — so a hit can skip arming entirely.
+            if (const WalkMemo* m = walk_memo.find(key)) {
+              double t = now + config_.hop_delay;
+              bool fits = t < barrier;
+              for (std::uint32_t c = 1; fits && c < m->step_calls; ++c) {
+                t += config_.hop_delay;
+                fits = t < barrier;
+              }
+              if (fits) {  // the whole walk lands inside this epoch
+                rec.hops[f] += m->hops;
+                rec.length[f] += m->length;
+                rec.local_minima[f] += m->local_minima;
+                finalize_record(f, outcome_of(m->status), t);
+                final_instant = std::max(final_instant, t);
+                continue;
+              }
+              // Crosses the barrier: the flight must park with real header
+              // state mid-walk, so it steps for real below.
+            }
+          }
+          routers_[k]->restart_stepper(slot, rec.src[p], rec.dst[p],
+                                       config_.route_options);
+          slot.set_record_path(false);
+          if (!slot.in_flight()) {
+            RouteStatus status = slot.result().status;
+            harvest_record(f);
+            finalize_record(f, outcome_of(status), now);
+            continue;
+          }
+          // Fast-forward the fresh flight through its epoch right here,
+          // while its slot and header are cache-hot: injections are not
+          // barriers, so every hop instant strictly before the next
+          // barrier may execute now (the same instant walk as the kTick
+          // loop below, starting at now + hop_delay). A flight that never
+          // meets a barrier never enters the tick ring at all.
+          double t = now + config_.hop_delay;
+          for (;;) {
+            if (!(t < barrier)) {  // parked; the tick ring takes over
+              schedule_flight(f, t);
+              ++live_;
+              break;
+            }
+            if (!slot.step()) {  // terminal step executed at instant t
+              RouteStatus status = slot.result().status;
+              if (memo_ok) {
+                WalkMemo& m = walk_memo.find_or_insert(key, WalkMemo{});
+                m.status = status;
+                m.hops = static_cast<std::uint32_t>(slot.hops_taken());
+                m.local_minima =
+                    static_cast<std::uint32_t>(slot.result().local_minima);
+                // A dead end's terminal step() call moves nothing but
+                // occupies one hop instant; delivery / TTL expiry happen on
+                // a counted hop.
+                m.step_calls =
+                    m.hops + (status == RouteStatus::kDeadEnd ? 1u : 0u);
+                m.length = slot.result().length;
+              }
+              harvest_record(f);
+              finalize_record(f, outcome_of(status), t);
+              final_instant = std::max(final_instant, t);
+              break;
+            }
+            t += config_.hop_delay;
+          }
+        }
+        break;
+      }
+      case Ev::Kind::kTick: {
+        // One epoch round: every copy due at this instant advances through
+        // every hop instant strictly before the next barrier (see above).
+        // Stale ids (finalized by a wave/re-pin since they were scheduled)
+        // evaporate, like the legacy engine's stale hop events.
+        const std::vector<std::uint32_t>& batch =
+            ticks.take(static_cast<std::uint32_t>(timed.event.index));
+        active.clear();
+        for (std::uint32_t f : batch) {
+          if (rec.outcome[f] == StreamOutcome::kInFlight) active.push_back(f);
+        }
+        const double barrier = next_barrier();
+        const double hop_delay = config_.hop_delay;
+        finish_at.assign(active.size(), 0.0);
+        // Every flight walks the same instant sequence t0 = now,
+        // t_{j+1} = t_j + hop_delay, so each one that outlives the epoch
+        // parks at the same first instant >= barrier and the whole batch
+        // re-buckets together.
+        auto advance_flight = [&rec, &finish_at, &active, now, barrier,
+                               hop_delay](std::size_t i) {
+          RouteStepper& slot = rec.steppers[active[i]];
+          double t = now;
+          while (slot.step()) {
+            const double tn = t + hop_delay;
+            if (!(tn < barrier)) return;  // parked; merge re-buckets it
+            t = tn;
+          }
+          finish_at[i] = t;  // instant of the final (terminal) step
+        };
+        // Step phase: flights are independent between barriers — disjoint
+        // per-flight state, read-only shared substrate. The grain scales
+        // with the batch (a few blocks per worker) so a 10^5-flight tick
+        // submits tens of tasks, not thousands; work stealing absorbs the
+        // per-flight epoch-length imbalance.
+        constexpr std::size_t kMinGrain = 32;
+        if (pool.has_value() && active.size() >= 2 * kMinGrain) {
+          const std::size_t grain =
+              std::max(kMinGrain, active.size() / (pool->thread_count() * 4));
+          parallel_for_blocked(&*pool, active.size(), grain,
+                               [&advance_flight](std::size_t begin,
+                                                 std::size_t end) {
+                                 for (std::size_t i = begin; i < end; ++i) {
+                                   advance_flight(i);
+                                 }
+                               });
+        } else {
+          for (std::size_t i = 0; i < active.size(); ++i) advance_flight(i);
+        }
+        // The shared park instant: first hop instant >= barrier, by the
+        // same iterative accumulation as advance_flight. Only needed when a
+        // survivor exists, which requires a finite barrier and a growing
+        // instant sequence (hop_delay 0 steps flights to terminal at one
+        // instant, as the legacy engine's same-time event chain does).
+        double park = now + hop_delay;
+        if (hop_delay > 0.0 && barrier != kNoBarrier) {
+          while (park < barrier) park += hop_delay;
+        }
+        // Merge phase, serial in batch (= legacy pop) order: survivors
+        // reschedule at the park instant, finished flights finalize at
+        // their recorded terminal instants.
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          const std::uint32_t f = active[i];
+          RouteStepper& slot = rec.steppers[f];
+          if (slot.in_flight()) {
+            schedule_flight(f, park);
+          } else {
+            RouteStatus status = slot.result().status;
+            harvest_record(f);
+            finalize_record(f, outcome_of(status), finish_at[i]);
+            final_instant = std::max(final_instant, finish_at[i]);
+            --live_;
+          }
+        }
+        break;
+      }
+      case Ev::Kind::kWave: {
+        ++wave_cursor;  // this barrier has fired, whether or not it bites
+        const StreamWave& wave = config_.waves[timed.event.index];
+        std::vector<NodeId> casualties;
+        casualties.reserve(wave.casualties.size());
+        for (NodeId u : wave.casualties) {
+          if (u < net_.graph().size() && net_.graph().alive(u)) {
+            casualties.push_back(u);
+          }
+        }
+        WaveRecord record;
+        record.time = now;
+        record.casualties = casualties.size();
+        if (casualties.empty()) {
+          // A no-op wave leaves the substrate and every in-flight header
+          // untouched (see run_per_hop).
+          stats_.waves.push_back(std::move(record));
+          break;
+        }
+        routers_.clear();  // routers reference the outgoing substrate
+        Network degraded = net_.with_failures(casualties, &record.relabel);
+        if (config_.verify_relabeling && degraded.has_safety()) {
+          SafetyInfo fresh =
+              compute_safety(degraded.graph(), degraded.interest_area());
+          record.verified = true;
+          record.matches_full_recompute = fresh == degraded.safety();
+        }
+        net_ = std::move(degraded);
+        std::fill(oracle_cache_.begin(), oracle_cache_.end(), kNoOracle);
+        oracle_ready_ = false;
+        rebuild_routers();
+        walk_memo.clear();  // memoized walks referenced the old substrate
+        replan_records(now, &record.packets_in_flight,
+                       &record.packets_dropped);
+        stats_.waves.push_back(std::move(record));
+        break;
+      }
+      case Ev::Kind::kRepin: {
+        // Incremental substrate continuation under mobility — identical to
+        // run_per_hop's handler (see the comment there).
+        mobility_.advance(config_.mobility_dt);
+        routers_.clear();
+        RepinRecord record;
+        record.time = now;
+        EdgeDiff diff;
+        Network moved =
+            net_.with_moves(mobility_.positions(), &record.relabel, &diff);
+        record.moved = diff.moved_nodes;
+        record.edges_added = diff.added.size();
+        record.edges_removed = diff.removed.size();
+        if (config_.verify_relabeling && moved.has_safety()) {
+          SafetyInfo fresh =
+              compute_safety(moved.graph(), moved.interest_area());
+          record.verified = true;
+          record.matches_full_recompute = fresh == moved.safety();
+        }
+        net_ = std::move(moved);
+        std::fill(oracle_cache_.begin(), oracle_cache_.end(), kNoOracle);
+        oracle_ready_ = false;
+        rebuild_routers();
+        walk_memo.clear();  // memoized walks referenced the old substrate
+        replan_records(now, &record.packets_in_flight,
+                       &record.packets_dropped);
+        ++stats_.repins;
+        stats_.repin_records.push_back(std::move(record));
+        if (injected_count < n_packets || live_ > 0) {
+          next_repin = now + config_.mobility_interval;
+          queue.push(next_repin, Ev{Ev::Kind::kRepin, 0});
+        } else {
+          next_repin = kNoBarrier;
+        }
+        break;
+      }
+    }
+  }
+
+  stats_.virtual_time = std::max(clock.now(), final_instant);
+
+  // Per-scheme totals in packet-major order — the same deterministic
+  // reduction as run_per_hop, over the SoA arrays.
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    if (!rec.injected[p]) continue;
+    for (std::size_t k = 0; k < n_schemes; ++k) {
+      std::size_t f = p * n_schemes + k;
+      StreamSchemeStats& s = stats_.schemes[k];
+      ++s.injected;
+      s.replans.add(static_cast<double>(rec.replans[f]));
+      s.local_minima.add(static_cast<double>(rec.local_minima[f]));
+      switch (rec.outcome[f]) {
+        case StreamOutcome::kDelivered:
+          ++s.delivered;
+          s.hops.add(static_cast<double>(rec.hops[f]));
+          s.length.add(rec.length[f]);
+          if (rec.oracle_hops[p] > 0) {
+            s.stretch_hops.add(static_cast<double>(rec.hops[f]) /
+                               static_cast<double>(rec.oracle_hops[p]));
+          }
+          s.latency.add(rec.finish_time[f] - rec.inject_time[p]);
+          break;
+        case StreamOutcome::kTtlExpired:
+          ++s.ttl_expired;
+          break;
+        case StreamOutcome::kNodeFailed:
+          ++s.node_failed;
+          break;
+        case StreamOutcome::kDeadEnd:
+        case StreamOutcome::kInFlight:  // unreachable: the queue drained
+          ++s.dead_end;
+          break;
+      }
+    }
+  }
 }
 
 }  // namespace spr

@@ -47,10 +47,31 @@
 /// substrate, and its copies are then immediately re-planned — or dropped,
 /// if the wave killed their carrier — by the wave itself.
 ///
-/// Determinism: the simulation is single-threaded and draws randomness
-/// only from its own seeded streams, so a run is a pure function of
-/// (initial network, StreamConfig) — byte-identical reports across reruns
-/// and across sweep thread counts (tests enforce this).
+/// Determinism: the simulation draws randomness only from its own seeded
+/// streams, so a run is a pure function of (initial network, StreamConfig)
+/// — byte-identical reports across reruns and across sweep thread counts
+/// (tests enforce this).
+///
+/// Two interchangeable engines advance the in-flight copies
+/// (StreamConfig::engine):
+///
+///  * kFlightRecord (default) — the flight-record engine: per-flight state
+///    lives in SoA arrays, stepper slots are pooled (reset in place on
+///    re-plan; zero steady-state allocation), and because every hop costs
+///    the same `hop_delay`, all copies due at the same instant advance in
+///    one *tick* batch (sim/tick_scheduler.h) — the event heap carries one
+///    event per distinct tick time plus the sparse control events, not one
+///    event per flight-hop. With StreamConfig::threads > 1 each tick's
+///    batch is stepped in parallel on a TaskPool and merged in flight-id
+///    order; results are bit-identical across thread counts.
+///  * kPerHopEvents — the legacy reference engine: one heap event per
+///    flight per hop. Kept as the oracle for the equivalence property
+///    tests.
+///
+/// Everything in StreamStats except `events` is byte-identical between the
+/// two engines (tests enforce this across seeds, waves, mobility and
+/// thread counts); `events` counts what the chosen engine actually popped
+/// (per-hop events vs ticks + control events).
 
 #include <cstddef>
 #include <cstdint>
@@ -158,6 +179,13 @@ struct StreamStats {
   std::vector<StreamSchemeStats> schemes;  ///< in StreamConfig::schemes order
 };
 
+/// Which internal engine advances the in-flight copies (see the file
+/// comment). Both produce byte-identical StreamStats except `events`.
+enum class StreamEngine : unsigned char {
+  kFlightRecord,  ///< tick-batched SoA flight records (default)
+  kPerHopEvents,  ///< legacy one-heap-event-per-hop reference engine
+};
+
 /// Parameters of a stream run.
 struct StreamConfig {
   /// Schemes to race over the same packets; empty = the paper's four.
@@ -184,6 +212,11 @@ struct StreamConfig {
   /// against a from-scratch compute_safety on the changed graph
   /// (WaveRecord::verified / RepinRecord::verified).
   bool verify_relabeling = false;
+  StreamEngine engine = StreamEngine::kFlightRecord;
+  /// Flight-record engine only: worker threads stepping each tick's batch
+  /// (<= 1 = serial on the calling thread). Bit-identical results across
+  /// thread counts.
+  int threads = 1;
 };
 
 /// The simulator. Owns the network (the substrate is replaced as waves and
@@ -208,22 +241,31 @@ class StreamSim {
  private:
   struct Flight;
   struct Packet;
+  struct Records;
 
   void rebuild_routers();
   void harvest(Flight& flight);
   void finalize(Flight& flight, StreamOutcome outcome, double now);
   void replan_flights(double now, std::size_t* in_flight,
                       std::size_t* dropped);
+  void run_per_hop();
+  void run_flight_record();
+  /// Fills oracle_cache_ for the current topology epoch: one hops-only
+  /// OracleBatch over the eligible pairs (one BFS per distinct source).
+  void build_epoch_oracle();
 
   Network net_;
   StreamConfig config_;
   std::vector<std::unique_ptr<Router>> routers_;  ///< one per scheme
-  std::vector<Packet> packets_;
+  std::vector<Packet> packets_;       ///< kPerHopEvents engine only
+  std::unique_ptr<Records> rec_;      ///< kFlightRecord engine only
   WaypointModel mobility_;
   /// Per-pair BFS optimum for the current topology epoch (packets cycle
   /// over few pairs; the graph only changes at waves/re-pins, which
-  /// invalidate this).
+  /// invalidate this). Filled per epoch by build_epoch_oracle.
   std::vector<std::size_t> oracle_cache_;
+  bool oracle_ready_ = false;
+  std::size_t live_ = 0;  ///< copies currently in flight
   StreamStats stats_;
   bool ran_ = false;
 };

@@ -92,6 +92,71 @@ TEST(RouteStepper, RemainingTtlResumesWithoutExtendingLife) {
   EXPECT_EQ(resumed->ttl_remaining(), initial_budget - 1);
 }
 
+/// A pooled slot restarted in place across many pairs must walk exactly
+/// like a fresh stepper every time — the reuse path (header reset,
+/// capacity-keeping buffer clears, release between lives) must leak no
+/// state from one flight into the next.
+TEST(RouteStepper, RestartInPlaceEqualsFreshStepperPerScheme) {
+  for (std::uint64_t seed : test::property_seeds()) {
+    Network net = test::random_network(500, seed, DeployModel::kForbiddenAreas);
+    Rng rng(seed ^ 0xdef);
+    for (Scheme scheme : kAllSchemes) {
+      auto router = net.make_router(scheme);
+      RouteStepper pooled;  // one slot, re-armed for every pair
+      for (int trial = 0; trial < 8; ++trial) {
+        auto [s, d] = net.random_connected_interior_pair(rng);
+        if (s == kInvalidNode) continue;
+        auto fresh = router->make_stepper(s, d);
+        router->restart_stepper(pooled, s, d, {});
+        EXPECT_EQ(pooled.in_flight(), fresh->in_flight());
+        while (fresh->step()) {
+          ASSERT_TRUE(pooled.step());
+          EXPECT_EQ(pooled.current(), fresh->current());
+        }
+        EXPECT_FALSE(pooled.step());
+        PathResult want = fresh->take_result();
+        PathResult got = pooled.take_result();
+        EXPECT_EQ(got.status, want.status);
+        EXPECT_EQ(got.path, want.path);
+        EXPECT_EQ(got.hop_phases, want.hop_phases);
+        EXPECT_EQ(got.length, want.length);  // bit-exact
+        EXPECT_EQ(got.local_minima, want.local_minima);
+        if (trial % 3 == 0) pooled.release();  // reuse after release too
+      }
+    }
+  }
+}
+
+/// Restarting honors the same degenerate-endpoint contract as
+/// make_stepper: s == d delivers immediately, out-of-range endpoints
+/// finish as an empty dead end, and an explicit TTL caps the walk.
+TEST(RouteStepper, RestartHandlesDegenerateEndpointsAndTtl) {
+  Network net = test::random_network(400, 17);
+  auto router = net.make_router(Scheme::kLgf);
+  RouteStepper pooled;
+  router->restart_stepper(pooled, 5, 5, {});
+  EXPECT_FALSE(pooled.in_flight());
+  EXPECT_EQ(pooled.result().status, RouteStatus::kDelivered);
+  EXPECT_EQ(pooled.result().path, std::vector<NodeId>{5});
+  router->restart_stepper(pooled, kInvalidNode, 5, {});
+  EXPECT_FALSE(pooled.in_flight());
+  EXPECT_EQ(pooled.result().status, RouteStatus::kDeadEnd);
+  EXPECT_TRUE(pooled.result().path.empty());
+
+  Rng rng(6);
+  auto [s, d] = net.random_connected_interior_pair(rng);
+  ASSERT_NE(s, kInvalidNode);
+  PathResult full = router->route(s, d);
+  if (full.delivered() && full.hops() >= 2) {
+    router->restart_stepper(pooled, s, d, {}, full.hops() - 1);
+    while (pooled.step()) {
+    }
+    PathResult capped = pooled.take_result();
+    EXPECT_EQ(capped.status, RouteStatus::kTtlExpired);
+    EXPECT_EQ(capped.hops(), full.hops() - 1);
+  }
+}
+
 TEST(RouteStepper, DegenerateEndpointsFinishOnConstruction) {
   Network net = test::random_network(400, 13);
   auto router = net.make_router(Scheme::kGf);

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/async_engine.h"
@@ -79,6 +81,48 @@ TEST(FifoLinkDelays, FirstDeliveryRespectsDrawnDelay) {
   double when = links.schedule(0, 1, 10.0, rng);
   EXPECT_GE(when, 11.0);
   EXPECT_LT(when, 12.0);
+}
+
+TEST(FifoLinkDelays, ClampGuaranteesStrictFifoWhenDrawnDelaysCollide) {
+  // A degenerate delay range makes every draw identical, so without the
+  // clamp two sends at the same `now` would deliver at the same instant.
+  Rng rng(1);
+  FifoLinkDelays links(2, 0.5, 0.5);
+  double a = links.schedule(0, 1, 0.0, rng);
+  double b = links.schedule(0, 1, 0.0, rng);
+  double c = links.schedule(0, 1, 0.0, rng);
+  EXPECT_DOUBLE_EQ(a, 0.5);
+  EXPECT_GT(b, a);
+  EXPECT_GT(c, b);
+  EXPECT_NEAR(b - a, 1e-9, 1e-15);
+  EXPECT_NEAR(c - b, 1e-9, 1e-15);
+}
+
+TEST(FifoLinkDelays, FlatTableMatchesMapReferenceUnderHeavyLinkReuse) {
+  // The flat open-addressed link clock must behave exactly like the
+  // unordered_map it replaced: same clamp arithmetic, bit-identical
+  // delivery times, including across table growth. 150 nodes x 20k sends
+  // creates far more distinct links than the constructor reserve, so the
+  // table rehashes several times mid-run while hot links are clamped over
+  // and over.
+  constexpr std::size_t kNodes = 150;
+  Rng rng(77);
+  Rng ref_rng(77);
+  Rng pick(5);
+  FifoLinkDelays links(kNodes, 0.25, 0.75);
+  std::unordered_map<std::uint64_t, double> ref_clock;
+  double now = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    NodeId from = static_cast<NodeId>(pick.next_below(kNodes));
+    NodeId to = static_cast<NodeId>(pick.next_below(kNodes));
+    now += 0.01;
+    double got = links.schedule(from, to, now, rng);
+    double delay = ref_rng.uniform(0.25, 0.75);
+    double& clock = ref_clock[static_cast<std::uint64_t>(from) * kNodes + to];
+    double want = std::max(now + delay, clock + 1e-9);
+    clock = want;
+    ASSERT_EQ(got, want) << "send " << i << " link " << from << "->" << to;
+  }
 }
 
 TEST(SimStatsFormatting, SharedCountersRenderIdentically) {

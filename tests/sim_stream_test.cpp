@@ -368,6 +368,70 @@ TEST(StreamSim, StreamStatsJsonRoundTrip) {
   EXPECT_EQ(stream_json(decoded), text);
 }
 
+/// The acceptance contract of the flight-record engine: everything in
+/// StreamStats except `events` is byte-identical to the per-hop reference
+/// engine — across seeds, failure waves, mobility re-pins, their
+/// combination, and thread counts — and tick batching pops strictly fewer
+/// heap events than one-event-per-hop.
+TEST(StreamSim, FlightRecordEngineMatchesPerHopReferenceByteForByte) {
+  struct Case {
+    std::uint64_t seed;
+    bool waves;
+    bool mobility;
+  };
+  const Case cases[] = {
+      {23, false, false}, {23, true, false}, {23, false, true},
+      {23, true, true},   {61, true, true},  {83, false, true},
+  };
+  for (const Case& c : cases) {
+    auto run = [&c](StreamEngine engine, int threads, std::size_t* events) {
+      Network net =
+          test::random_network(500, c.seed, DeployModel::kForbiddenAreas);
+      auto [s, d] = far_pair(net, c.seed);
+      StreamConfig config;
+      if (s != kInvalidNode) config.pairs.emplace_back(s, d);
+      config.packets = 10;
+      config.packet_interval = 1.0;
+      config.hop_delay = 0.5;
+      if (c.waves) {
+        StreamWave wave;
+        wave.time = 3.0;
+        for (NodeId u = 0; u < net.graph().size(); u += 17) {
+          if (u != s && u != d) wave.casualties.push_back(u);
+        }
+        config.waves.push_back(std::move(wave));
+      }
+      if (c.mobility) {
+        config.mobility_interval = 2.5;
+        config.mobility_dt = 10.0;
+      }
+      config.engine = engine;
+      config.threads = threads;
+      StreamSim sim(std::move(net), config);
+      StreamStats stats = sim.run();
+      *events = stats.events;
+      stats.events = 0;  // the one field the engines legitimately differ on
+      return stream_json(stats);
+    };
+    std::size_t ref_events = 0;
+    std::size_t tick_events = 0;
+    std::size_t threaded_events = 0;
+    std::string ref = run(StreamEngine::kPerHopEvents, 1, &ref_events);
+    std::string tick = run(StreamEngine::kFlightRecord, 1, &tick_events);
+    std::string threaded = run(StreamEngine::kFlightRecord, 4, &threaded_events);
+    const char* shape = c.waves ? (c.mobility ? "waves+mobility" : "waves")
+                                : (c.mobility ? "mobility" : "plain");
+    EXPECT_EQ(tick, ref) << "seed " << c.seed << " " << shape;
+    EXPECT_EQ(threaded, tick) << "seed " << c.seed << " " << shape
+                              << ": thread count changed the report";
+    EXPECT_EQ(threaded_events, tick_events) << "seed " << c.seed << " "
+                                            << shape;
+    // With a shared hop_delay the dyadic tick times collide across flights,
+    // so batching must collapse the heap traffic, not just relabel it.
+    EXPECT_LT(tick_events, ref_events) << "seed " << c.seed << " " << shape;
+  }
+}
+
 /// The streaming-delivery scenario's JSON report is byte-identical across
 /// reruns and across thread counts (the acceptance criterion behind
 /// SPR_SEED determinism).

@@ -1,0 +1,167 @@
+#include "sim/tick_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/check.h"
+
+namespace spr {
+namespace {
+
+TEST(TickBuckets, SameInstantSharesOneBucketInScheduleOrder) {
+  TickBuckets ticks;
+  auto a = ticks.schedule(1.25, 7);
+  auto b = ticks.schedule(1.25, 3);
+  auto c = ticks.schedule(1.25, 9);
+  EXPECT_TRUE(a.created);
+  EXPECT_FALSE(b.created);
+  EXPECT_FALSE(c.created);
+  EXPECT_EQ(b.slot, a.slot);
+  EXPECT_EQ(c.slot, a.slot);
+  EXPECT_EQ(ticks.pending(), 3u);
+  EXPECT_EQ(ticks.live_buckets(), 1u);
+  std::vector<std::uint32_t> batch = ticks.take(a.slot);
+  EXPECT_EQ(batch, (std::vector<std::uint32_t>{7, 3, 9}));
+  EXPECT_EQ(ticks.pending(), 0u);
+  EXPECT_EQ(ticks.live_buckets(), 0u);
+}
+
+TEST(TickBuckets, DistinctInstantsGetDistinctBuckets) {
+  TickBuckets ticks;
+  auto a = ticks.schedule(1.0, 1);
+  auto b = ticks.schedule(2.0, 2);
+  EXPECT_TRUE(a.created);
+  EXPECT_TRUE(b.created);
+  EXPECT_NE(a.slot, b.slot);
+  EXPECT_EQ(ticks.live_buckets(), 2u);
+  EXPECT_EQ(ticks.take(a.slot), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(ticks.take(b.slot), (std::vector<std::uint32_t>{2}));
+}
+
+TEST(TickBuckets, TimesAreKeyedOnExactBits) {
+  // 0.1 + 0.2 != 0.3 in binary floating point: the scheduler must NOT
+  // bucket them together, exactly as a heap would not pop them at equal
+  // times.
+  TickBuckets ticks;
+  auto a = ticks.schedule(0.1 + 0.2, 1);
+  auto b = ticks.schedule(0.3, 2);
+  EXPECT_TRUE(a.created);
+  EXPECT_TRUE(b.created);
+  EXPECT_NE(a.slot, b.slot);
+}
+
+TEST(TickBuckets, TakenTimeRestartsAFreshBucket) {
+  // A zero-delay reschedule lands at the current instant *after* its
+  // bucket fired: it must start a new bucket (a later FIFO position), not
+  // resurrect the taken one.
+  TickBuckets ticks;
+  auto a = ticks.schedule(1.0, 1);
+  EXPECT_EQ(ticks.take(a.slot), (std::vector<std::uint32_t>{1}));
+  auto b = ticks.schedule(1.0, 2);
+  EXPECT_TRUE(b.created);
+  EXPECT_EQ(ticks.take(b.slot), (std::vector<std::uint32_t>{2}));
+}
+
+TEST(TickBuckets, StaleIndexEntryDoesNotJoinARecycledSlot) {
+  // Take time T1's bucket, recycle its slot for time T2, then schedule at
+  // T1 again: the stale index entry for T1 still names the recycled slot,
+  // but the bucket now belongs to T2 — the scheduler must create a fresh
+  // bucket for T1 instead of leaking id 3 into T2's batch.
+  TickBuckets ticks;
+  auto t1 = ticks.schedule(1.0, 1);
+  EXPECT_EQ(ticks.take(t1.slot), (std::vector<std::uint32_t>{1}));
+  auto t2 = ticks.schedule(2.0, 2);
+  EXPECT_TRUE(t2.created);
+  EXPECT_EQ(t2.slot, t1.slot);  // the free list recycled the slot
+  auto again = ticks.schedule(1.0, 3);
+  EXPECT_TRUE(again.created);
+  EXPECT_NE(again.slot, t2.slot);
+  EXPECT_EQ(ticks.take(t2.slot), (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(ticks.take(again.slot), (std::vector<std::uint32_t>{3}));
+}
+
+TEST(TickBuckets, TakingADeadSlotFailsTheCheck) {
+  ScopedCheckHandler guard(throwing_check_handler);
+  TickBuckets ticks;
+  EXPECT_THROW(ticks.take(0), CheckError);  // never created
+  auto a = ticks.schedule(1.0, 1);
+  ticks.take(a.slot);
+  EXPECT_THROW(ticks.take(a.slot), CheckError);  // already taken
+}
+
+TEST(TickBuckets, BatchedDrainMatchesPerItemEventQueue) {
+  // The equivalence property behind the flight-record engine: draining
+  // tick batches through a shared EventQueue visits exactly the (time, id)
+  // sequence a one-event-per-item heap visits. Items start at colliding
+  // times and reschedule themselves with a per-(id, hop) delay drawn from
+  // a small set that includes 0 (the taken-bucket re-creation edge) — all
+  // decisions are pure functions of (id, hop) so both drains see the same
+  // workload.
+  constexpr std::uint32_t kItems = 64;
+  constexpr int kMaxHops = 40;
+  auto continues = [](std::uint32_t id, int hop) {
+    return hop < kMaxHops &&
+           (id * 2654435761u + static_cast<std::uint32_t>(hop) * 97u) % 11u !=
+               0u;
+  };
+  const double kDelays[] = {0.25, 0.5, 0.0, 1.0};
+  auto delay_of = [&kDelays](std::uint32_t id, int hop) {
+    return kDelays[(id + static_cast<std::uint32_t>(hop)) % 4u];
+  };
+  auto start_of = [](std::uint32_t id) {
+    return 0.5 * static_cast<double>(id % 8u);
+  };
+
+  // Reference drain: one heap event per item per hop.
+  std::vector<std::pair<double, std::uint32_t>> ref_order;
+  std::size_t ref_events = 0;
+  {
+    EventQueue<std::uint32_t> queue;
+    std::vector<int> hop(kItems, 0);
+    for (std::uint32_t i = 0; i < kItems; ++i) queue.push(start_of(i), i);
+    while (!queue.empty()) {
+      auto timed = queue.pop();
+      ++ref_events;
+      ref_order.push_back({timed.time, timed.event});
+      int h = hop[timed.event]++;
+      if (continues(timed.event, h)) {
+        queue.push(timed.time + delay_of(timed.event, h), timed.event);
+      }
+    }
+  }
+
+  // Ticked drain: one heap event per distinct instant, ids batched.
+  std::vector<std::pair<double, std::uint32_t>> tick_order;
+  std::size_t tick_events = 0;
+  {
+    EventQueue<std::uint32_t> queue;  // event payload = bucket slot
+    TickBuckets ticks;
+    std::vector<int> hop(kItems, 0);
+    auto schedule = [&ticks, &queue](double when, std::uint32_t id) {
+      auto scheduled = ticks.schedule(when, id);
+      if (scheduled.created) queue.push(when, scheduled.slot);
+    };
+    for (std::uint32_t i = 0; i < kItems; ++i) schedule(start_of(i), i);
+    while (!queue.empty()) {
+      auto timed = queue.pop();
+      ++tick_events;
+      std::vector<std::uint32_t> batch = ticks.take(timed.event);
+      for (std::uint32_t id : batch) {
+        tick_order.push_back({timed.time, id});
+        int h = hop[id]++;
+        if (continues(id, h)) schedule(timed.time + delay_of(id, h), id);
+      }
+    }
+  }
+
+  EXPECT_EQ(tick_order, ref_order);
+  // Batching must actually collapse events, not just relabel them.
+  EXPECT_LT(tick_events, ref_events);
+}
+
+}  // namespace
+}  // namespace spr
