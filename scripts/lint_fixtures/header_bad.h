@@ -1,0 +1,5 @@
+#include "../util/check.h"  // EXPECT[header-hygiene] EXPECT[header-hygiene]
+
+namespace lint_fixture {
+inline int two() { return 2; }
+}  // namespace lint_fixture

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "util/check.h"
+
+namespace lint_fixture {
+inline int three() { return 3; }
+}  // namespace lint_fixture

@@ -1,0 +1,18 @@
+// Must-fire fixture: pragma hygiene findings.
+#include <random>
+
+namespace lint_fixture {
+
+unsigned unjustified(unsigned seed) {
+  std::mt19937 gen(seed);  // spr-lint: allow(raw-rng)
+  return static_cast<unsigned>(gen());
+}
+// EXPECT-NO-REASON: the allow above carries no reason text.
+
+int bogus() {
+  // spr-lint: allow(not-a-rule) reason text present
+  return 0;
+}
+// EXPECT-UNKNOWN-RULE: allow names a rule the lint does not know.
+
+}  // namespace lint_fixture

@@ -1,0 +1,18 @@
+// Must-pass fixture: justified pragmas silence findings, including from
+// a comment line binding to the next code line.
+#include <random>
+
+namespace lint_fixture {
+
+unsigned seeded_draw(unsigned seed) {
+  // spr-lint: allow(raw-rng) fixture proves comment-line pragma binding
+  std::mt19937 gen(seed);
+  return static_cast<unsigned>(gen());
+}
+
+int* arena_backed() {
+  int* p = new int(7);  // spr-lint: allow(raw-new) fixture same-line pragma
+  return p;
+}
+
+}  // namespace lint_fixture

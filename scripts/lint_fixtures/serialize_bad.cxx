@@ -1,0 +1,11 @@
+// Must-fire fixture: a file named `serialize*` sits in the ordered-only
+// layer, where unordered containers are banned outright.
+#include <unordered_map>
+
+namespace lint_fixture {
+
+struct Sink {
+  std::unordered_map<int, int> by_id;  // EXPECT[unordered-iter]
+};
+
+}  // namespace lint_fixture

@@ -50,6 +50,10 @@ import os
 import re
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from spr_source import (Finding, bind_comment_pragmas, collect_files,
+                        parse_pragmas, relpath, strip_comments_and_strings)
+
 try:
     import clang.cindex  # type: ignore
 
@@ -66,9 +70,6 @@ RULES = {
     "header-hygiene": "public header include hygiene",
     "pragma": "malformed or unjustified spr-lint pragma",
 }
-
-PRAGMA_RE = re.compile(r"spr-lint:\s*allow\(([a-z\-,\s]+)\)\s*(.*)")
-FILE_PRAGMA_RE = re.compile(r"spr-lint-file:\s*allow\(([a-z\-,\s]+)\)\s*(.*)")
 
 # Paths whose *whole purpose* is nondeterministic-source wrapping.
 RAW_RNG_ALLOWED = ("deploy/rng.h", "deploy/rng.cpp")
@@ -106,162 +107,6 @@ UNORDERED_DECL_RE = re.compile(
 )
 UNORDERED_ANY_RE = re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*\(?\s*([A-Za-z_]\w*)")
-
-
-class Finding:
-    def __init__(self, path: str, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text: str) -> list[str]:
-    """Per-line source with comments and string/char literals blanked.
-
-    Keeps line structure (and therefore line numbers) intact.  Raw strings
-    are handled with their full delimiter; escapes inside ordinary literals
-    are honored.  Blanked spans become spaces so column-sensitive regexes
-    keep working.
-    """
-    out = []
-    i = 0
-    n = len(text)
-    buf = []
-    state = "code"  # code | line_comment | block_comment | string | char | raw
-    raw_terminator = ""
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                buf.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                buf.append("  ")
-                i += 2
-                continue
-            if c == "R" and nxt == '"':
-                m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:])
-                if m:
-                    raw_terminator = ")" + m.group(1) + '"'
-                    state = "raw"
-                    buf.append(" " * (len(m.group(0))))
-                    i += len(m.group(0))
-                    continue
-            if c == '"':
-                state = "string"
-                buf.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                buf.append(" ")
-                i += 1
-                continue
-            buf.append(c)
-            i += 1
-            continue
-        if state == "line_comment":
-            if c == "\n":
-                state = "code"
-                buf.append("\n")
-            else:
-                buf.append(" ")
-            i += 1
-            continue
-        if state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                buf.append("  ")
-                i += 2
-            else:
-                buf.append("\n" if c == "\n" else " ")
-                i += 1
-            continue
-        if state == "raw":
-            if text.startswith(raw_terminator, i):
-                buf.append(" " * len(raw_terminator))
-                i += len(raw_terminator)
-                state = "code"
-            else:
-                buf.append("\n" if c == "\n" else " ")
-                i += 1
-            continue
-        # string / char
-        if c == "\\":
-            buf.append("  ")
-            i += 2
-            continue
-        if (state == "string" and c == '"') or (state == "char" and c == "'"):
-            state = "code"
-            buf.append(" ")
-            i += 1
-            continue
-        buf.append("\n" if c == "\n" else " ")
-        i += 1
-    return "".join(buf).split("\n")
-
-
-def parse_pragmas(raw_lines: list[str], findings: list[Finding], path: str):
-    """Returns (per-line allowed rules, file-wide allowed rules)."""
-    line_allow: dict[int, set[str]] = {}
-    file_allow: set[str] = set()
-    for idx, line in enumerate(raw_lines, start=1):
-        if "spr-lint" not in line:
-            continue
-        m = FILE_PRAGMA_RE.search(line)
-        if m:
-            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-            bad = rules - set(RULES)
-            if bad:
-                findings.append(
-                    Finding(path, idx, "pragma", f"unknown rule(s) {sorted(bad)}")
-                )
-            if not m.group(2).strip():
-                findings.append(
-                    Finding(path, idx, "pragma", "file pragma without a reason")
-                )
-            if idx > 10:
-                findings.append(
-                    Finding(
-                        path,
-                        idx,
-                        "pragma",
-                        "file pragma must sit in the first 10 lines",
-                    )
-                )
-            file_allow |= rules & set(RULES)
-            continue
-        m = PRAGMA_RE.search(line)
-        if m:
-            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-            bad = rules - set(RULES)
-            if bad:
-                findings.append(
-                    Finding(path, idx, "pragma", f"unknown rule(s) {sorted(bad)}")
-                )
-            if not m.group(2).strip():
-                findings.append(
-                    Finding(path, idx, "pragma", "pragma without a reason")
-                )
-            line_allow.setdefault(idx, set()).update(rules & set(RULES))
-            continue
-        if re.search(r"spr-lint", line):
-            findings.append(
-                Finding(path, idx, "pragma", "unparseable spr-lint pragma")
-            )
-    return line_allow, file_allow
-
-
-def relpath(path: str, root: str) -> str:
-    return os.path.relpath(path, root).replace(os.sep, "/")
 
 
 def lint_wallclock(rel: str, lines: list[str], emit):
@@ -370,22 +215,14 @@ def lint_file(path: str, root: str, use_clang: bool) -> list[Finding]:
 
     raw_lines = text.split("\n")
     findings: list[Finding] = []
-    line_allow, file_allow = parse_pragmas(raw_lines, findings, rel)
+    pragmas = parse_pragmas(raw_lines, findings, rel, "spr-lint", RULES)
     lines = strip_comments_and_strings(text)
-
-    # A pragma on a comment-only line covers the next line holding code, so
-    # long statements can carry their justification above them.
-    for idx in sorted(line_allow):
-        if idx <= len(lines) and not lines[idx - 1].strip():
-            for nxt in range(idx + 1, len(lines) + 1):
-                if lines[nxt - 1].strip():
-                    line_allow.setdefault(nxt, set()).update(line_allow[idx])
-                    break
+    bind_comment_pragmas(pragmas, lines)
 
     suppressed: list[Finding] = []
 
     def emit(line_no: int, rule: str, message: str):
-        if rule in file_allow or rule in line_allow.get(line_no, set()):
+        if pragmas.allows(line_no, rule):
             suppressed.append(Finding(rel, line_no, rule, message))
             return
         findings.append(Finding(rel, line_no, rule, message))
@@ -397,21 +234,6 @@ def lint_file(path: str, root: str, use_clang: bool) -> list[Finding]:
         lint_unordered_token(rel, lines, emit)
     lint_header_hygiene(rel, raw_lines, lines, emit)
     return findings
-
-
-def collect_files(paths: list[str], root: str) -> list[str]:
-    exts = (".h", ".cpp", ".cc", ".hpp")
-    out = []
-    for p in paths:
-        full = p if os.path.isabs(p) else os.path.join(root, p)
-        if os.path.isfile(full):
-            out.append(full)
-            continue
-        for dirpath, _dirnames, filenames in os.walk(full):
-            for name in sorted(filenames):
-                if name.endswith(exts):
-                    out.append(os.path.join(dirpath, name))
-    return sorted(set(out))
 
 
 def main(argv: list[str]) -> int:

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py on synthetic benchmark JSON:
+median extraction (raw and aggregate forms), machine-speed normalization,
+regression detection, and the multi-pair gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+
+import check_bench_regression as cbr  # noqa: E402
+
+
+def raw_doc(times_by_name):
+    """Raw-form benchmark doc: name -> list of repetition real_times."""
+    return {"benchmarks": [
+        {"name": name, "real_time": t, "run_type": "iteration"}
+        for name, times in times_by_name.items() for t in times
+    ]}
+
+
+def aggregate_doc(medians_by_name):
+    return {"benchmarks": [
+        {"run_name": name, "real_time": t, "run_type": "aggregate",
+         "aggregate_name": agg}
+        for name, t in medians_by_name.items()
+        for agg in ("median", "mean")
+    ]}
+
+
+class Tests(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = self._tmp.name
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def test_raw_medians(self):
+        path = self.write("r.json", raw_doc({"A": [10.0, 30.0, 20.0]}))
+        self.assertEqual(cbr.load_medians(path), {"A": 20.0})
+
+    def test_aggregate_medians_win(self):
+        doc = aggregate_doc({"A": 15.0})
+        doc["benchmarks"].append(
+            {"name": "A", "real_time": 99.0, "run_type": "iteration"})
+        path = self.write("a.json", doc)
+        self.assertEqual(cbr.load_medians(path), {"A": 15.0})
+
+    def test_identical_is_clean(self):
+        b = self.write("b.json", raw_doc({"A": [100.0], "B": [200.0]}))
+        c = self.write("c.json", raw_doc({"A": [100.0], "B": [200.0]}))
+        self.assertEqual(cbr.main([b, c]), 0)
+
+    def test_uniform_slowdown_is_machine_speed(self):
+        """A slower machine moves every ratio together: not a regression."""
+        b = self.write("b.json",
+                       raw_doc({"A": [100.0], "B": [200.0], "C": [50.0]}))
+        c = self.write("c.json",
+                       raw_doc({"A": [300.0], "B": [600.0], "C": [150.0]}))
+        self.assertEqual(cbr.main([b, c]), 0)
+
+    def test_single_bench_regression_detected(self):
+        """One bench 10x slower while the rest hold: flagged."""
+        b = self.write("b.json",
+                       raw_doc({"A": [100.0], "B": [200.0], "C": [50.0]}))
+        c = self.write("c.json",
+                       raw_doc({"A": [1000.0], "B": [200.0], "C": [50.0]}))
+        self.assertEqual(cbr.main([b, c]), 1)
+
+    def test_no_common_benches_is_usage_error(self):
+        b = self.write("b.json", raw_doc({"A": [100.0]}))
+        c = self.write("c.json", raw_doc({"Z": [100.0]}))
+        self.assertEqual(cbr.main([b, c]), 2)
+
+    def test_calibration_bench_pins_factor(self):
+        # B regresses 4x but --calibrate A (which holds) still exposes it.
+        b = self.write("b.json", raw_doc({"A": [100.0], "B": [100.0]}))
+        c = self.write("c.json", raw_doc({"A": [100.0], "B": [400.0]}))
+        self.assertEqual(cbr.main([b, c, "--calibrate", "A"]), 1)
+        self.assertEqual(
+            cbr.main([b, c, "--calibrate", "MISSING"]), 2)
+
+    def test_multi_pair_worst_status_wins(self):
+        b1 = self.write("b1.json", raw_doc({"A": [100.0], "B": [50.0]}))
+        c1 = self.write("c1.json", raw_doc({"A": [100.0], "B": [50.0]}))
+        b2 = self.write("b2.json", raw_doc({"X": [10.0], "Y": [10.0]}))
+        c2 = self.write("c2.json", raw_doc({"X": [10.0], "Y": [100.0]}))
+        self.assertEqual(cbr.main(["--pair", b1, c1, "--pair", b2, c2]), 1)
+        self.assertEqual(cbr.main(["--pair", b1, c1]), 0)
+
+    def test_positional_and_pair_compose(self):
+        b = self.write("b.json", raw_doc({"A": [100.0]}))
+        c = self.write("c.json", raw_doc({"A": [100.0]}))
+        self.assertEqual(cbr.main([b, c, "--pair", b, c]), 0)
+
+    def test_missing_positional_half_is_usage_error(self):
+        b = self.write("b.json", raw_doc({"A": [100.0]}))
+        self.assertEqual(cbr.main([b]), 2)
+        self.assertEqual(cbr.main([]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

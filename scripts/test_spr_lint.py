@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Self-tests for spr_lint: per-rule must-fire/must-pass fixtures, pragma
+binding, and libclang-vs-token agreement where both engines exist.
+
+Fixture convention mirrors tools/spr_analyze: `EXPECT[rule]` markers on
+the exact finding line; `*_pass*` fixtures must come back clean. Run
+directly or through ctest (`spr_lint_fixtures`).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+
+import spr_lint  # noqa: E402
+
+_FIXTURES = os.path.join(_HERE, "lint_fixtures")
+_EXPECT_RE = re.compile(r"EXPECT\[([a-z\-]+)\]")
+
+
+def expected_findings(path: str) -> set[tuple[int, str]]:
+    out = set()
+    with open(path) as f:
+        for idx, line in enumerate(f, start=1):
+            for m in _EXPECT_RE.finditer(line):
+                out.add((idx, m.group(1)))
+    return out
+
+
+def lint(path: str, use_clang: bool = False) -> set[tuple[int, str]]:
+    findings = spr_lint.lint_file(path, _FIXTURES, use_clang)
+    return {(f.line, f.rule) for f in findings}
+
+
+class FixtureCorpus(unittest.TestCase):
+    def assert_fixture(self, name: str):
+        path = os.path.join(_FIXTURES, name)
+        self.assertEqual(lint(path), expected_findings(path),
+                         f"{name}: findings diverge from EXPECT markers")
+
+    def test_lint_fire(self):
+        self.assert_fixture("lint_fire.cxx")
+
+    def test_lint_pass(self):
+        self.assert_fixture("lint_pass.cxx")
+
+    def test_serialize_layer(self):
+        self.assert_fixture("serialize_bad.cxx")
+
+    def test_header_bad(self):
+        self.assert_fixture("header_bad.h")
+
+    def test_header_good(self):
+        self.assert_fixture("header_good.h")
+
+    def test_every_rule_has_fire_coverage(self):
+        covered = set()
+        for name in os.listdir(_FIXTURES):
+            covered |= {r for _, r in expected_findings(
+                os.path.join(_FIXTURES, name))}
+        expected = set(spr_lint.RULES) - {"pragma"}  # pragma: proven below
+        self.assertEqual(covered & expected, expected,
+                         "lint rules without a must-fire fixture")
+
+
+class PragmaMachinery(unittest.TestCase):
+    def test_justified_pragmas_suppress(self):
+        path = os.path.join(_FIXTURES, "lint_pragma_pass.cxx")
+        self.assertEqual(lint(path), set(),
+                         "justified same-line and comment-line pragmas "
+                         "must suppress the findings they cover")
+
+    def test_pragma_hygiene_findings(self):
+        path = os.path.join(_FIXTURES, "lint_pragma_fire.cxx")
+        got = lint(path)
+        with open(path) as f:
+            lines = f.readlines()
+        no_reason = next(i for i, l in enumerate(lines, 1)
+                         if "allow(raw-rng)" in l)
+        unknown = next(i for i, l in enumerate(lines, 1)
+                       if "not-a-rule" in l)
+        self.assertEqual(got, {(no_reason, "pragma"), (unknown, "pragma")})
+
+
+class Baseline(unittest.TestCase):
+    def test_src_and_tools_are_clean(self):
+        files = spr_lint.collect_files(["src", "tools"],
+                                       os.path.dirname(_HERE))
+        findings = []
+        for path in files:
+            findings.extend(
+                spr_lint.lint_file(path, os.path.dirname(_HERE), False))
+        self.assertEqual([str(f) for f in findings], [])
+
+
+class EngineAgreement(unittest.TestCase):
+    @unittest.skipUnless(spr_lint.HAVE_LIBCLANG,
+                         "libclang bindings not importable")
+    def test_fixtures_agree_across_engines(self):
+        for name in sorted(os.listdir(_FIXTURES)):
+            path = os.path.join(_FIXTURES, name)
+            self.assertEqual(lint(path, use_clang=True),
+                             lint(path, use_clang=False),
+                             f"{name}: engines disagree")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,4 +1,8 @@
 #include "core/scenario.h"
+// spr-analyze-file: allow(determinism-taint) timing scenarios report
+// wall-clock curves (seconds, speedup, hardware threads) by design; the
+// determinism contract covers statuses/anchors/aggregates, which the
+// bit_identical gates in this file verify on every run.
 
 #include <algorithm>
 #include <chrono>

@@ -589,6 +589,8 @@ class JsonParser {
     return fail("invalid number");
   }
 
+  // spr-analyze: allow(view-lifetime) parser is a stack local consumed
+  // inside JsonValue::parse before the text argument goes out of scope
   std::string_view text_;
   std::size_t pos_ = 0;
   std::string error_;

@@ -1,0 +1,167 @@
+#include "util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "deploy/rng.h"
+#include "util/check.h"
+
+namespace spr {
+namespace {
+
+TEST(FlatMap64, EmptyMapFindsNothing) {
+  FlatMap64<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_EQ(map.find(123456789ull), nullptr);
+}
+
+TEST(FlatMap64, InsertThenFind) {
+  FlatMap64<int> map;
+  map.find_or_insert(7, 70) = 71;
+  map.find_or_insert(9, 90);
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 71);
+  ASSERT_NE(map.find(9), nullptr);
+  EXPECT_EQ(*map.find(9), 90);
+  EXPECT_EQ(map.find(8), nullptr);
+}
+
+TEST(FlatMap64, FindOrInsertIsIdempotentOnExistingKey) {
+  FlatMap64<int> map;
+  map.find_or_insert(42, 1);
+  int& second = map.find_or_insert(42, 999);  // fallback must not apply
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap64, KeyZeroIsARealKey) {
+  FlatMap64<int> map;
+  map.find_or_insert(0, 5);
+  ASSERT_NE(map.find(0), nullptr);
+  EXPECT_EQ(*map.find(0), 5);
+}
+
+TEST(FlatMap64, SentinelKeyIsRejectedUnderDcheck) {
+  if (!kDchecksEnabled) {
+    GTEST_SKIP() << "SPR_DCHECK compiled out in this configuration";
+  }
+  ScopedCheckHandler guard(&throwing_check_handler);
+  FlatMap64<int> map;
+  EXPECT_THROW(map.find_or_insert(FlatMap64<int>::kEmptyKey, 1), CheckError);
+}
+
+TEST(FlatMap64, CollidingKeysProbeToDistinctSlots) {
+  // Sequential keys Fibonacci-mix far apart, so manufacture collisions the
+  // honest way: enough keys that probe chains must form (load near 3/4).
+  FlatMap64<std::uint64_t> map;
+  constexpr std::uint64_t kCount = 3000;
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    map.find_or_insert(k * 0x10001ull, k);
+  }
+  EXPECT_EQ(map.size(), kCount);
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    auto* v = map.find(k * 0x10001ull);
+    ASSERT_NE(v, nullptr) << "key " << k;
+    EXPECT_EQ(*v, k);
+  }
+  EXPECT_EQ(map.find(0x10001ull * kCount), nullptr);
+}
+
+TEST(FlatMap64, GrowthPreservesEveryEntry) {
+  FlatMap64<std::uint64_t> map;
+  std::map<std::uint64_t, std::uint64_t> reference;
+  Rng rng(2026);
+  for (int i = 0; i < 20000; ++i) {
+    const auto key = static_cast<std::uint64_t>(
+        rng.uniform_int(0, 1 << 30));
+    const auto value = static_cast<std::uint64_t>(i);
+    map.find_or_insert(key, value);
+    reference.emplace(key, value);  // first value wins, same as the map
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    auto* got = map.find(key);
+    ASSERT_NE(got, nullptr) << "key " << key;
+    EXPECT_EQ(*got, value);
+  }
+}
+
+TEST(FlatMap64, ReserveAvoidsRehashInvalidation) {
+  // The find_or_insert reference contract: valid until the *next*
+  // insertion. With reserve() large enough, no growth happens mid-fill,
+  // so pointers taken after the last insert stay comparable.
+  FlatMap64<int> map(1000);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    map.find_or_insert(k, static_cast<int>(k));
+  }
+  int* before = map.find(500);
+  // Lookups never rehash.
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(map.find(k), nullptr);
+  }
+  EXPECT_EQ(map.find(500), before);
+}
+
+TEST(FlatMap64, ClearKeepsCapacityAndDropsEntries) {
+  FlatMap64<int> map;
+  for (std::uint64_t k = 0; k < 100; ++k) map.find_or_insert(k, 1);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(5), nullptr);
+  // Reusable after clear, including previously present keys.
+  map.find_or_insert(5, 50);
+  ASSERT_NE(map.find(5), nullptr);
+  EXPECT_EQ(*map.find(5), 50);
+}
+
+TEST(FlatMap64, DeterminismContractSameInsertsSameLookups) {
+  // The map exposes no iteration, so the only observable behavior is
+  // lookup results — identical across two maps filled in different
+  // orders. This is the determinism contract flat_map.h documents.
+  FlatMap64<std::uint64_t> forward;
+  FlatMap64<std::uint64_t> backward;
+  constexpr std::uint64_t kCount = 5000;
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    forward.find_or_insert(k * 7919, k);
+  }
+  for (std::uint64_t k = kCount; k-- > 0;) {
+    backward.find_or_insert(k * 7919, k);
+  }
+  EXPECT_EQ(forward.size(), backward.size());
+  for (std::uint64_t k = 0; k < kCount; ++k) {
+    auto* a = forward.find(k * 7919);
+    auto* b = backward.find(k * 7919);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+TEST(FlatMap64, LinkKeyAndTickKeyShapes) {
+  // The two production key families: directed-link keys (from * n + to)
+  // and double-bit tick timestamps.
+  FlatMap64<float> map;
+  constexpr std::uint64_t n = 100000;
+  map.find_or_insert(3 * n + 4, 0.25f);
+  map.find_or_insert(4 * n + 3, 0.75f);  // reverse link is a distinct key
+  EXPECT_NE(map.find(3 * n + 4), nullptr);
+  EXPECT_NE(map.find(4 * n + 3), nullptr);
+  EXPECT_NE(*map.find(3 * n + 4), *map.find(4 * n + 3));
+
+  const double tick = 1.5;
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(tick));
+  __builtin_memcpy(&bits, &tick, sizeof(bits));
+  map.find_or_insert(bits, 9.0f);
+  ASSERT_NE(map.find(bits), nullptr);
+  EXPECT_EQ(*map.find(bits), 9.0f);
+}
+
+}  // namespace
+}  // namespace spr

@@ -1,0 +1,49 @@
+// Must-fire fixture: arena-backed values escaping their reset() scope.
+// EXPECT markers name the finding the harness asserts on that line.
+#include <cstdint>
+
+namespace spr_fixture {
+
+struct Arena {
+  void* allocate(unsigned long bytes, unsigned long align);
+  void reset();
+};
+
+// A function-local arena dies with the function: returning memory
+// allocated from it dangles immediately.
+const std::uint64_t* dangling_alloc() {
+  Arena arena;
+  auto* p = static_cast<std::uint64_t*>(arena.allocate(64, 8));
+  return p;  // EXPECT[arena-escape]
+}
+
+// A view derived from the dangerous pointer is just as dead.
+const std::uint64_t* dangling_view() {
+  Arena arena;
+  auto* p = static_cast<std::uint64_t*>(arena.allocate(64, 8));
+  const std::uint64_t* view = p;
+  return view;  // EXPECT[arena-escape]
+}
+
+struct Holder {
+  const std::uint64_t* cached = nullptr;
+};
+
+// Holder has no Arena field: its lifetime is not tied to any reset()
+// epoch, so parking scratch in it outlives the arena's scope.
+struct Builder {
+  Holder h;
+  void build(Arena& arena) {
+    auto* p = static_cast<std::uint64_t*>(arena.allocate(64, 8));
+    h.cached = p;  // EXPECT[arena-escape]
+  }
+};
+
+// A static local survives every reset() of the caller's arena.
+void stash(Arena& arena) {
+  auto* p = static_cast<std::uint64_t*>(arena.allocate(64, 8));
+  static const std::uint64_t* keep = p;  // EXPECT[arena-escape]
+  (void)keep;
+}
+
+}  // namespace spr_fixture

@@ -1,0 +1,42 @@
+// Must-pass fixture: the repo's sanctioned arena idioms stay clean.
+#include <cstdint>
+
+namespace spr_fixture {
+
+struct Arena {
+  void* allocate(unsigned long bytes, unsigned long align);
+  void reset();
+};
+
+// The caller owns the arena: returning a fresh allocation hands the
+// caller memory whose lifetime the caller already controls (the
+// alloc_words/zeroed_words helper idiom).
+std::uint64_t* alloc_words(Arena& arena, unsigned long words) {
+  auto* p = static_cast<std::uint64_t*>(arena.allocate(words * 8, 8));
+  return p;
+}
+
+// An arena-scoped class (holds an Arena member) is itself epoch-bound:
+// its fields may cache scratch because class and scratch die together.
+class Labeler {
+ public:
+  explicit Labeler(Arena& arena) : arena_(arena) {}
+  void build() {
+    auto* bits = static_cast<std::uint64_t*>(arena_.allocate(256, 8));
+    bits_ = bits;
+  }
+
+ private:
+  Arena& arena_;
+  std::uint64_t* bits_ = nullptr;
+};
+
+// A static thread_local arena persists; handing out a reference to the
+// arena itself (not scratch carved from a dying arena) is the
+// FlatLabeler::scratch() pattern.
+Arena& scratch() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace spr_fixture

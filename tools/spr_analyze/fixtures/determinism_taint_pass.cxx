@@ -1,0 +1,27 @@
+// Must-pass fixture: deterministic values and non-sink uses stay clean.
+#include <chrono>
+#include <map>
+
+namespace spr_fixture {
+
+struct Report {
+  void param(const char* name, double v);
+  void note(const char* text);
+};
+
+// Deterministic inputs into sinks are fine.
+void plain(Report& report, double value) { report.param("v", value); }
+
+// Wall clock used only for control flow, never serialized.
+bool timed_out(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::steady_clock::now() >= deadline;
+}
+
+// Ordered-map iteration is deterministic.
+void ordered_iter(Report& report, const std::map<int, double>& scores) {
+  for (const auto& kv : scores) {
+    report.param("score", kv.second);
+  }
+}
+
+}  // namespace spr_fixture

@@ -1,0 +1,21 @@
+// Must-fire fixture: malformed pragmas are themselves findings.
+#include <span>
+#include <vector>
+
+namespace spr_fixture {
+
+std::span<const int> bad() {
+  std::vector<int> local{1};
+  return std::span<const int>(local);  // spr-analyze: allow(view-lifetime)
+}
+// EXPECT-PRAGMA: the allow above has no reason text.
+
+std::span<const int> worse() {
+  std::vector<int> local{2};
+  // spr-analyze: allow(made-up-rule) not a rule the analyzer knows
+  return std::span<const int>(local);
+}
+// EXPECT-PRAGMA: unknown rule name.
+// EXPECT-VIEW-LIFETIME: the bogus allow suppresses nothing.
+
+}  // namespace spr_fixture

@@ -1,0 +1,14 @@
+// Must-pass fixture: a justified pragma on the preceding comment line
+// binds to the next code line and suppresses the finding.
+#include <span>
+#include <vector>
+
+namespace spr_fixture {
+
+std::span<const int> gated() {
+  std::vector<int> local{1};
+  // spr-analyze: allow(view-lifetime) fixture proves justified pragmas
+  return std::span<const int>(local);
+}
+
+}  // namespace spr_fixture

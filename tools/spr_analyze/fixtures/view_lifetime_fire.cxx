@@ -1,0 +1,46 @@
+// Must-fire fixture: spans/string_views outliving storage or epoch.
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace spr_fixture {
+
+// Returning a view over a local: the storage dies with the function.
+std::span<const int> dangling_span() {
+  std::vector<int> local{1, 2, 3};
+  return std::span<const int>(local);  // EXPECT[view-lifetime]
+}
+
+std::string_view dangling_sv() {
+  std::string text = "ephemeral";
+  return std::string_view(text);  // EXPECT[view-lifetime]
+}
+
+// A long-lived class caching a view with no lifetime-binding reference
+// member: nothing ties the view to its backing storage.
+struct CachedRow {
+  std::span<const unsigned> row;  // EXPECT[view-lifetime]
+  int epoch = 0;
+};
+
+struct Graph {
+  std::span<const unsigned> neighbors(unsigned v) const;
+  Graph with_failures(const std::vector<unsigned>& down) const;
+};
+
+// Caching an epoch-scoped view in a member of a non-subordinate class.
+struct Cache {
+  void refresh(const Graph& g) {
+    row_ = g.neighbors(0);  // EXPECT[view-lifetime]
+  }
+  std::span<const unsigned> row_;  // EXPECT[view-lifetime]
+};
+
+// Using an epoch view after the topology epoch advanced under it.
+int stale_use(Graph& g, const std::vector<unsigned>& down) {
+  auto row = g.neighbors(0);
+  g = g.with_failures(down);
+  return static_cast<int>(row.size());  // EXPECT[view-lifetime]
+}
+
+}  // namespace spr_fixture

@@ -1,0 +1,44 @@
+// Must-pass fixture: sanctioned view lifetimes stay clean.
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace spr_fixture {
+
+struct Graph {
+  std::span<const unsigned> neighbors(unsigned v) const;
+  Graph with_failures(const std::vector<unsigned>& down) const;
+};
+
+// A reference member binds the holder's lifetime to its referent:
+// lifetime-subordinate classes may cache views (the InterestArea idiom).
+struct RowView {
+  const Graph& graph;
+  std::span<const unsigned> row;
+};
+
+// A string_view inside a callable's signature is a parameter type, not a
+// stored view (the Flags::Flag::set idiom).
+struct Handler {
+  std::function<bool(std::string_view)> parse;
+};
+
+// Views over member storage share the owner's lifetime.
+struct Owner {
+  std::span<const unsigned> view() const {
+    return std::span<const unsigned>(data_);
+  }
+  std::vector<unsigned> data_;
+};
+
+// Re-querying after the epoch advance is the sanctioned pattern.
+int requery(Graph& g, const std::vector<unsigned>& down) {
+  auto row = g.neighbors(0);
+  int before = static_cast<int>(row.size());
+  g = g.with_failures(down);
+  auto fresh = g.neighbors(0);
+  return before + static_cast<int>(fresh.size());
+}
+
+}  // namespace spr_fixture

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""spr_analyze: AST/dataflow contract analyzer for the spr tree.
+
+Where spr_lint is token-level (it catches `rand()` by name), spr_analyze
+follows values: arena scratch escaping its reset() scope, spans outliving
+the topology epoch that built them, nondeterministic values flowing
+through assignments into report/serialize/merge sinks, and parallel
+callbacks whose shared writes skip the id-ordered merge discipline. See
+rules.py for the rule catalog and tools/spr_analyze/README.md for the
+contract each rule defends.
+
+Front-ends: libclang (python bindings) when importable, and a
+self-contained token/micro-AST engine otherwise — both lower into the
+same model (model.py) so the rules and fixtures behave identically.
+
+Inputs: explicit files/directories, or `--compile-commands
+build/compile_commands.json` to analyze exactly the TUs the build sees
+(headers under src/ are added alongside). Findings print as
+`path:line: [rule] message`; `--sarif out.sarif` additionally writes
+SARIF 2.1.0 for code-scanning upload.
+
+False positives are silenced per line with a justified pragma:
+
+    foo();  // spr-analyze: allow(arena-escape) reason why this is fine
+
+or file-wide in the first 10 lines:
+
+    // spr-analyze-file: allow(determinism-taint) reason
+
+A pragma with no reason text is itself a finding.
+
+Exit status: 0 when clean, 1 when any finding, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(os.path.dirname(_HERE))
+sys.path.insert(0, _HERE)
+sys.path.insert(0, os.path.join(_ROOT, "scripts"))
+
+from spr_source import (Finding, bind_comment_pragmas, collect_files,  # noqa: E402
+                        parse_pragmas, relpath, strip_comments_and_strings)
+
+import model  # noqa: E402
+import rules as rules_mod  # noqa: E402
+from rules import (RULES, check_arena_escape, check_determinism_taint,  # noqa: E402
+                   check_merge_ordering, check_view_lifetime,
+                   check_view_members, compute_taint_summaries, _sink_names)
+
+try:
+    import clang_backend
+
+    HAVE_LIBCLANG = clang_backend.available()
+except Exception:  # pragma: no cover - environment dependent
+    HAVE_LIBCLANG = False
+
+
+def load_compile_commands(path: str) -> list[str]:
+    """Source files named by a compile_commands.json, absolute paths."""
+    with open(path) as f:
+        db = json.load(f)
+    files = set()
+    for entry in db:
+        src = entry.get("file", "")
+        if not os.path.isabs(src):
+            src = os.path.join(entry.get("directory", ""), src)
+        files.add(os.path.normpath(src))
+    return sorted(files)
+
+
+def analyze_files(files: list[str], root: str,
+                  engine: str) -> list[Finding]:
+    """Parses every file, builds the cross-file registry, runs the rules."""
+    registry = model.Registry()
+    per_file: list[tuple[str, model.FileModel, list[str], list[str]]] = []
+    findings: list[Finding] = []
+
+    for path in files:
+        rel = relpath(path, root)
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            findings.append(Finding(rel, 0, "pragma", f"unreadable: {e}"))
+            continue
+        raw_lines = text.split("\n")
+        stripped = strip_comments_and_strings(text)
+        if engine == "clang" and HAVE_LIBCLANG:
+            fm = clang_backend.parse_file(path, rel, stripped)
+        else:
+            fm = model.parse_file(rel, stripped)
+        registry.add(fm)
+        per_file.append((rel, fm, raw_lines, stripped))
+
+    # Interprocedural-lite summaries need the whole registry first.
+    tainted_fns = compute_taint_summaries(registry)
+    sink_names = _sink_names(registry)
+
+    for rel, fm, raw_lines, stripped in per_file:
+        pragmas = parse_pragmas(raw_lines, findings, rel, "spr-analyze",
+                                RULES)
+        bind_comment_pragmas(pragmas, stripped)
+
+        def emit(line_no: int, rule: str, message: str,
+                 _rel=rel, _pragmas=pragmas):
+            if _pragmas.allows(line_no, rule):
+                return
+            findings.append(Finding(_rel, line_no, rule, message))
+
+        for cls in fm.classes:
+            check_view_members(cls, emit)
+        for fn in fm.functions:
+            check_arena_escape(fn, registry, emit)
+            check_view_lifetime(fn, registry, emit)
+            check_determinism_taint(fn, registry, tainted_fns, sink_names,
+                                    emit)
+            check_merge_ordering(fn, registry, emit)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    # Deduplicate identical findings (a header parsed for several TUs).
+    unique: list[Finding] = []
+    for f in findings:
+        if not unique or str(f) != str(unique[-1]):
+            unique.append(f)
+    return unique
+
+
+def write_sarif(findings: list[Finding], path: str) -> None:
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(1, f.line)},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    sarif = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+        "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "spr_analyze",
+                        "informationUri":
+                            "tools/spr_analyze/README.md",
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {"text": doc},
+                            }
+                            for rule, doc in sorted(RULES.items())
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(sarif, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src)")
+    parser.add_argument("--root", default=_ROOT,
+                        help="repo root findings are reported relative to")
+    parser.add_argument("--compile-commands", default="",
+                        help="analyze the TUs of this compile_commands.json "
+                        "(src/ only) plus the headers next to them")
+    parser.add_argument("--sarif", default="",
+                        help="also write SARIF 2.1.0 to this path")
+    parser.add_argument("--engine", choices=("auto", "clang", "fallback"),
+                        default="auto",
+                        help="front-end: libclang when importable (auto), "
+                        "forced libclang, or the token micro-AST engine")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, doc in RULES.items():
+            print(f"{name:18} {doc}")
+        return 0
+
+    engine = args.engine
+    if engine == "auto":
+        engine = "clang" if HAVE_LIBCLANG else "fallback"
+    if engine == "clang" and not HAVE_LIBCLANG:
+        print("spr_analyze: --engine=clang but libclang bindings are not "
+              "importable", file=sys.stderr)
+        return 2
+
+    files: list[str] = []
+    if args.compile_commands:
+        src_root = os.path.join(args.root, "src")
+        tu_files = [f for f in load_compile_commands(args.compile_commands)
+                    if os.path.normpath(f).startswith(
+                        os.path.normpath(src_root) + os.sep)]
+        files.extend(tu_files)
+        # Headers don't appear as TUs; analyze them alongside.
+        files.extend(collect_files(["src"], args.root, exts=(".h", ".hpp")))
+    if args.paths:
+        files.extend(collect_files(args.paths, args.root))
+    if not files and not args.compile_commands:
+        files = collect_files(["src"], args.root)
+    files = sorted({os.path.normpath(
+        f if os.path.isabs(f) else os.path.join(args.root, f))
+        for f in files})
+    if not files:
+        print("spr_analyze: no input files", file=sys.stderr)
+        return 2
+
+    findings = analyze_files(files, args.root, engine)
+    for finding in findings:
+        print(finding)
+    if args.sarif:
+        write_sarif(findings, args.sarif)
+    print(f"spr_analyze: {len(files)} files, {len(findings)} finding(s) "
+          f"({engine} engine)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
